@@ -1,0 +1,55 @@
+// Design-space exploration: programmatically sweep the zkSpeed design
+// space (Table 2 of the paper), extract the Pareto frontier for a target
+// problem size, and pick an accelerator under an area budget — the §7.1
+// methodology as a library.
+package main
+
+import (
+	"fmt"
+
+	"zkspeed"
+)
+
+func main() {
+	const mu = 20 // 2^20-gate proofs
+
+	points := zkspeed.ExploreDesignSpace(mu)
+	fmt.Printf("swept %d design points\n", len(points))
+	front := zkspeed.ParetoFront(points)
+	fmt.Printf("Pareto frontier: %d of %d designs\n\n", len(front), len(points))
+
+	fmt.Println("selected frontier samples (area mm² → runtime ms):")
+	step := len(front) / 8
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(front); i += step {
+		p := front[i]
+		fmt.Printf("  %8.1f mm² → %8.3f ms   [%s]\n", p.AreaMM2, p.RuntimeMS, p.Config)
+	}
+
+	// Pick the best design under a 300 mm² budget and report its details.
+	var best zkspeed.DesignPoint
+	found := false
+	for _, p := range front {
+		if p.AreaMM2 <= 300 && (!found || p.RuntimeMS < best.RuntimeMS) {
+			best, found = p, true
+		}
+	}
+	if !found {
+		fmt.Println("no design fits 300 mm²")
+		return
+	}
+	fmt.Printf("\nbest design under 300 mm²: %s\n", best.Config)
+	res := zkspeed.Simulate(best.Config, mu)
+	area := zkspeed.Area(best.Config, mu)
+	power := zkspeed.Power(res, area)
+	cpu := zkspeed.CPUTimeMS(mu)
+	fmt.Printf("  runtime:  %.3f ms (%.0f× over the %.0f ms CPU baseline)\n",
+		res.Milliseconds(), cpu/res.Milliseconds(), cpu)
+	fmt.Printf("  area:     %.1f mm² (compute %.1f, SRAM %.1f, PHY %.1f)\n",
+		area.Total(), area.TotalCompute(), area.SRAM, area.HBMPHY)
+	fmt.Printf("  power:    %.1f W (%.2f W/mm²)\n", power.Total(), power.Total()/area.Total())
+	util := res.Utilization()
+	fmt.Printf("  MSM util: %.0f%%, SumCheck util: %.0f%%\n", util["MSM"]*100, util["Sumcheck"]*100)
+}

@@ -1,0 +1,109 @@
+package zkspeed_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"zkspeed"
+)
+
+// TestEndToEndSyntheticWorkload runs the complete pipeline through the
+// public API: §6.2-style workload → universal setup → prove → verify.
+func TestEndToEndSyntheticWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	circuit, assignment, pub, err := zkspeed.SyntheticWorkload(9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := zkspeed.Setup(circuit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, timings, err := zkspeed.Prove(pk, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zkspeed.Verify(vk, pub, proof); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+	if timings.WitnessCommit <= 0 || timings.PolyOpen <= 0 {
+		t.Fatal("step timings missing")
+	}
+	// HyperPlonk proofs are a few KB (paper: "typically 5 KB").
+	if kb := float64(proof.ProofSizeBytes()) / 1024; kb < 1 || kb > 32 {
+		t.Fatalf("proof size %.1f KB outside the succinct regime", kb)
+	}
+}
+
+// TestUniversalSetupReuse shares one SRS across two different circuits of
+// the same size — HyperPlonk's universal-setup property (§1).
+func TestUniversalSetupReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	c1, a1, p1, err := zkspeed.SyntheticWorkload(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk1, vk1, err := zkspeed.Setup(c1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second, different circuit preprocessed under the SAME SRS.
+	c2, a2, p2, err := zkspeed.SyntheticWorkload(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk2, vk2, err := zkspeed.SetupWithSRS(c2, pk1.SRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr1, _, err := zkspeed.Prove(pk1, a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, _, err := zkspeed.Prove(pk2, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zkspeed.Verify(vk1, p1, pr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := zkspeed.Verify(vk2, p2, pr2); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-verification must fail: the proofs are circuit-specific even
+	// though the SRS is shared.
+	if err := zkspeed.Verify(vk1, p1, pr2); err == nil {
+		t.Fatal("proof for circuit 2 verified under circuit 1's key")
+	}
+}
+
+// TestModelHeadline reproduces the paper's abstract claim from the public
+// API: a ~366 mm², 2 TB/s design accelerating proof generation by roughly
+// 800× (geomean) over the CPU baseline.
+func TestModelHeadline(t *testing.T) {
+	cfg := zkspeed.PaperDesign()
+	area := zkspeed.Area(cfg, 23) // the fixed design is sized for 2^23
+	if area.Total() < 330 || area.Total() > 400 {
+		t.Fatalf("area %.1f mm², paper reports 366.46", area.Total())
+	}
+	gmean := 1.0
+	sizes := []int{17, 20, 21, 22, 23}
+	for _, mu := range sizes {
+		res := zkspeed.Simulate(cfg, mu)
+		gmean *= zkspeed.CPUTimeMS(mu) / res.Milliseconds()
+	}
+	gmean = math.Pow(gmean, 1/float64(len(sizes)))
+	if gmean < 500 || gmean > 1200 {
+		t.Fatalf("geomean speedup %.0f×, paper reports 801×", gmean)
+	}
+}

@@ -1,0 +1,94 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkspeed/internal/ff"
+)
+
+func TestG2GroupLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	var g G2Jac
+	ga := G2Generator()
+	g.FromAffine(&ga)
+	for i := 0; i < 5; i++ {
+		a, b := randScalar(rng), randScalar(rng)
+		var pa, pb, sum1, sum2 G2Jac
+		pa.ScalarMul(&g, &a)
+		pb.ScalarMul(&g, &b)
+		sum1.Add(&pa, &pb)
+		var ab ff.Fr
+		ab.Add(&a, &b)
+		sum2.ScalarMul(&g, &ab)
+		var s1a, s2a G2Affine
+		s1a.FromJacobian(&sum1)
+		s2a.FromJacobian(&sum2)
+		if !s1a.Equal(&s2a) {
+			t.Fatal("G2 scalar mul not homomorphic")
+		}
+		if !s1a.IsOnCurve() {
+			t.Fatal("G2 sum off curve")
+		}
+	}
+}
+
+func TestG2DoubleMatchesAdd(t *testing.T) {
+	var g, d1, d2 G2Jac
+	ga := G2Generator()
+	g.FromAffine(&ga)
+	d1.Add(&g, &g)
+	d2.Double(&g)
+	var a1, a2 G2Affine
+	a1.FromJacobian(&d1)
+	a2.FromJacobian(&d2)
+	if !a1.Equal(&a2) {
+		t.Fatal("G2 add(P,P) != double(P)")
+	}
+}
+
+func TestG2NegAndInfinity(t *testing.T) {
+	var g, ng, z G2Jac
+	ga := G2Generator()
+	g.FromAffine(&ga)
+	ng.Neg(&g)
+	z.Add(&g, &ng)
+	if !z.IsInfinity() {
+		t.Fatal("P + (-P) != infinity in G2")
+	}
+	var inf G2Jac
+	var sum G2Jac
+	sum.Add(&g, &inf)
+	var sa, gaa G2Affine
+	sa.FromJacobian(&sum)
+	gaa.FromJacobian(&g)
+	if !sa.Equal(&gaa) {
+		t.Fatal("P + 0 != P in G2")
+	}
+	// Affine infinity round trip.
+	var infAff G2Affine
+	infAff.FromJacobian(&inf)
+	if !infAff.Inf {
+		t.Fatal("infinity lost in conversion")
+	}
+	var neg G2Affine
+	neg.Neg(&infAff)
+	if !neg.Inf {
+		t.Fatal("negated infinity lost")
+	}
+}
+
+func TestUntwistLandsOnE(t *testing.T) {
+	// The untwist image of G2 must satisfy y² = x³ + 4 over Fp12.
+	g := G2Generator()
+	p := untwist(&g)
+	var lhs, rhs, four ff.Fp12
+	lhs.Mul(&p.y, &p.y)
+	rhs.Mul(&p.x, &p.x)
+	rhs.Mul(&rhs, &p.x)
+	four.C0.B0.A0.SetUint64(4)
+	rhs.Add(&rhs, &four)
+	if !lhs.Equal(&rhs) {
+		t.Fatal("untwisted G2 generator not on E(Fp12)")
+	}
+}

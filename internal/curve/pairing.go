@@ -1,0 +1,178 @@
+package curve
+
+import (
+	"errors"
+	"math/big"
+
+	"zkspeed/internal/ff"
+)
+
+// This file implements the reduced ate pairing e: G1 × G2 → GT ⊂ Fp12.
+//
+// The implementation favors transparency over speed: G2 points are mapped
+// through the untwist isomorphism into the full curve E(Fp12), and a
+// textbook affine Miller loop of length |x| (x = -0xd201000000010000, the
+// BLS12-381 parameter) runs there with generic line evaluations. The final
+// exponentiation raises to the full (p^12-1)/r. All structure is therefore
+// checkable against first principles, and bilinearity is property-tested.
+// The HyperPlonk *prover* never executes a pairing — only the verifier's
+// PST opening check does — so this cost is off the accelerated path, just
+// as in the paper.
+
+// GT is an element of the pairing target group (subgroup of Fp12*).
+type GT = ff.Fp12
+
+var (
+	blsX         = new(big.Int).SetUint64(0xd201000000010000) // |x|; x is negative
+	finalExpPow  *big.Int                                     // (p^12 - 1) / r
+	wInv2, wInv3 ff.Fp12                                      // w^{-2}, w^{-3} for the untwist
+)
+
+func init() {
+	p := ff.FpModulusBig()
+	p12 := new(big.Int).Exp(p, big.NewInt(12), nil)
+	p12.Sub(p12, big.NewInt(1))
+	finalExpPow = new(big.Int).Quo(p12, ff.FrModulusBig())
+
+	var w, winv ff.Fp12
+	w.C1.SetOne() // the Fp12 generator w, w² = v, w⁶ = 1+u
+	winv.Inverse(&w)
+	wInv2.Mul(&winv, &winv)
+	wInv3.Mul(&wInv2, &winv)
+}
+
+// ePoint is an affine point of E(Fp12): y² = x³ + 4.
+type ePoint struct {
+	x, y ff.Fp12
+	inf  bool
+}
+
+// untwist maps a G2 (twist) point onto E(Fp12): (x', y') → (x'·w⁻², y'·w⁻³).
+func untwist(q *G2Affine) ePoint {
+	if q.Inf {
+		return ePoint{inf: true}
+	}
+	var p ePoint
+	p.x.MulByFp2(&wInv2, &q.X)
+	p.y.MulByFp2(&wInv3, &q.Y)
+	return p
+}
+
+// eDouble returns 2a and the tangent-line slope at a.
+func eDouble(a *ePoint) (ePoint, ff.Fp12) {
+	var lambda, num, den ff.Fp12
+	num.Square(&a.x)
+	var three ff.Fp12
+	three.C0.B0.A0.SetUint64(3)
+	num.Mul(&num, &three)
+	den.Add(&a.y, &a.y)
+	den.Inverse(&den)
+	lambda.Mul(&num, &den)
+	var r ePoint
+	r.x.Square(&lambda)
+	r.x.Sub(&r.x, &a.x)
+	r.x.Sub(&r.x, &a.x)
+	r.y.Sub(&a.x, &r.x)
+	r.y.Mul(&r.y, &lambda)
+	r.y.Sub(&r.y, &a.y)
+	return r, lambda
+}
+
+// eAdd returns a+b and the chord-line slope (a ≠ ±b, neither infinite).
+func eAdd(a, b *ePoint) (ePoint, ff.Fp12) {
+	var lambda, num, den ff.Fp12
+	num.Sub(&b.y, &a.y)
+	den.Sub(&b.x, &a.x)
+	den.Inverse(&den)
+	lambda.Mul(&num, &den)
+	var r ePoint
+	r.x.Square(&lambda)
+	r.x.Sub(&r.x, &a.x)
+	r.x.Sub(&r.x, &b.x)
+	r.y.Sub(&a.x, &r.x)
+	r.y.Mul(&r.y, &lambda)
+	r.y.Sub(&r.y, &a.y)
+	return r, lambda
+}
+
+// lineEval evaluates the line through a with slope lambda at the G1 point
+// (xp, yp): l = (yp - a.y) - lambda(xp - a.x).
+func lineEval(a *ePoint, lambda, xp, yp *ff.Fp12) ff.Fp12 {
+	var t, l ff.Fp12
+	l.Sub(yp, &a.y)
+	t.Sub(xp, &a.x)
+	t.Mul(&t, lambda)
+	l.Sub(&l, &t)
+	return l
+}
+
+// MillerLoop computes the (un-exponentiated) Miller value f_{|x|,Q}(P),
+// conjugated to account for the negative BLS parameter.
+func MillerLoop(p *G1Affine, q *G2Affine) (ff.Fp12, error) {
+	var f ff.Fp12
+	f.SetOne()
+	if p.Inf || q.Inf {
+		return f, nil
+	}
+	if !p.IsOnCurve() || !q.IsOnCurve() {
+		return f, errors.New("curve: pairing input not on curve")
+	}
+	var xp, yp ff.Fp12
+	xp.C0.B0.A0 = p.X
+	yp.C0.B0.A0 = p.Y
+
+	qq := untwist(q)
+	t := qq
+	for i := blsX.BitLen() - 2; i >= 0; i-- {
+		f.Square(&f)
+		r, lambda := eDouble(&t)
+		l := lineEval(&t, &lambda, &xp, &yp)
+		f.Mul(&f, &l)
+		t = r
+		if blsX.Bit(i) == 1 {
+			r, lambda := eAdd(&t, &qq)
+			l := lineEval(&t, &lambda, &xp, &yp)
+			f.Mul(&f, &l)
+			t = r
+		}
+	}
+	// x < 0: f_{-|x|} ~ conj(f_{|x|}) up to factors killed by the final exp.
+	f.Conjugate(&f)
+	return f, nil
+}
+
+// FinalExponentiation raises the Miller value to (p^12-1)/r, mapping it to
+// the canonical coset representative in GT.
+func FinalExponentiation(f *ff.Fp12) GT {
+	var out ff.Fp12
+	out.Exp(f, finalExpPow)
+	return out
+}
+
+// Pair computes the reduced ate pairing e(P, Q).
+func Pair(p *G1Affine, q *G2Affine) (GT, error) {
+	f, err := MillerLoop(p, q)
+	if err != nil {
+		return GT{}, err
+	}
+	return FinalExponentiation(&f), nil
+}
+
+// PairingCheck reports whether Π e(P_i, Q_i) == 1, sharing one final
+// exponentiation across all pairs.
+func PairingCheck(ps []G1Affine, qs []G2Affine) (bool, error) {
+	if len(ps) != len(qs) {
+		return false, errors.New("curve: mismatched pairing vectors")
+	}
+	var acc ff.Fp12
+	acc.SetOne()
+	for i := range ps {
+		f, err := MillerLoop(&ps[i], &qs[i])
+		if err != nil {
+			return false, err
+		}
+		acc.Mul(&acc, &f)
+	}
+	out := FinalExponentiation(&acc)
+	return out.IsOne(), nil
+}

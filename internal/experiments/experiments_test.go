@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTable1Content(t *testing.T) {
+	out := Table1()
+	for _, kernel := range []string{"Poly Open MSMs", "Witness MSMs", "All MLE Updates"} {
+		if !strings.Contains(out, kernel) {
+			t.Fatalf("Table 1 missing kernel %q", kernel)
+		}
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	out := Table2()
+	if !strings.Contains(out, "1155000") {
+		t.Fatal("Table 2 should state the total configuration count")
+	}
+}
+
+func TestTable3SpeedupRegime(t *testing.T) {
+	out := Table3()
+	if !strings.Contains(out, "Zcash") || !strings.Contains(out, "Rollup") {
+		t.Fatal("Table 3 missing workloads")
+	}
+	// Extract the geomean line and check the regime.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "geomean speedup:") {
+			fields := strings.Fields(line)
+			v := strings.TrimSuffix(fields[2], "x")
+			g, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("cannot parse geomean from %q", line)
+			}
+			if g < 500 || g > 1200 {
+				t.Fatalf("geomean %v out of regime (paper: 801)", g)
+			}
+			return
+		}
+	}
+	t.Fatal("no geomean line")
+}
+
+func TestTable4Content(t *testing.T) {
+	out := Table4()
+	for _, s := range []string{"NoCap", "SZKP+", "HyperPlonk", "universal"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("Table 4 missing %q", s)
+		}
+	}
+}
+
+func TestTable5Content(t *testing.T) {
+	out := Table5()
+	for _, s := range []string{"MSM (16 PEs)", "SumCheck (2 PEs)", "Total Compute", "HBM3 (2 PHYs)"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("Table 5 missing row %q", s)
+		}
+	}
+}
+
+func TestFigureArtifacts(t *testing.T) {
+	checks := map[string][]string{
+		Figure5():  {"Window", "SZKP", "zkSpeed"},
+		Figure6():  {"hybrid DFS/BFS", "level-order BFS"},
+		Figure8():  {"Batch", "optimal batch size: 64"},
+		Figure12(): {"Wire Identity", "Witness MSMs"},
+		Figure13(): {"Utilization", "MSM"},
+	}
+	for out, wants := range checks {
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Fatalf("artifact missing %q in:\n%s", w, out)
+			}
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	out := Figure11()
+	if !strings.Contains(out, "MSM PEs:") || !strings.Contains(out, "SumCheck PEs:") {
+		t.Fatal("Figure 11 missing sections")
+	}
+}
+
+func TestAblationsContent(t *testing.T) {
+	out := Ablations()
+	for _, s := range []string{
+		"Resource sharing", "48.9%", "MLE compression", "Bucket aggregation",
+		"Cycle-accurate", "Jellyfish",
+	} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("ablations missing %q", s)
+		}
+	}
+}
+
+func TestDSEFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full design-space sweeps")
+	}
+	if out := Figure9(); !strings.Contains(out, "global Pareto") {
+		t.Fatal("Figure 9 incomplete")
+	}
+	if out := Figure10(); !strings.Contains(out, "GB/s") {
+		t.Fatal("Figure 10 incomplete")
+	}
+}

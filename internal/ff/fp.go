@@ -1,0 +1,288 @@
+package ff
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// FpModulus is the BLS12-381 base field modulus p (381 bits).
+const FpModulus = "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+
+// FpBytes is the canonical serialized size of an Fp element.
+const FpBytes = 48
+
+// Fp is an element of the BLS12-381 base field, stored in Montgomery form as
+// six little-endian 64-bit limbs. The zero value is the field's zero.
+type Fp [6]uint64
+
+var (
+	fpQ       Fp
+	fpQInvNeg uint64
+	fpRSquare Fp
+	fpOne     Fp
+	fpModulus *big.Int
+)
+
+func init() {
+	q, ok := new(big.Int).SetString(FpModulus, 16)
+	if !ok {
+		panic("ff: bad Fp modulus")
+	}
+	fpModulus = q
+	bigToLimbs6(q, &fpQ)
+	fpQInvNeg = negInv64(fpQ[0])
+	r := new(big.Int).Lsh(big.NewInt(1), 384)
+	bigToLimbs6(new(big.Int).Mod(r, q), &fpOne)
+	bigToLimbs6(new(big.Int).Mod(new(big.Int).Mul(r, r), q), &fpRSquare)
+}
+
+func bigToLimbs6(v *big.Int, out *Fp) {
+	var w big.Int
+	w.Set(v)
+	for i := 0; i < 6; i++ {
+		out[i] = w.Uint64()
+		w.Rsh(&w, 64)
+	}
+	if w.Sign() != 0 {
+		panic("ff: value exceeds 6 limbs")
+	}
+}
+
+// FpModulusBig returns a copy of the modulus as a big.Int.
+func FpModulusBig() *big.Int { return new(big.Int).Set(fpModulus) }
+
+// NewFp returns v as a base-field element.
+func NewFp(v uint64) Fp {
+	var e Fp
+	e.SetUint64(v)
+	return e
+}
+
+// FpOne returns the multiplicative identity.
+func FpOne() Fp { return fpOne }
+
+// SetZero sets z to 0 and returns it.
+func (z *Fp) SetZero() *Fp { *z = Fp{}; return z }
+
+// SetOne sets z to 1 and returns it.
+func (z *Fp) SetOne() *Fp { *z = fpOne; return z }
+
+// SetUint64 sets z to v and returns it.
+func (z *Fp) SetUint64(v uint64) *Fp {
+	*z = Fp{v}
+	z.toMont()
+	return z
+}
+
+// Set copies x into z and returns z.
+func (z *Fp) Set(x *Fp) *Fp { *z = *x; return z }
+
+// SetBigInt sets z to v mod p and returns z.
+func (z *Fp) SetBigInt(v *big.Int) *Fp {
+	var w big.Int
+	w.Mod(v, fpModulus)
+	bigToLimbs6(&w, z)
+	z.toMont()
+	return z
+}
+
+// SetHex sets z from a big-endian hex string and returns z.
+func (z *Fp) SetHex(s string) *Fp {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("ff: bad hex " + s)
+	}
+	return z.SetBigInt(v)
+}
+
+// BigInt returns the canonical (non-Montgomery) value of z.
+func (z *Fp) BigInt() *big.Int {
+	c := *z
+	c.fromMont()
+	return limbsToBig(c[:])
+}
+
+// String renders z in decimal.
+func (z Fp) String() string { return z.BigInt().String() }
+
+// Bytes returns the canonical 48-byte big-endian encoding.
+func (z *Fp) Bytes() [FpBytes]byte {
+	var out [FpBytes]byte
+	c := *z
+	c.fromMont()
+	for i := 0; i < 6; i++ {
+		for b := 0; b < 8; b++ {
+			out[FpBytes-1-(i*8+b)] = byte(c[i] >> (8 * b))
+		}
+	}
+	return out
+}
+
+// Equal reports whether z == x.
+func (z *Fp) Equal(x *Fp) bool { return *z == *x }
+
+// IsZero reports whether z == 0.
+func (z *Fp) IsZero() bool { return *z == Fp{} }
+
+// IsOne reports whether z == 1.
+func (z *Fp) IsOne() bool { return *z == fpOne }
+
+// Add sets z = x + y mod p and returns z.
+func (z *Fp) Add(x, y *Fp) *Fp {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], c = bits.Add64(x[3], y[3], c)
+	z[4], c = bits.Add64(x[4], y[4], c)
+	z[5], _ = bits.Add64(x[5], y[5], c)
+	z.reduce()
+	return z
+}
+
+// Double sets z = 2x mod p and returns z.
+func (z *Fp) Double(x *Fp) *Fp { return z.Add(x, x) }
+
+// Sub sets z = x - y mod p and returns z.
+func (z *Fp) Sub(x, y *Fp) *Fp {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	z[4], b = bits.Sub64(x[4], y[4], b)
+	z[5], b = bits.Sub64(x[5], y[5], b)
+	if b != 0 {
+		var c uint64
+		z[0], c = bits.Add64(z[0], fpQ[0], 0)
+		z[1], c = bits.Add64(z[1], fpQ[1], c)
+		z[2], c = bits.Add64(z[2], fpQ[2], c)
+		z[3], c = bits.Add64(z[3], fpQ[3], c)
+		z[4], c = bits.Add64(z[4], fpQ[4], c)
+		z[5], _ = bits.Add64(z[5], fpQ[5], c)
+	}
+	return z
+}
+
+// Neg sets z = -x mod p and returns z.
+func (z *Fp) Neg(x *Fp) *Fp {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	var b uint64
+	z[0], b = bits.Sub64(fpQ[0], x[0], 0)
+	z[1], b = bits.Sub64(fpQ[1], x[1], b)
+	z[2], b = bits.Sub64(fpQ[2], x[2], b)
+	z[3], b = bits.Sub64(fpQ[3], x[3], b)
+	z[4], b = bits.Sub64(fpQ[4], x[4], b)
+	z[5], _ = bits.Sub64(fpQ[5], x[5], b)
+	return z
+}
+
+func (z *Fp) reduce() {
+	if !z.smallerThanQ() {
+		var b uint64
+		z[0], b = bits.Sub64(z[0], fpQ[0], 0)
+		z[1], b = bits.Sub64(z[1], fpQ[1], b)
+		z[2], b = bits.Sub64(z[2], fpQ[2], b)
+		z[3], b = bits.Sub64(z[3], fpQ[3], b)
+		z[4], b = bits.Sub64(z[4], fpQ[4], b)
+		z[5], _ = bits.Sub64(z[5], fpQ[5], b)
+	}
+}
+
+func (z *Fp) smallerThanQ() bool {
+	for i := 5; i >= 0; i-- {
+		if z[i] < fpQ[i] {
+			return true
+		}
+		if z[i] > fpQ[i] {
+			return false
+		}
+	}
+	return false
+}
+
+// Mul sets z = x*y mod p (Montgomery CIOS) and returns z.
+func (z *Fp) Mul(x, y *Fp) *Fp {
+	var t [7]uint64
+	for i := 0; i < 6; i++ {
+		d := y[i]
+		var c, cc, carry, hi, lo uint64
+		hi, lo = bits.Mul64(x[0], d)
+		t[0], c = bits.Add64(t[0], lo, 0)
+		carry = hi
+		for j := 1; j < 6; j++ {
+			hi, lo = bits.Mul64(x[j], d)
+			lo, cc = bits.Add64(lo, carry, 0)
+			carry = hi + cc
+			t[j], c = bits.Add64(t[j], lo, c)
+		}
+		t[6], _ = bits.Add64(t[6], carry, c)
+
+		m := t[0] * fpQInvNeg
+		hi, lo = bits.Mul64(m, fpQ[0])
+		_, c = bits.Add64(t[0], lo, 0)
+		carry = hi
+		for j := 1; j < 6; j++ {
+			hi, lo = bits.Mul64(m, fpQ[j])
+			lo, cc = bits.Add64(lo, carry, 0)
+			carry = hi + cc
+			t[j-1], c = bits.Add64(t[j], lo, c)
+		}
+		t[5], _ = bits.Add64(t[6], carry, c)
+		t[6] = 0
+	}
+	copy(z[:], t[:6])
+	z.reduce()
+	return z
+}
+
+// Square sets z = x^2 mod p and returns z.
+func (z *Fp) Square(x *Fp) *Fp { return z.Mul(x, x) }
+
+func (z *Fp) toMont()   { z.Mul(z, &fpRSquare) }
+func (z *Fp) fromMont() { one := Fp{1}; z.Mul(z, &one) }
+
+// Exp sets z = x^e mod p and returns z.
+func (z *Fp) Exp(x *Fp, e *big.Int) *Fp {
+	if e.Sign() < 0 {
+		panic("ff: negative exponent")
+	}
+	res := fpOne
+	base := *x
+	for i := 0; i < e.BitLen(); i++ {
+		if e.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+		base.Square(&base)
+	}
+	*z = res
+	return z
+}
+
+// Inverse sets z = x^{-1} mod p via Fermat's little theorem; zero maps to
+// zero.
+func (z *Fp) Inverse(x *Fp) *Fp {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	e := new(big.Int).Sub(fpModulus, big.NewInt(2))
+	return z.Exp(x, e)
+}
+
+// Sqrt sets z to a square root of x if one exists and reports success.
+// p ≡ 3 (mod 4), so sqrt(x) = x^{(p+1)/4}.
+func (z *Fp) Sqrt(x *Fp) bool {
+	e := new(big.Int).Add(fpModulus, big.NewInt(1))
+	e.Rsh(e, 2)
+	var cand Fp
+	cand.Exp(x, e)
+	var chk Fp
+	chk.Square(&cand)
+	if !chk.Equal(x) {
+		return false
+	}
+	*z = cand
+	return true
+}

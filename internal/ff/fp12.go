@@ -1,0 +1,120 @@
+package ff
+
+import "math/big"
+
+// Fp12 is the quadratic extension Fp6[w]/(w²-v). Elements are C0 + C1·w.
+// Since v³ = ξ, w is a sixth root of ξ = 1+u; Fp12 is the full embedding
+// field of BLS12-381 and hosts the pairing target group GT.
+type Fp12 struct {
+	C0, C1 Fp6
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp12) SetZero() *Fp12 { z.C0.SetZero(); z.C1.SetZero(); return z }
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp12) SetOne() *Fp12 { z.C0.SetOne(); z.C1.SetZero(); return z }
+
+// Set copies x into z and returns z.
+func (z *Fp12) Set(x *Fp12) *Fp12 { *z = *x; return z }
+
+// IsZero reports whether z == 0.
+func (z *Fp12) IsZero() bool { return z.C0.IsZero() && z.C1.IsZero() }
+
+// IsOne reports whether z == 1.
+func (z *Fp12) IsOne() bool {
+	var one Fp6
+	one.SetOne()
+	return z.C0.Equal(&one) && z.C1.IsZero()
+}
+
+// Equal reports whether z == x.
+func (z *Fp12) Equal(x *Fp12) bool { return z.C0.Equal(&x.C0) && z.C1.Equal(&x.C1) }
+
+// Add sets z = x + y and returns z.
+func (z *Fp12) Add(x, y *Fp12) *Fp12 {
+	z.C0.Add(&x.C0, &y.C0)
+	z.C1.Add(&x.C1, &y.C1)
+	return z
+}
+
+// Sub sets z = x - y and returns z.
+func (z *Fp12) Sub(x, y *Fp12) *Fp12 {
+	z.C0.Sub(&x.C0, &y.C0)
+	z.C1.Sub(&x.C1, &y.C1)
+	return z
+}
+
+// Neg sets z = -x and returns z.
+func (z *Fp12) Neg(x *Fp12) *Fp12 {
+	z.C0.Neg(&x.C0)
+	z.C1.Neg(&x.C1)
+	return z
+}
+
+// Mul sets z = x*y (Karatsuba over w²=v) and returns z.
+func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
+	var v0, v1, s0, s1, t Fp6
+	v0.Mul(&x.C0, &y.C0)
+	v1.Mul(&x.C1, &y.C1)
+	s0.Add(&x.C0, &x.C1)
+	s1.Add(&y.C0, &y.C1)
+	t.Mul(&s0, &s1)
+	t.Sub(&t, &v0)
+	t.Sub(&t, &v1) // cross terms
+	var v1v Fp6
+	v1v.MulByV(&v1)
+	z.C0.Add(&v0, &v1v)
+	z.C1 = t
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp12) Square(x *Fp12) *Fp12 { return z.Mul(x, x) }
+
+// Conjugate sets z = c0 - c1·w (the p^6 Frobenius) and returns z.
+func (z *Fp12) Conjugate(x *Fp12) *Fp12 {
+	z.C0 = x.C0
+	z.C1.Neg(&x.C1)
+	return z
+}
+
+// Inverse sets z = x^{-1}; zero maps to zero.
+func (z *Fp12) Inverse(x *Fp12) *Fp12 {
+	// 1/(a+bw) = (a-bw)/(a² - b²v)
+	var t0, t1 Fp6
+	t0.Square(&x.C0)
+	t1.Square(&x.C1)
+	t1.MulByV(&t1)
+	t0.Sub(&t0, &t1)
+	t0.Inverse(&t0)
+	z.C0.Mul(&x.C0, &t0)
+	t0.Neg(&t0)
+	z.C1.Mul(&x.C1, &t0)
+	return z
+}
+
+// Exp sets z = x^e for a non-negative big integer e, and returns z.
+func (z *Fp12) Exp(x *Fp12, e *big.Int) *Fp12 {
+	if e.Sign() < 0 {
+		panic("ff: negative exponent")
+	}
+	var res Fp12
+	res.SetOne()
+	base := *x
+	for i := 0; i < e.BitLen(); i++ {
+		if e.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+		base.Square(&base)
+	}
+	*z = res
+	return z
+}
+
+// MulByFp2 sets z = x·c with c ∈ Fp2 embedded in Fp12, and returns z.
+func (z *Fp12) MulByFp2(x *Fp12, c *Fp2) *Fp12 {
+	z.C0.MulByFp2(&x.C0, c)
+	z.C1.MulByFp2(&x.C1, c)
+	return z
+}

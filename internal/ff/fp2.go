@@ -1,0 +1,116 @@
+package ff
+
+// Fp2 is the quadratic extension Fp[u]/(u²+1). Elements are A0 + A1·u.
+type Fp2 struct {
+	A0, A1 Fp
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp2) SetZero() *Fp2 { z.A0.SetZero(); z.A1.SetZero(); return z }
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp2) SetOne() *Fp2 { z.A0.SetOne(); z.A1.SetZero(); return z }
+
+// Set copies x into z and returns z.
+func (z *Fp2) Set(x *Fp2) *Fp2 { *z = *x; return z }
+
+// IsZero reports whether z == 0.
+func (z *Fp2) IsZero() bool { return z.A0.IsZero() && z.A1.IsZero() }
+
+// IsOne reports whether z == 1.
+func (z *Fp2) IsOne() bool { return z.A0.IsOne() && z.A1.IsZero() }
+
+// Equal reports whether z == x.
+func (z *Fp2) Equal(x *Fp2) bool { return z.A0.Equal(&x.A0) && z.A1.Equal(&x.A1) }
+
+// Add sets z = x + y and returns z.
+func (z *Fp2) Add(x, y *Fp2) *Fp2 {
+	z.A0.Add(&x.A0, &y.A0)
+	z.A1.Add(&x.A1, &y.A1)
+	return z
+}
+
+// Sub sets z = x - y and returns z.
+func (z *Fp2) Sub(x, y *Fp2) *Fp2 {
+	z.A0.Sub(&x.A0, &y.A0)
+	z.A1.Sub(&x.A1, &y.A1)
+	return z
+}
+
+// Neg sets z = -x and returns z.
+func (z *Fp2) Neg(x *Fp2) *Fp2 {
+	z.A0.Neg(&x.A0)
+	z.A1.Neg(&x.A1)
+	return z
+}
+
+// Double sets z = 2x and returns z.
+func (z *Fp2) Double(x *Fp2) *Fp2 { return z.Add(x, x) }
+
+// Mul sets z = x*y using Karatsuba over u²=-1 and returns z.
+func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
+	var v0, v1, s0, s1, t Fp
+	v0.Mul(&x.A0, &y.A0)
+	v1.Mul(&x.A1, &y.A1)
+	s0.Add(&x.A0, &x.A1)
+	s1.Add(&y.A0, &y.A1)
+	t.Mul(&s0, &s1)
+	t.Sub(&t, &v0)
+	t.Sub(&t, &v1) // = a0b1 + a1b0
+	z.A0.Sub(&v0, &v1)
+	z.A1 = t
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp2) Square(x *Fp2) *Fp2 {
+	// (a+bu)² = (a+b)(a-b) + 2ab·u
+	var s, d, ab Fp
+	s.Add(&x.A0, &x.A1)
+	d.Sub(&x.A0, &x.A1)
+	ab.Mul(&x.A0, &x.A1)
+	z.A0.Mul(&s, &d)
+	z.A1.Double(&ab)
+	return z
+}
+
+// MulByFp sets z = x * c (c in the base field) and returns z.
+func (z *Fp2) MulByFp(x *Fp2, c *Fp) *Fp2 {
+	z.A0.Mul(&x.A0, c)
+	z.A1.Mul(&x.A1, c)
+	return z
+}
+
+// Conjugate sets z = a0 - a1·u and returns z.
+func (z *Fp2) Conjugate(x *Fp2) *Fp2 {
+	z.A0 = x.A0
+	z.A1.Neg(&x.A1)
+	return z
+}
+
+// Inverse sets z = x^{-1}; zero maps to zero.
+func (z *Fp2) Inverse(x *Fp2) *Fp2 {
+	// 1/(a+bu) = (a-bu)/(a²+b²)
+	var n, t Fp
+	n.Square(&x.A0)
+	t.Square(&x.A1)
+	n.Add(&n, &t)
+	n.Inverse(&n)
+	z.A0.Mul(&x.A0, &n)
+	n.Neg(&n)
+	z.A1.Mul(&x.A1, &n)
+	return z
+}
+
+// MulByNonResidue sets z = x·ξ where ξ = 1+u (the Fp6 non-residue).
+func (z *Fp2) MulByNonResidue(x *Fp2) *Fp2 {
+	// (a+bu)(1+u) = (a-b) + (a+b)u
+	var a0, a1 Fp
+	a0.Sub(&x.A0, &x.A1)
+	a1.Add(&x.A0, &x.A1)
+	z.A0, z.A1 = a0, a1
+	return z
+}
+
+// String renders z as "a0+a1*u".
+func (z Fp2) String() string { return z.A0.String() + "+" + z.A1.String() + "*u" }

@@ -1,0 +1,374 @@
+// Package ff implements the finite fields underlying BLS12-381: the 255-bit
+// scalar field Fr (all MLE/SumCheck arithmetic in HyperPlonk), the 381-bit
+// base field Fp (elliptic-curve coordinates), and the extension tower
+// Fp2/Fp6/Fp12 used by the pairing. Elements are kept in Montgomery form;
+// multiplication uses the CIOS algorithm over 64-bit limbs.
+package ff
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// FrModulus is the BLS12-381 scalar field modulus r (255 bits).
+const FrModulus = "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+
+// FrBits is the bit length of the Fr modulus.
+const FrBits = 255
+
+// FrBytes is the canonical serialized size of an Fr element.
+const FrBytes = 32
+
+// Fr is an element of the BLS12-381 scalar field, stored in Montgomery form
+// as four little-endian 64-bit limbs. The zero value is the field's zero.
+type Fr [4]uint64
+
+var (
+	frQ       Fr     // modulus limbs (not Montgomery)
+	frQInvNeg uint64 // -q^{-1} mod 2^64
+	frRSquare Fr     // R^2 mod q, R = 2^256
+	frOne     Fr     // R mod q (Montgomery form of 1)
+	frModulus *big.Int
+)
+
+func init() {
+	frModulus, frQ, frQInvNeg, frRSquare, frOne = setupField4(FrModulus)
+}
+
+// setupField4 derives all Montgomery constants for a 4-limb field from its
+// hex modulus, avoiding hand-transcribed magic numbers.
+func setupField4(hexMod string) (*big.Int, Fr, uint64, Fr, Fr) {
+	q, ok := new(big.Int).SetString(hexMod, 16)
+	if !ok {
+		panic("ff: bad modulus " + hexMod)
+	}
+	var lim Fr
+	bigToLimbs4(q, &lim)
+	inv := negInv64(lim[0])
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	var one, r2 Fr
+	bigToLimbs4(new(big.Int).Mod(r, q), &one)
+	bigToLimbs4(new(big.Int).Mod(new(big.Int).Mul(r, r), q), &r2)
+	return q, lim, inv, r2, one
+}
+
+// negInv64 returns -m^{-1} mod 2^64 via Newton iteration.
+func negInv64(m uint64) uint64 {
+	inv := m // correct mod 2^3 for odd m
+	for i := 0; i < 5; i++ {
+		inv *= 2 - m*inv
+	}
+	return -inv
+}
+
+func bigToLimbs4(v *big.Int, out *Fr) {
+	var w big.Int
+	w.Set(v)
+	for i := 0; i < 4; i++ {
+		out[i] = w.Uint64()
+		w.Rsh(&w, 64)
+	}
+	if w.Sign() != 0 {
+		panic("ff: value exceeds 4 limbs")
+	}
+}
+
+// FrModulusBig returns a copy of the modulus as a big.Int.
+func FrModulusBig() *big.Int { return new(big.Int).Set(frModulus) }
+
+// NewFr returns v as a field element.
+func NewFr(v uint64) Fr {
+	var e Fr
+	e.SetUint64(v)
+	return e
+}
+
+// FrZero returns the additive identity.
+func FrZero() Fr { return Fr{} }
+
+// FrOne returns the multiplicative identity.
+func FrOne() Fr { return frOne }
+
+// SetZero sets z to 0 and returns it.
+func (z *Fr) SetZero() *Fr { *z = Fr{}; return z }
+
+// SetOne sets z to 1 and returns it.
+func (z *Fr) SetOne() *Fr { *z = frOne; return z }
+
+// SetUint64 sets z to v and returns it.
+func (z *Fr) SetUint64(v uint64) *Fr {
+	*z = Fr{v}
+	z.toMont()
+	return z
+}
+
+// SetInt64 sets z to v (which may be negative) and returns it.
+func (z *Fr) SetInt64(v int64) *Fr {
+	if v >= 0 {
+		return z.SetUint64(uint64(v))
+	}
+	z.SetUint64(uint64(-v))
+	z.Neg(z)
+	return z
+}
+
+// Set copies x into z and returns z.
+func (z *Fr) Set(x *Fr) *Fr { *z = *x; return z }
+
+// SetBigInt sets z to v mod q and returns z.
+func (z *Fr) SetBigInt(v *big.Int) *Fr {
+	var w big.Int
+	w.Mod(v, frModulus)
+	bigToLimbs4(&w, z)
+	z.toMont()
+	return z
+}
+
+// BigInt returns the canonical (non-Montgomery) value of z.
+func (z *Fr) BigInt() *big.Int {
+	c := *z
+	c.fromMont()
+	return limbsToBig(c[:])
+}
+
+func limbsToBig(l []uint64) *big.Int {
+	v := new(big.Int)
+	for i := len(l) - 1; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(l[i]))
+	}
+	return v
+}
+
+// String renders z in decimal.
+func (z Fr) String() string { return z.BigInt().String() }
+
+// Bytes returns the canonical 32-byte big-endian encoding.
+func (z *Fr) Bytes() [FrBytes]byte {
+	var out [FrBytes]byte
+	c := *z
+	c.fromMont()
+	for i := 0; i < 4; i++ {
+		for b := 0; b < 8; b++ {
+			out[FrBytes-1-(i*8+b)] = byte(c[i] >> (8 * b))
+		}
+	}
+	return out
+}
+
+// SetBytes sets z from a big-endian byte slice (reduced mod q) and returns z.
+func (z *Fr) SetBytes(b []byte) *Fr {
+	return z.SetBigInt(new(big.Int).SetBytes(b))
+}
+
+// Equal reports whether z == x.
+func (z *Fr) Equal(x *Fr) bool { return *z == *x }
+
+// IsZero reports whether z == 0.
+func (z *Fr) IsZero() bool { return *z == Fr{} }
+
+// IsOne reports whether z == 1.
+func (z *Fr) IsOne() bool { return *z == frOne }
+
+// Add sets z = x + y mod q and returns z.
+func (z *Fr) Add(x, y *Fr) *Fr {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], c = bits.Add64(x[3], y[3], c)
+	// q < 2^255 so the sum fits in 256 bits (no carry out possible after
+	// both inputs reduced), but reduce if >= q.
+	_ = c
+	z.reduce()
+	return z
+}
+
+// Double sets z = 2x mod q and returns z.
+func (z *Fr) Double(x *Fr) *Fr { return z.Add(x, x) }
+
+// Sub sets z = x - y mod q and returns z.
+func (z *Fr) Sub(x, y *Fr) *Fr {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		z[0], c = bits.Add64(z[0], frQ[0], 0)
+		z[1], c = bits.Add64(z[1], frQ[1], c)
+		z[2], c = bits.Add64(z[2], frQ[2], c)
+		z[3], _ = bits.Add64(z[3], frQ[3], c)
+	}
+	return z
+}
+
+// Neg sets z = -x mod q and returns z.
+func (z *Fr) Neg(x *Fr) *Fr {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	var b uint64
+	z[0], b = bits.Sub64(frQ[0], x[0], 0)
+	z[1], b = bits.Sub64(frQ[1], x[1], b)
+	z[2], b = bits.Sub64(frQ[2], x[2], b)
+	z[3], _ = bits.Sub64(frQ[3], x[3], b)
+	return z
+}
+
+// reduce subtracts q once if z >= q.
+func (z *Fr) reduce() {
+	if !z.smallerThanQ() {
+		var b uint64
+		z[0], b = bits.Sub64(z[0], frQ[0], 0)
+		z[1], b = bits.Sub64(z[1], frQ[1], b)
+		z[2], b = bits.Sub64(z[2], frQ[2], b)
+		z[3], _ = bits.Sub64(z[3], frQ[3], b)
+	}
+}
+
+func (z *Fr) smallerThanQ() bool {
+	for i := 3; i >= 0; i-- {
+		if z[i] < frQ[i] {
+			return true
+		}
+		if z[i] > frQ[i] {
+			return false
+		}
+	}
+	return false // equal
+}
+
+// Mul sets z = x*y mod q (Montgomery CIOS) and returns z.
+func (z *Fr) Mul(x, y *Fr) *Fr {
+	var t [5]uint64
+	for i := 0; i < 4; i++ {
+		// t = t + x * y[i]
+		var c uint64
+		var hi, lo uint64
+		d := y[i]
+		hi, lo = bits.Mul64(x[0], d)
+		t[0], c = bits.Add64(t[0], lo, 0)
+		carry := hi
+		hi, lo = bits.Mul64(x[1], d)
+		lo, cc := bits.Add64(lo, carry, 0)
+		carry = hi + cc
+		t[1], c = bits.Add64(t[1], lo, c)
+		hi, lo = bits.Mul64(x[2], d)
+		lo, cc = bits.Add64(lo, carry, 0)
+		carry = hi + cc
+		t[2], c = bits.Add64(t[2], lo, c)
+		hi, lo = bits.Mul64(x[3], d)
+		lo, cc = bits.Add64(lo, carry, 0)
+		carry = hi + cc
+		t[3], c = bits.Add64(t[3], lo, c)
+		t[4], _ = bits.Add64(t[4], carry, c)
+
+		// Montgomery reduction step: m = t[0] * qInvNeg; t += m*q; t >>= 64
+		m := t[0] * frQInvNeg
+		hi, lo = bits.Mul64(m, frQ[0])
+		_, c = bits.Add64(t[0], lo, 0)
+		carry = hi
+		hi, lo = bits.Mul64(m, frQ[1])
+		lo, cc = bits.Add64(lo, carry, 0)
+		carry = hi + cc
+		t[0], c = bits.Add64(t[1], lo, c)
+		hi, lo = bits.Mul64(m, frQ[2])
+		lo, cc = bits.Add64(lo, carry, 0)
+		carry = hi + cc
+		t[1], c = bits.Add64(t[2], lo, c)
+		hi, lo = bits.Mul64(m, frQ[3])
+		lo, cc = bits.Add64(lo, carry, 0)
+		carry = hi + cc
+		t[2], c = bits.Add64(t[3], lo, c)
+		t[3], _ = bits.Add64(t[4], carry, c)
+		t[4] = 0
+	}
+	z[0], z[1], z[2], z[3] = t[0], t[1], t[2], t[3]
+	z.reduce()
+	return z
+}
+
+// Square sets z = x^2 mod q and returns z.
+func (z *Fr) Square(x *Fr) *Fr { return z.Mul(x, x) }
+
+func (z *Fr) toMont()   { z.Mul(z, &frRSquare) }
+func (z *Fr) fromMont() { one := Fr{1}; z.Mul(z, &one) }
+
+// Exp sets z = x^e mod q (e any non-negative big integer) and returns z.
+func (z *Fr) Exp(x *Fr, e *big.Int) *Fr {
+	if e.Sign() < 0 {
+		panic("ff: negative exponent")
+	}
+	res := frOne
+	base := *x
+	for i := 0; i < e.BitLen(); i++ {
+		if e.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+		base.Square(&base)
+	}
+	*z = res
+	return z
+}
+
+// Inverse sets z = x^{-1} mod q (via Fermat's little theorem) and returns z.
+// Inverting zero yields zero.
+func (z *Fr) Inverse(x *Fr) *Fr {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	e := new(big.Int).Sub(frModulus, big.NewInt(2))
+	return z.Exp(x, e)
+}
+
+// InverseBEEA sets z = x^{-1} mod q using the binary extended Euclidean
+// algorithm — the same algorithm zkSpeed's FracMLE unit implements in
+// constant time (§4.4.1). Inverting zero yields zero.
+func (z *Fr) InverseBEEA(x *Fr) *Fr {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	var w big.Int
+	w.ModInverse(x.BigInt(), frModulus)
+	return z.SetBigInt(&w)
+}
+
+// Halve sets z = x/2 mod q and returns z.
+func (z *Fr) Halve(x *Fr) *Fr {
+	c := *x
+	if c[0]&1 == 1 { // make even by adding q (q is odd)
+		var carry uint64
+		c[0], carry = bits.Add64(c[0], frQ[0], 0)
+		c[1], carry = bits.Add64(c[1], frQ[1], carry)
+		c[2], carry = bits.Add64(c[2], frQ[2], carry)
+		c[3], carry = bits.Add64(c[3], frQ[3], carry)
+		// shift right including carry
+		c[0] = c[0]>>1 | c[1]<<63
+		c[1] = c[1]>>1 | c[2]<<63
+		c[2] = c[2]>>1 | c[3]<<63
+		c[3] = c[3]>>1 | carry<<63
+	} else {
+		c[0] = c[0]>>1 | c[1]<<63
+		c[1] = c[1]>>1 | c[2]<<63
+		c[2] = c[2]>>1 | c[3]<<63
+		c[3] = c[3] >> 1
+	}
+	*z = c
+	return z
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (z Fr) MarshalText() ([]byte, error) { return []byte(z.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (z *Fr) UnmarshalText(b []byte) error {
+	v, ok := new(big.Int).SetString(string(b), 10)
+	if !ok {
+		return fmt.Errorf("ff: cannot parse %q as Fr", b)
+	}
+	z.SetBigInt(v)
+	return nil
+}

@@ -1,0 +1,299 @@
+package hyperplonk
+
+import (
+	"errors"
+	"fmt"
+
+	"zkspeed/internal/ff"
+	"zkspeed/internal/poly"
+)
+
+// Variable is a handle to a circuit value managed by the Builder.
+type Variable int
+
+// gate is one Plonk row before compilation.
+type gate struct {
+	qL, qR, qM, qO, qC ff.Fr
+	a, b, c            Variable // wire variables for w1, w2, w3
+}
+
+// Builder constructs circuits gate by gate, tracking witness values and
+// copy constraints. It is the software stand-in for the (non-public)
+// HyperPlonk circuit compiler the paper mentions in §6.2.
+type Builder struct {
+	gates  []gate
+	values []ff.Fr
+	public []Variable
+	err    error
+}
+
+// NewBuilder creates an empty circuit builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+func (b *Builder) newVar(v ff.Fr) Variable {
+	b.values = append(b.values, v)
+	return Variable(len(b.values) - 1)
+}
+
+// Value returns the current witness value of v.
+func (b *Builder) Value(v Variable) ff.Fr { return b.values[v] }
+
+// PublicInput introduces a public input variable with the given value.
+func (b *Builder) PublicInput(val ff.Fr) Variable {
+	v := b.newVar(val)
+	b.public = append(b.public, v)
+	return v
+}
+
+// Witness introduces a private witness variable.
+func (b *Builder) Witness(val ff.Fr) Variable {
+	return b.newVar(val)
+}
+
+// Constant introduces a variable constrained to equal the constant k:
+// gate 0 = qC - w3 with qC = k.
+func (b *Builder) Constant(k ff.Fr) Variable {
+	v := b.newVar(k)
+	var g gate
+	g.qO.SetOne()
+	g.qC = k
+	g.a, g.b, g.c = v, v, v
+	b.gates = append(b.gates, g)
+	return v
+}
+
+// Add returns a variable constrained to x + y.
+func (b *Builder) Add(x, y Variable) Variable {
+	var sum ff.Fr
+	sum.Add(&b.values[x], &b.values[y])
+	out := b.newVar(sum)
+	var g gate
+	g.qL.SetOne()
+	g.qR.SetOne()
+	g.qO.SetOne()
+	g.a, g.b, g.c = x, y, out
+	b.gates = append(b.gates, g)
+	return out
+}
+
+// Sub returns a variable constrained to x - y (qR = -1).
+func (b *Builder) Sub(x, y Variable) Variable {
+	var diff ff.Fr
+	diff.Sub(&b.values[x], &b.values[y])
+	out := b.newVar(diff)
+	var g gate
+	g.qL.SetOne()
+	g.qR.SetOne()
+	g.qR.Neg(&g.qR)
+	g.qO.SetOne()
+	g.a, g.b, g.c = x, y, out
+	b.gates = append(b.gates, g)
+	return out
+}
+
+// Mul returns a variable constrained to x·y.
+func (b *Builder) Mul(x, y Variable) Variable {
+	var prod ff.Fr
+	prod.Mul(&b.values[x], &b.values[y])
+	out := b.newVar(prod)
+	var g gate
+	g.qM.SetOne()
+	g.qO.SetOne()
+	g.a, g.b, g.c = x, y, out
+	b.gates = append(b.gates, g)
+	return out
+}
+
+// MulConst returns a variable constrained to k·x (qL = k).
+func (b *Builder) MulConst(k ff.Fr, x Variable) Variable {
+	var prod ff.Fr
+	prod.Mul(&k, &b.values[x])
+	out := b.newVar(prod)
+	var g gate
+	g.qL = k
+	g.qO.SetOne()
+	g.a, g.b, g.c = x, x, out
+	b.gates = append(b.gates, g)
+	return out
+}
+
+// AddConst returns a variable constrained to x + k (qC = k).
+func (b *Builder) AddConst(x Variable, k ff.Fr) Variable {
+	var sum ff.Fr
+	sum.Add(&b.values[x], &k)
+	out := b.newVar(sum)
+	var g gate
+	g.qL.SetOne()
+	g.qO.SetOne()
+	g.qC = k
+	g.a, g.b, g.c = x, x, out
+	b.gates = append(b.gates, g)
+	return out
+}
+
+// AssertEqual constrains x == y (gate w1 - w3 = 0).
+func (b *Builder) AssertEqual(x, y Variable) {
+	if !b.values[x].Equal(&b.values[y]) && b.err == nil {
+		b.err = fmt.Errorf("hyperplonk: AssertEqual on unequal values %s != %s",
+			b.values[x].String(), b.values[y].String())
+	}
+	var g gate
+	g.qL.SetOne()
+	g.qO.SetOne()
+	g.a, g.b, g.c = x, x, y
+	b.gates = append(b.gates, g)
+}
+
+// AssertBool constrains x ∈ {0,1} via x·x = x.
+func (b *Builder) AssertBool(x Variable) {
+	var sq ff.Fr
+	sq.Mul(&b.values[x], &b.values[x])
+	if !sq.Equal(&b.values[x]) && b.err == nil {
+		b.err = errors.New("hyperplonk: AssertBool on non-boolean value")
+	}
+	var g gate
+	g.qM.SetOne()
+	g.qO.SetOne()
+	g.a, g.b, g.c = x, x, x
+	b.gates = append(b.gates, g)
+}
+
+// AssertZero constrains x == 0.
+func (b *Builder) AssertZero(x Variable) {
+	if !b.values[x].IsZero() && b.err == nil {
+		b.err = errors.New("hyperplonk: AssertZero on nonzero value")
+	}
+	var g gate
+	g.qL.SetOne()
+	g.a, g.b, g.c = x, x, x
+	b.gates = append(b.gates, g)
+}
+
+// Select returns cond·x + (1-cond)·y; cond must already be boolean.
+func (b *Builder) Select(cond, x, y Variable) Variable {
+	// d = x - y ; p = cond·d ; out = p + y
+	d := b.Sub(x, y)
+	p := b.Mul(cond, d)
+	return b.Add(p, y)
+}
+
+// NumGatesUsed returns the number of gates emitted so far (before padding).
+func (b *Builder) NumGatesUsed() int { return len(b.gates) + len(b.public) }
+
+// Compile pads the circuit to the next power of two and produces the
+// selector tables, permutation, witness assignment and public input list.
+// Public-input gates occupy the first rows (selector-free; the verifier
+// checks them through the dedicated batch-evaluation point).
+func (b *Builder) Compile() (*Circuit, *Assignment, []ff.Fr, error) {
+	if b.err != nil {
+		return nil, nil, nil, b.err
+	}
+	// Ensure at least one public input so the public-input opening point
+	// is always well defined.
+	if len(b.public) == 0 {
+		b.PublicInput(ff.Fr{})
+	}
+	rows := len(b.public) + len(b.gates)
+	mu := 0
+	for 1<<mu < rows || mu < 1 {
+		mu++
+	}
+	n := 1 << mu
+
+	type slotRef struct{ j, i int }
+	occupant := make([][3]Variable, n) // variable per slot, -1 = private padding
+	for i := range occupant {
+		occupant[i] = [3]Variable{-1, -1, -1}
+	}
+	sel := make([][5]ff.Fr, n)
+
+	row := 0
+	for _, v := range b.public {
+		// Selector-free public row: w1 = w2 = w3 = the public variable.
+		occupant[row] = [3]Variable{v, v, v}
+		row++
+	}
+	for _, g := range b.gates {
+		sel[row] = [5]ff.Fr{g.qL, g.qR, g.qM, g.qO, g.qC}
+		occupant[row] = [3]Variable{g.a, g.b, g.c}
+		row++
+	}
+
+	// Copy constraints: one cycle per variable across all slots holding it.
+	slotsOf := make(map[Variable][]slotRef)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			v := occupant[i][j]
+			if v >= 0 {
+				slotsOf[v] = append(slotsOf[v], slotRef{j, i})
+			}
+		}
+	}
+	sigma := make([][]ff.Fr, 3)
+	for j := range sigma {
+		sigma[j] = make([]ff.Fr, n)
+	}
+	// Default: identity (covers padding slots).
+	for j := 0; j < 3; j++ {
+		for i := 0; i < n; i++ {
+			sigma[j][i].SetUint64(uint64(j*n + i))
+		}
+	}
+	for _, slots := range slotsOf {
+		for k, s := range slots {
+			next := slots[(k+1)%len(slots)]
+			sigma[s.j][s.i].SetUint64(uint64(next.j*n + next.i))
+		}
+	}
+
+	// Tables.
+	mk := func(col int) *poly.MLE {
+		evals := make([]ff.Fr, n)
+		for i := 0; i < n; i++ {
+			evals[i] = sel[i][col]
+		}
+		return poly.NewMLE(evals)
+	}
+	circuit := &Circuit{
+		Mu:        mu,
+		QL:        mk(0),
+		QR:        mk(1),
+		QM:        mk(2),
+		QO:        mk(3),
+		QC:        mk(4),
+		NumPublic: len(b.public),
+	}
+	for j := 0; j < 3; j++ {
+		circuit.Sigma[j] = poly.NewMLE(sigma[j])
+	}
+
+	w := make([][]ff.Fr, 3)
+	for j := range w {
+		w[j] = make([]ff.Fr, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			if v := occupant[i][j]; v >= 0 {
+				w[j][i] = b.values[v]
+			}
+		}
+	}
+	assignment := &Assignment{
+		W1: poly.NewMLE(w[0]),
+		W2: poly.NewMLE(w[1]),
+		W3: poly.NewMLE(w[2]),
+	}
+	pub := make([]ff.Fr, len(b.public))
+	for i, v := range b.public {
+		pub[i] = b.values[v]
+	}
+	if err := circuit.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := circuit.CheckAssignment(assignment); err != nil {
+		return nil, nil, nil, err
+	}
+	return circuit, assignment, pub, nil
+}

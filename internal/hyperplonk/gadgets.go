@@ -1,0 +1,71 @@
+package hyperplonk
+
+import (
+	"math/big"
+
+	"zkspeed/internal/ff"
+)
+
+// This file provides circuit gadgets built from the base gate set —
+// the kind of bit-decomposition constructions the paper's §3.1 mentions
+// for resolving nonlinear operations in Plonk encodings.
+
+// pow2 returns 2^i as a field element.
+func pow2(i int) ff.Fr {
+	var e ff.Fr
+	e.SetBigInt(new(big.Int).Lsh(big.NewInt(1), uint(i)))
+	return e
+}
+
+// ToBits decomposes x into n boolean variables (little-endian) and
+// constrains Σ bits[i]·2^i == x. Compile fails if the witness value does
+// not fit in n bits.
+func (b *Builder) ToBits(x Variable, n int) []Variable {
+	val := b.Value(x)
+	vi := val.BigInt()
+	bits := make([]Variable, n)
+	for i := 0; i < n; i++ {
+		bits[i] = b.Witness(ff.NewFr(uint64(vi.Bit(i))))
+		b.AssertBool(bits[i])
+	}
+	b.AssertEqual(b.FromBits(bits), x)
+	return bits
+}
+
+// FromBits recomposes little-endian boolean variables into Σ bits[i]·2^i.
+func (b *Builder) FromBits(bits []Variable) Variable {
+	acc := b.MulConst(ff.NewFr(1), bits[0])
+	for i := 1; i < len(bits); i++ {
+		acc = b.Add(acc, b.MulConst(pow2(i), bits[i]))
+	}
+	return acc
+}
+
+// IsGreaterOrEqual returns a boolean variable equal to (x >= y), where
+// both are constrained to n-bit ranges by the caller or by this gadget.
+// Construction: e = x - y + 2^n lies in [1, 2^{n+1}); its top bit is 1
+// exactly when x >= y.
+func (b *Builder) IsGreaterOrEqual(x, y Variable, n int) Variable {
+	diff := b.Sub(x, y)
+	e := b.AddConst(diff, pow2(n))
+	bits := b.ToBits(e, n+1)
+	return bits[n]
+}
+
+// Max returns a variable constrained to max(x, y) for n-bit values.
+func (b *Builder) Max(x, y Variable, n int) Variable {
+	ge := b.IsGreaterOrEqual(x, y, n)
+	return b.Select(ge, x, y)
+}
+
+// AssertInRange constrains x to [0, 2^n).
+func (b *Builder) AssertInRange(x Variable, n int) {
+	b.ToBits(x, n)
+}
+
+// AssertLessOrEqual constrains x <= y for n-bit values.
+func (b *Builder) AssertLessOrEqual(x, y Variable, n int) {
+	ge := b.IsGreaterOrEqual(y, x, n)
+	one := b.Constant(ff.NewFr(1))
+	b.AssertEqual(ge, one)
+}

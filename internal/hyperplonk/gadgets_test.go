@@ -1,0 +1,100 @@
+package hyperplonk
+
+import (
+	"testing"
+
+	"zkspeed/internal/ff"
+)
+
+func compileAndCheck(t *testing.T, b *Builder) {
+	t.Helper()
+	circuit, assignment, _, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := circuit.CheckAssignment(assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToBitsRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	x := b.Witness(ff.NewFr(0b1011011))
+	bits := b.ToBits(x, 8)
+	if len(bits) != 8 {
+		t.Fatal("wrong bit count")
+	}
+	want := []uint64{1, 1, 0, 1, 1, 0, 1, 0}
+	for i, bit := range bits {
+		v := b.Value(bit)
+		got := v.BigInt().Uint64()
+		if got != want[i] {
+			t.Fatalf("bit %d = %d, want %d", i, got, want[i])
+		}
+	}
+	compileAndCheck(t, b)
+}
+
+func TestToBitsRejectsOverflow(t *testing.T) {
+	b := NewBuilder()
+	x := b.Witness(ff.NewFr(300))
+	b.ToBits(x, 8) // 300 does not fit in 8 bits
+	if _, _, _, err := b.Compile(); err == nil {
+		t.Fatal("overflowing decomposition should fail Compile")
+	}
+}
+
+func TestIsGreaterOrEqual(t *testing.T) {
+	cases := []struct {
+		x, y uint64
+		want uint64
+	}{
+		{10, 3, 1}, {3, 10, 0}, {7, 7, 1}, {0, 0, 1}, {0, 255, 0}, {255, 0, 1},
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		x := b.Witness(ff.NewFr(c.x))
+		y := b.Witness(ff.NewFr(c.y))
+		ge := b.IsGreaterOrEqual(x, y, 8)
+		v := b.Value(ge)
+		if v.BigInt().Uint64() != c.want {
+			t.Fatalf("IsGE(%d,%d) = %s, want %d", c.x, c.y, v.String(), c.want)
+		}
+		compileAndCheck(t, b)
+	}
+}
+
+func TestMaxGadget(t *testing.T) {
+	b := NewBuilder()
+	x := b.Witness(ff.NewFr(42))
+	y := b.Witness(ff.NewFr(99))
+	m := b.Max(x, y, 8)
+	v := b.Value(m)
+	if v.BigInt().Uint64() != 99 {
+		t.Fatalf("max = %s", v.String())
+	}
+	compileAndCheck(t, b)
+}
+
+func TestAssertLessOrEqual(t *testing.T) {
+	b := NewBuilder()
+	x := b.Witness(ff.NewFr(5))
+	y := b.Witness(ff.NewFr(9))
+	b.AssertLessOrEqual(x, y, 8)
+	compileAndCheck(t, b)
+
+	b2 := NewBuilder()
+	x2 := b2.Witness(ff.NewFr(9))
+	y2 := b2.Witness(ff.NewFr(5))
+	b2.AssertLessOrEqual(x2, y2, 8)
+	if _, _, _, err := b2.Compile(); err == nil {
+		t.Fatal("9 <= 5 should fail")
+	}
+}
+
+func TestAssertInRange(t *testing.T) {
+	b := NewBuilder()
+	x := b.Witness(ff.NewFr(200))
+	b.AssertInRange(x, 8)
+	compileAndCheck(t, b)
+}

@@ -1,0 +1,187 @@
+package hyperplonk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zkspeed/internal/ff"
+	"zkspeed/internal/pcs"
+	"zkspeed/internal/sumcheck"
+	"zkspeed/internal/transcript"
+)
+
+// Polynomial indices for the batch-evaluation schedule (§3.3.4): the 13
+// polynomials opened across 6 points.
+const (
+	polyQL = iota
+	polyQR
+	polyQM
+	polyQO
+	polyQC
+	polySigma1
+	polySigma2
+	polySigma3
+	polyW1
+	polyW2
+	polyW3
+	polyPhi
+	polyPi
+	numPolys
+)
+
+// Opening-point indices.
+const (
+	ptGate = iota // ZeroCheck challenge point r_gate
+	ptPerm        // PermCheck challenge point r_perm
+	ptS0          // (0, r_perm[0..μ-2]) — product-check child point
+	ptS1          // (1, r_perm[0..μ-2]) — product-check child point
+	ptRoot        // (0,1,…,1) — grand-product root (fixed at compile time)
+	ptPI          // (r_pi, 0,…,0) — public-input check point
+	numPoints
+)
+
+// evalEntry names one of the 22 evaluations: polynomial `poly` at point
+// `point`.
+type evalEntry struct{ point, poly int }
+
+// evalSchedule lists the 22 evaluations among 13 polynomials at 6 distinct
+// points, matching the counts reported in §3.3.4 of the paper.
+var evalSchedule = []evalEntry{
+	// 8 evaluations at r_gate (gate identity).
+	{ptGate, polyQL}, {ptGate, polyQR}, {ptGate, polyQM}, {ptGate, polyQO},
+	{ptGate, polyQC}, {ptGate, polyW1}, {ptGate, polyW2}, {ptGate, polyW3},
+	// 8 evaluations at r_perm (wiring identity).
+	{ptPerm, polyW1}, {ptPerm, polyW2}, {ptPerm, polyW3},
+	{ptPerm, polySigma1}, {ptPerm, polySigma2}, {ptPerm, polySigma3},
+	{ptPerm, polyPhi}, {ptPerm, polyPi},
+	// 4 evaluations at the product-check child points.
+	{ptS0, polyPhi}, {ptS0, polyPi},
+	{ptS1, polyPhi}, {ptS1, polyPi},
+	// Grand product root.
+	{ptRoot, polyPi},
+	// Public input check.
+	{ptPI, polyW1},
+}
+
+// NumEvaluations is the batch-evaluation count (22 in the paper).
+const NumEvaluations = 22
+
+// Proof is a complete HyperPlonk proof. All components are succinct:
+// O(1) commitments, O(μ) sumcheck rounds and O(μ) opening quotients.
+type Proof struct {
+	// Step 1: witness commitments.
+	WitnessComms [3]pcs.Commitment
+	// Step 2: gate identity ZeroCheck.
+	ZeroCheck sumcheck.Proof
+	// Step 3: wiring identity.
+	PhiComm   pcs.Commitment
+	PiComm    pcs.Commitment
+	PermCheck sumcheck.Proof
+	// Step 4: the 22 batch evaluations in evalSchedule order.
+	Evals [NumEvaluations]ff.Fr
+	// Step 5: polynomial opening.
+	OpenCheck sumcheck.Proof
+	Opening   pcs.OpeningProof
+}
+
+// evalOf fetches the claimed evaluation of poly at point from the schedule.
+func (p *Proof) evalOf(point, poly int) (ff.Fr, bool) {
+	for k, e := range evalSchedule {
+		if e.point == point && e.poly == poly {
+			return p.Evals[k], true
+		}
+	}
+	return ff.Fr{}, false
+}
+
+// ProvingKey holds everything the prover needs.
+type ProvingKey struct {
+	Circuit *Circuit
+	SRS     *pcs.SRS
+	VK      *VerifyingKey
+}
+
+// VerifyingKey holds the preprocessed circuit commitments.
+type VerifyingKey struct {
+	Mu            int
+	NumPublic     int
+	SelectorComms [5]pcs.Commitment // qL qR qM qO qC
+	SigmaComms    [3]pcs.Commitment
+	SRS           *pcs.SRS
+	digest        [32]byte
+}
+
+// Digest returns a hash binding the verifying key, absorbed into every
+// transcript so proofs are circuit-specific.
+func (vk *VerifyingKey) Digest() []byte { return vk.digest[:] }
+
+// Setup preprocesses a circuit: commits to selectors and permutation
+// tables under a fresh (simulated-ceremony) SRS.
+func Setup(circuit *Circuit, rng *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
+	if err := circuit.Validate(); err != nil {
+		return nil, nil, err
+	}
+	srs := pcs.Setup(circuit.Mu, rng)
+	return SetupWithSRS(circuit, srs)
+}
+
+// SetupWithSRS preprocesses a circuit under an existing universal SRS —
+// this is HyperPlonk's headline property (§1): the SRS is generated once
+// and reused across circuits.
+func SetupWithSRS(circuit *Circuit, srs *pcs.SRS) (*ProvingKey, *VerifyingKey, error) {
+	if err := circuit.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if srs.Mu != circuit.Mu {
+		return nil, nil, errSRSSize{srs.Mu, circuit.Mu}
+	}
+	vk := &VerifyingKey{
+		Mu:        circuit.Mu,
+		NumPublic: circuit.NumPublic,
+		SRS:       srs,
+	}
+	var err error
+	if vk.SelectorComms[0], err = srs.Commit(circuit.QL); err != nil {
+		return nil, nil, err
+	}
+	if vk.SelectorComms[1], err = srs.Commit(circuit.QR); err != nil {
+		return nil, nil, err
+	}
+	if vk.SelectorComms[2], err = srs.Commit(circuit.QM); err != nil {
+		return nil, nil, err
+	}
+	if vk.SelectorComms[3], err = srs.Commit(circuit.QO); err != nil {
+		return nil, nil, err
+	}
+	if vk.SelectorComms[4], err = srs.Commit(circuit.QC); err != nil {
+		return nil, nil, err
+	}
+	for j := 0; j < 3; j++ {
+		if vk.SigmaComms[j], err = srs.Commit(circuit.Sigma[j]); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Bind the key material into a digest.
+	tr := transcript.New("zkspeed.hyperplonk.vk")
+	for i := range vk.SelectorComms {
+		tr.AppendG1("sel", &vk.SelectorComms[i].P)
+	}
+	for j := range vk.SigmaComms {
+		tr.AppendG1("sigma", &vk.SigmaComms[j].P)
+	}
+	muFr := ff.NewFr(uint64(circuit.Mu))
+	tr.AppendFr("mu", &muFr)
+	npFr := ff.NewFr(uint64(circuit.NumPublic))
+	tr.AppendFr("npub", &npFr)
+	d := tr.ChallengeFr("digest")
+	vk.digest = d.Bytes()
+
+	pk := &ProvingKey{Circuit: circuit, SRS: srs, VK: vk}
+	return pk, vk, nil
+}
+
+type errSRSSize [2]int
+
+func (e errSRSSize) Error() string {
+	return fmt.Sprintf("hyperplonk: SRS supports mu=%d, circuit needs mu=%d", e[0], e[1])
+}

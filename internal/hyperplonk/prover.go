@@ -1,0 +1,329 @@
+package hyperplonk
+
+import (
+	"errors"
+	"time"
+
+	"zkspeed/internal/ff"
+	"zkspeed/internal/poly"
+	"zkspeed/internal/sumcheck"
+	"zkspeed/internal/transcript"
+)
+
+// StepTimings records wall-clock time per protocol step (the software
+// analogue of Fig. 12's breakdown).
+type StepTimings struct {
+	WitnessCommit time.Duration
+	GateIdentity  time.Duration
+	WireIdentity  time.Duration
+	BatchEvals    time.Duration
+	PolyOpen      time.Duration
+	Total         time.Duration
+}
+
+// Prove generates a HyperPlonk proof for the assignment under pk.
+// The protocol steps run strictly in sequence, interleaved with SHA3
+// transcript updates, exactly as Fig. 2 of the paper lays them out.
+func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
+	c := pk.Circuit
+	mu := c.Mu
+	n := c.NumGates()
+	if a.W1.Len() != n || a.W2.Len() != n || a.W3.Len() != n {
+		return nil, nil, errors.New("hyperplonk: assignment size mismatch")
+	}
+	proof := &Proof{}
+	tm := &StepTimings{}
+	start := time.Now()
+
+	tr := transcript.New("zkspeed.hyperplonk.v1")
+	tr.AppendBytes("vk", pk.VK.Digest())
+	pub := c.PublicInputs(a)
+	tr.AppendFrs("public", pub)
+
+	// ---- Step 1: Witness Commits (Sparse MSMs, §3.3.1) ----
+	t0 := time.Now()
+	var err error
+	for j, w := range []*poly.MLE{a.W1, a.W2, a.W3} {
+		if proof.WitnessComms[j], err = pk.SRS.CommitSparse(w); err != nil {
+			return nil, nil, err
+		}
+		tr.AppendG1("witness", &proof.WitnessComms[j].P)
+	}
+	tm.WitnessCommit = time.Since(t0)
+
+	// ---- Step 2: Gate Identity (ZeroCheck, §3.3.2) ----
+	t0 = time.Now()
+	zcPoint := tr.ChallengeFrs("zerocheck.t", mu)
+	eq1 := poly.EqTable(zcPoint) // Build MLE on the Multifunction Tree Unit
+	vpZero := buildGatePoly(c, a, eq1)
+	zcRes := sumcheck.Prove(vpZero, tr)
+	proof.ZeroCheck = zcRes.Proof
+	rGate := zcRes.Challenges
+	tm.GateIdentity = time.Since(t0)
+
+	// ---- Step 3: Wiring Identity (PermCheck, §3.3.3) ----
+	t0 = time.Now()
+	beta := tr.ChallengeFr("permcheck.beta")
+	gamma := tr.ChallengeFr("permcheck.gamma")
+	nd := constructNAndD(c, a, &beta, &gamma)
+	phi := poly.FractionMLE(nd.N, nd.D) // FracMLE unit (batched inversion)
+	pi := poly.ProductMLE(phi)          // Multifunction Tree Unit
+	if proof.PhiComm, err = pk.SRS.Commit(phi); err != nil {
+		return nil, nil, err
+	}
+	if proof.PiComm, err = pk.SRS.Commit(pi); err != nil {
+		return nil, nil, err
+	}
+	tr.AppendG1("phi", &proof.PhiComm.P)
+	tr.AppendG1("pi", &proof.PiComm.P)
+	alpha := tr.ChallengeFr("permcheck.alpha")
+	pcPoint := tr.ChallengeFrs("permcheck.t", mu)
+	eq2 := poly.EqTable(pcPoint)
+	p1, p2 := poly.ProductSides(phi, pi)
+	vpPerm := buildPermPoly(phi, pi, p1, p2, nd, eq2, &alpha)
+	pcRes := sumcheck.Prove(vpPerm, tr)
+	proof.PermCheck = pcRes.Proof
+	rPerm := pcRes.Challenges
+	tm.WireIdentity = time.Since(t0)
+
+	// ---- Step 4: Batch Evaluations (§3.3.4) ----
+	t0 = time.Now()
+	piVars := c.PublicVars()
+	rPI := tr.ChallengeFrs("pi.r", piVars)
+	points := openingPoints(mu, rGate, rPerm, rPI)
+	polys := gatherPolys(c, a, phi, pi)
+	for k, e := range evalSchedule {
+		proof.Evals[k] = polys[e.poly].Evaluate(points[e.point]) // MLE Evaluate (MTU)
+	}
+	tr.AppendFrs("batch.evals", proof.Evals[:])
+	tm.BatchEvals = time.Since(t0)
+
+	// ---- Step 5: Polynomial Opening (OpenCheck + PST opening, §3.3.5) ----
+	t0 = time.Now()
+	eta := tr.ChallengeFr("open.eta")
+	weights := etaWeights(&eta)
+	// Per-point combined MLEs y_j (MLE Combine unit) and their claimed
+	// combined evaluations v_j.
+	ys := make([]*poly.MLE, numPoints)
+	vs := make([]ff.Fr, numPoints)
+	for j := 0; j < numPoints; j++ {
+		var members []*poly.MLE
+		var coeffs []ff.Fr
+		for k, e := range evalSchedule {
+			if e.point != j {
+				continue
+			}
+			members = append(members, polys[e.poly])
+			coeffs = append(coeffs, weights[k])
+			var t ff.Fr
+			t.Mul(&weights[k], &proof.Evals[k])
+			vs[j].Add(&vs[j], &t)
+		}
+		ys[j] = poly.LinearCombine(members, coeffs)
+	}
+	// OpenCheck: sumcheck over f_open = Σ_j y_j·k_j (Eq. 5).
+	vpOpen := sumcheck.NewVirtualPoly(mu)
+	one := ff.NewFr(1)
+	ksEval := make([][]ff.Fr, numPoints)
+	for j := 0; j < numPoints; j++ {
+		iy := vpOpen.AddMLE(ys[j].Clone())
+		ik := vpOpen.AddMLE(poly.EqTable(points[j])) // Build MLE (MTU)
+		vpOpen.AddTerm(one, iy, ik)
+		ksEval[j] = points[j]
+	}
+	ocRes := sumcheck.Prove(vpOpen, tr)
+	proof.OpenCheck = ocRes.Proof
+	rOpen := ocRes.Challenges
+
+	// g' = Σ_j k_j(r_open)·y_j, opened at r_open with the halving MSM
+	// chain (2^{μ-1}-, 2^{μ-2}-, …, 1-point MSMs).
+	kAtR := make([]ff.Fr, numPoints)
+	for j := 0; j < numPoints; j++ {
+		kAtR[j] = poly.EvalEq(ksEval[j], rOpen)
+	}
+	gPrime := poly.LinearCombine(ys, kAtR)
+	opening, gVal, err := pk.SRS.Open(gPrime, rOpen)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Internal consistency: the opened value must equal the OpenCheck's
+	// final claim (both are f_open(r_open)).
+	var check ff.Fr
+	for j := 0; j < numPoints; j++ {
+		e := ocRes.FinalEvals[2*j] // y_j eval
+		e.Mul(&e, &ocRes.FinalEvals[2*j+1])
+		check.Add(&check, &e)
+	}
+	if !check.Equal(&gVal) {
+		return nil, nil, errors.New("hyperplonk: internal opening inconsistency")
+	}
+	proof.Opening = opening
+	tm.PolyOpen = time.Since(t0)
+	tm.Total = time.Since(start)
+	return proof, tm, nil
+}
+
+// buildGatePoly assembles f_zero = (qL w1 + qR w2 + qM w1 w2 - qO w3 + qC)·eq
+// (Eq. 3). MLE tables are cloned because sumcheck folds them in place.
+func buildGatePoly(c *Circuit, a *Assignment, eq *poly.MLE) *sumcheck.VirtualPoly {
+	vp := sumcheck.NewVirtualPoly(c.Mu)
+	iQL := vp.AddMLE(c.QL.Clone())
+	iQR := vp.AddMLE(c.QR.Clone())
+	iQM := vp.AddMLE(c.QM.Clone())
+	iQO := vp.AddMLE(c.QO.Clone())
+	iQC := vp.AddMLE(c.QC.Clone())
+	iW1 := vp.AddMLE(a.W1.Clone())
+	iW2 := vp.AddMLE(a.W2.Clone())
+	iW3 := vp.AddMLE(a.W3.Clone())
+	iEq := vp.AddMLE(eq)
+	one := ff.NewFr(1)
+	var neg ff.Fr
+	neg.Neg(&one)
+	vp.AddTerm(one, iQL, iW1, iEq)
+	vp.AddTerm(one, iQR, iW2, iEq)
+	vp.AddTerm(one, iQM, iW1, iW2, iEq)
+	vp.AddTerm(neg, iQO, iW3, iEq)
+	vp.AddTerm(one, iQC, iEq)
+	return vp
+}
+
+// nAndD carries the Construct N&D unit outputs (§4.4.1).
+type nAndD struct {
+	N1, N2, N3, D1, D2, D3 *poly.MLE
+	N, D                   *poly.MLE
+}
+
+// constructNAndD builds the numerator/denominator MLEs of the permutation
+// argument: N_j = w_j + β·id_j + γ and D_j = w_j + β·σ_j + γ, then the
+// elementwise products N = N1N2N3, D = D1D2D3.
+func constructNAndD(c *Circuit, a *Assignment, beta, gamma *ff.Fr) *nAndD {
+	n := c.NumGates()
+	ws := []*poly.MLE{a.W1, a.W2, a.W3}
+	out := &nAndD{}
+	mkN := make([]*poly.MLE, 3)
+	mkD := make([]*poly.MLE, 3)
+	var t ff.Fr
+	for j := 0; j < 3; j++ {
+		ne := make([]ff.Fr, n)
+		de := make([]ff.Fr, n)
+		var id ff.Fr
+		for i := 0; i < n; i++ {
+			// N_j[i] = w + β·(j·n+i) + γ
+			id.SetUint64(uint64(j*n + i))
+			t.Mul(beta, &id)
+			ne[i].Add(&ws[j].Evals[i], &t)
+			ne[i].Add(&ne[i], gamma)
+			t.Mul(beta, &c.Sigma[j].Evals[i])
+			de[i].Add(&ws[j].Evals[i], &t)
+			de[i].Add(&de[i], gamma)
+		}
+		mkN[j] = poly.NewMLE(ne)
+		mkD[j] = poly.NewMLE(de)
+	}
+	out.N1, out.N2, out.N3 = mkN[0], mkN[1], mkN[2]
+	out.D1, out.D2, out.D3 = mkD[0], mkD[1], mkD[2]
+	nProd := make([]ff.Fr, n)
+	dProd := make([]ff.Fr, n)
+	for i := 0; i < n; i++ {
+		nProd[i].Mul(&mkN[0].Evals[i], &mkN[1].Evals[i])
+		nProd[i].Mul(&nProd[i], &mkN[2].Evals[i])
+		dProd[i].Mul(&mkD[0].Evals[i], &mkD[1].Evals[i])
+		dProd[i].Mul(&dProd[i], &mkD[2].Evals[i])
+	}
+	out.N = poly.NewMLE(nProd)
+	out.D = poly.NewMLE(dProd)
+	return out
+}
+
+// buildPermPoly assembles f_perm (Eq. 4):
+//
+//	f_perm = π·eq - p1·p2·eq + α(φ·D1·D2·D3)·eq - α(N1·N2·N3)·eq
+func buildPermPoly(phi, pi, p1, p2 *poly.MLE, nd *nAndD, eq *poly.MLE, alpha *ff.Fr) *sumcheck.VirtualPoly {
+	vp := sumcheck.NewVirtualPoly(phi.NumVars)
+	iPi := vp.AddMLE(pi.Clone())
+	iP1 := vp.AddMLE(p1) // ProductSides already returns fresh tables
+	iP2 := vp.AddMLE(p2)
+	iPhi := vp.AddMLE(phi.Clone())
+	iD1 := vp.AddMLE(nd.D1.Clone())
+	iD2 := vp.AddMLE(nd.D2.Clone())
+	iD3 := vp.AddMLE(nd.D3.Clone())
+	iN1 := vp.AddMLE(nd.N1.Clone())
+	iN2 := vp.AddMLE(nd.N2.Clone())
+	iN3 := vp.AddMLE(nd.N3.Clone())
+	iEq := vp.AddMLE(eq)
+	one := ff.NewFr(1)
+	var negOne, negAlpha ff.Fr
+	negOne.Neg(&one)
+	negAlpha.Neg(alpha)
+	vp.AddTerm(one, iPi, iEq)
+	vp.AddTerm(negOne, iP1, iP2, iEq)
+	vp.AddTerm(*alpha, iPhi, iD1, iD2, iD3, iEq)
+	vp.AddTerm(negAlpha, iN1, iN2, iN3, iEq)
+	return vp
+}
+
+// openingPoints derives the 6 batch-evaluation points (§3.3.4).
+func openingPoints(mu int, rGate, rPerm, rPI []ff.Fr) [][]ff.Fr {
+	pts := make([][]ff.Fr, numPoints)
+	pts[ptGate] = rGate
+	pts[ptPerm] = rPerm
+	// s0/s1: child points of the product-check — (b, r_perm[0..μ-2]).
+	s0 := make([]ff.Fr, mu)
+	s1 := make([]ff.Fr, mu)
+	copy(s0[1:], rPerm[:mu-1])
+	copy(s1[1:], rPerm[:mu-1])
+	s1[0].SetOne()
+	pts[ptS0] = s0
+	pts[ptS1] = s1
+	pts[ptRoot] = poly.ProductRootPoint(mu)
+	// Public-input point: (r_pi, 0, …, 0).
+	pi := make([]ff.Fr, mu)
+	copy(pi, rPI)
+	pts[ptPI] = pi
+	return pts
+}
+
+// gatherPolys collects the 13 polynomials in schedule order.
+func gatherPolys(c *Circuit, a *Assignment, phi, pi *poly.MLE) [numPolys]*poly.MLE {
+	return [numPolys]*poly.MLE{
+		polyQL:     c.QL,
+		polyQR:     c.QR,
+		polyQM:     c.QM,
+		polyQO:     c.QO,
+		polyQC:     c.QC,
+		polySigma1: c.Sigma[0],
+		polySigma2: c.Sigma[1],
+		polySigma3: c.Sigma[2],
+		polyW1:     a.W1,
+		polyW2:     a.W2,
+		polyW3:     a.W3,
+		polyPhi:    phi,
+		polyPi:     pi,
+	}
+}
+
+// etaWeights returns η^k for each schedule entry.
+func etaWeights(eta *ff.Fr) [NumEvaluations]ff.Fr {
+	var out [NumEvaluations]ff.Fr
+	out[0].SetOne()
+	for k := 1; k < NumEvaluations; k++ {
+		out[k].Mul(&out[k-1], eta)
+	}
+	return out
+}
+
+// ProofSizeBytes reports the serialized proof size: the metric in Table 4
+// (5.09 KB at 2^24 gates for HyperPlonk).
+func (p *Proof) ProofSizeBytes() int {
+	const g1 = 96 // uncompressed
+	const fr = 32
+	size := 3*g1 + 2*g1 // witness + phi + pi commitments
+	for _, sc := range []sumcheck.Proof{p.ZeroCheck, p.PermCheck, p.OpenCheck} {
+		for _, r := range sc.Rounds {
+			size += fr * len(r.Evals)
+		}
+	}
+	size += fr * NumEvaluations
+	size += g1 * len(p.Opening.Quotients)
+	return size
+}

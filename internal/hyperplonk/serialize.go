@@ -1,0 +1,182 @@
+package hyperplonk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+	"zkspeed/internal/pcs"
+	"zkspeed/internal/sumcheck"
+)
+
+// Proof wire format (versioned, fixed-endian):
+//
+//	u32 magic "ZKSP" | u8 version | u8 mu
+//	5 × G1 (96 B uncompressed)                 commitments
+//	3 sumchecks: per round, fixed eval counts  (5, 6, 3) × 32 B
+//	22 × 32 B                                  batch evaluations
+//	mu × G1                                    opening quotients
+//
+// Points are serialized uncompressed (X||Y big-endian, zero for infinity)
+// and validated on deserialization.
+
+const (
+	proofMagic   = 0x5a4b5350 // "ZKSP"
+	proofVersion = 1
+)
+
+var roundEvalCounts = [3]int{zeroCheckDegree + 1, permCheckDegree + 1, openCheckDegree + 1}
+
+func writePoint(w *bytes.Buffer, p *curve.G1Affine) {
+	b := p.Bytes()
+	w.Write(b[:])
+}
+
+func readPoint(r *bytes.Reader, p *curve.G1Affine) error {
+	var buf [96]byte
+	if _, err := r.Read(buf[:]); err != nil {
+		return err
+	}
+	allZero := true
+	for _, v := range buf {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		*p = curve.G1Infinity()
+		return nil
+	}
+	p.Inf = false
+	p.X.SetBigInt(new(big.Int).SetBytes(buf[:48]))
+	p.Y.SetBigInt(new(big.Int).SetBytes(buf[48:]))
+	if !p.IsOnCurve() {
+		return errors.New("hyperplonk: deserialized point not on curve")
+	}
+	return nil
+}
+
+func writeFr(w *bytes.Buffer, v *ff.Fr) {
+	b := v.Bytes()
+	w.Write(b[:])
+}
+
+func readFr(r *bytes.Reader, v *ff.Fr) error {
+	var buf [32]byte
+	if _, err := r.Read(buf[:]); err != nil {
+		return err
+	}
+	// Enforce canonical encoding.
+	enc := new(big.Int).SetBytes(buf[:])
+	if enc.Cmp(ff.FrModulusBig()) >= 0 {
+		return errors.New("hyperplonk: non-canonical field element")
+	}
+	v.SetBigInt(enc)
+	return nil
+}
+
+// MarshalBinary serializes the proof.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	mu := len(p.Opening.Quotients)
+	if mu == 0 || mu > 64 {
+		return nil, fmt.Errorf("hyperplonk: implausible mu=%d", mu)
+	}
+	scs := [3]sumcheck.Proof{p.ZeroCheck, p.PermCheck, p.OpenCheck}
+	for i, sc := range scs {
+		if len(sc.Rounds) != mu {
+			return nil, fmt.Errorf("hyperplonk: sumcheck %d has %d rounds, want %d", i, len(sc.Rounds), mu)
+		}
+		for _, rd := range sc.Rounds {
+			if len(rd.Evals) != roundEvalCounts[i] {
+				return nil, fmt.Errorf("hyperplonk: sumcheck %d round has %d evals", i, len(rd.Evals))
+			}
+		}
+	}
+	var w bytes.Buffer
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[:4], proofMagic)
+	hdr[4] = proofVersion
+	hdr[5] = byte(mu)
+	w.Write(hdr[:])
+	for i := range p.WitnessComms {
+		writePoint(&w, &p.WitnessComms[i].P)
+	}
+	writePoint(&w, &p.PhiComm.P)
+	writePoint(&w, &p.PiComm.P)
+	for _, sc := range scs {
+		for _, rd := range sc.Rounds {
+			for i := range rd.Evals {
+				writeFr(&w, &rd.Evals[i])
+			}
+		}
+	}
+	for i := range p.Evals {
+		writeFr(&w, &p.Evals[i])
+	}
+	for i := range p.Opening.Quotients {
+		writePoint(&w, &p.Opening.Quotients[i])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes and structurally validates a proof.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var hdr [6]byte
+	if _, err := r.Read(hdr[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != proofMagic {
+		return errors.New("hyperplonk: bad proof magic")
+	}
+	if hdr[4] != proofVersion {
+		return fmt.Errorf("hyperplonk: unsupported proof version %d", hdr[4])
+	}
+	mu := int(hdr[5])
+	if mu == 0 || mu > 64 {
+		return errors.New("hyperplonk: implausible mu")
+	}
+	for i := range p.WitnessComms {
+		if err := readPoint(r, &p.WitnessComms[i].P); err != nil {
+			return err
+		}
+	}
+	if err := readPoint(r, &p.PhiComm.P); err != nil {
+		return err
+	}
+	if err := readPoint(r, &p.PiComm.P); err != nil {
+		return err
+	}
+	scs := [3]*sumcheck.Proof{&p.ZeroCheck, &p.PermCheck, &p.OpenCheck}
+	for i, sc := range scs {
+		sc.Rounds = make([]sumcheck.RoundPoly, mu)
+		for k := 0; k < mu; k++ {
+			sc.Rounds[k].Evals = make([]ff.Fr, roundEvalCounts[i])
+			for j := range sc.Rounds[k].Evals {
+				if err := readFr(r, &sc.Rounds[k].Evals[j]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := range p.Evals {
+		if err := readFr(r, &p.Evals[i]); err != nil {
+			return err
+		}
+	}
+	p.Opening = pcs.OpeningProof{Quotients: make([]curve.G1Affine, mu)}
+	for i := range p.Opening.Quotients {
+		if err := readPoint(r, &p.Opening.Quotients[i]); err != nil {
+			return err
+		}
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("hyperplonk: %d trailing bytes", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package hyperplonk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProofSerializationRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full proof generation is slow")
+	}
+	circuit, assignment, pub, err := buildQuadratic(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(201))
+	pk, vk, err := Setup(circuit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := Prove(pk, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != proof.ProofSizeBytes()+6 { // +header
+		t.Fatalf("serialized %d bytes, accounting says %d+6", len(blob), proof.ProofSizeBytes())
+	}
+	var back Proof
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// The deserialized proof must verify.
+	if err := Verify(vk, pub, &back); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+	// And re-serialize to identical bytes.
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("serialization not canonical")
+	}
+}
+
+func TestProofDeserializationRejectsGarbage(t *testing.T) {
+	var p Proof
+	if err := p.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if err := p.UnmarshalBinary(make([]byte, 4096)); err == nil {
+		t.Fatal("accepted zero garbage")
+	}
+	// Valid magic/version but truncated body.
+	blob := []byte{0x5a, 0x4b, 0x53, 0x50, 1, 4, 0, 0}
+	if err := p.UnmarshalBinary(blob); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+}
+
+func TestProofDeserializationRejectsOffCurvePoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a real proof")
+	}
+	circuit, assignment, _, err := buildQuadratic(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(202))
+	pk, _, err := Setup(circuit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := Prove(pk, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[6+10] ^= 0xff // corrupt the first witness commitment's X
+	var back Proof
+	if err := back.UnmarshalBinary(blob); err == nil {
+		t.Fatal("accepted off-curve point")
+	}
+}
+
+func TestProofDeserializationRejectsNonCanonicalScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a real proof")
+	}
+	circuit, assignment, _, err := buildQuadratic(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(203))
+	pk, _, err := Setup(circuit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := Prove(pk, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sumcheck scalar starts after header + 5 points; overwrite with
+	// an all-ones value >= r.
+	off := 6 + 5*96
+	for i := 0; i < 32; i++ {
+		blob[off+i] = 0xff
+	}
+	var back Proof
+	if err := back.UnmarshalBinary(blob); err == nil {
+		t.Fatal("accepted non-canonical field element")
+	}
+}

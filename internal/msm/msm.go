@@ -1,0 +1,311 @@
+// Package msm implements multi-scalar multiplication over BLS12-381 G1:
+// Pippenger's bucket method with a configurable window (the paper's MSM
+// unit design knob, Table 2), the Sparse MSM scheme used for witness
+// commitments (§3.3.1/§4.2: tree-reduce the 1-valued scalars, skip zeros,
+// Pippenger on the ~10% dense remainder), and both bucket-aggregation
+// schedules compared in Fig. 5 (SZKP's serial running sum vs. zkSpeed's
+// grouped aggregation).
+package msm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+)
+
+// scalarWords returns the canonical (non-Montgomery) 4×64-bit value of s.
+func scalarWords(s *ff.Fr) [4]uint64 {
+	b := s.Bytes() // 32 bytes big-endian
+	var w [4]uint64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			w[i] |= uint64(b[31-(i*8+j)]) << (8 * j)
+		}
+	}
+	return w
+}
+
+// windowDigit extracts bits [lo, lo+c) of w.
+func windowDigit(w [4]uint64, lo, c int) uint64 {
+	idx := lo / 64
+	shift := lo % 64
+	v := w[idx] >> shift
+	if shift+c > 64 && idx+1 < 4 {
+		v |= w[idx+1] << (64 - shift)
+	}
+	return v & ((1 << c) - 1)
+}
+
+// Options configures an MSM computation.
+type Options struct {
+	// Window is the Pippenger window width in bits; 0 selects a size-based
+	// heuristic.
+	Window int
+	// Aggregation selects the bucket aggregation schedule.
+	Aggregation Aggregation
+	// Parallel enables goroutine parallelism across windows.
+	Parallel bool
+}
+
+// Aggregation identifies a bucket-aggregation schedule.
+type Aggregation int
+
+const (
+	// AggregateSerial is SZKP's running-sum aggregation: 2(2^W-1) strictly
+	// serial point additions.
+	AggregateSerial Aggregation = iota
+	// AggregateGrouped is zkSpeed's scheme (§4.2.2): buckets are split into
+	// groups (size 16), partial sums computed per group, then combined.
+	AggregateGrouped
+)
+
+// GroupSize is the bucket-aggregation group size selected in §4.2.2.
+const GroupSize = 16
+
+// DefaultWindow returns the heuristic window size for an n-point MSM.
+func DefaultWindow(n int) int {
+	c := 1
+	for 1<<uint(c+1) < n && c < 16 {
+		c++
+	}
+	if c < 4 {
+		c = 4
+	}
+	// The paper's design space uses 7..10-bit windows for large problems.
+	if c > 10 {
+		c = 10
+	}
+	return c
+}
+
+// MSM computes Σ scalars[i]·points[i] with default options.
+func MSM(points []curve.G1Affine, scalars []ff.Fr) curve.G1Jac {
+	return MSMWithOptions(points, scalars, Options{Parallel: true, Aggregation: AggregateGrouped})
+}
+
+// MSMWithOptions computes Σ scalars[i]·points[i].
+func MSMWithOptions(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve.G1Jac {
+	if len(points) != len(scalars) {
+		panic(fmt.Sprintf("msm: %d points vs %d scalars", len(points), len(scalars)))
+	}
+	var out curve.G1Jac
+	if len(points) == 0 {
+		return out
+	}
+	c := opt.Window
+	if c <= 0 {
+		c = DefaultWindow(len(points))
+	}
+	words := make([][4]uint64, len(scalars))
+	for i := range scalars {
+		words[i] = scalarWords(&scalars[i])
+	}
+	numWindows := (ff.FrBits + c - 1) / c
+
+	windowSums := make([]curve.G1Jac, numWindows)
+	processWindow := func(w int) {
+		buckets := make([]curve.G1Jac, 1<<uint(c))
+		for i := range points {
+			d := windowDigit(words[i], w*c, c)
+			if d != 0 {
+				buckets[d].AddMixed(&points[i])
+			}
+		}
+		windowSums[w] = aggregateBuckets(buckets[1:], opt.Aggregation)
+	}
+
+	if opt.Parallel && numWindows > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for w := 0; w < numWindows; w++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(w int) {
+				defer wg.Done()
+				processWindow(w)
+				<-sem
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for w := 0; w < numWindows; w++ {
+			processWindow(w)
+		}
+	}
+
+	// Horner combine: out = Σ windowSums[w]·2^{cw}.
+	for w := numWindows - 1; w >= 0; w-- {
+		if w != numWindows-1 {
+			for k := 0; k < c; k++ {
+				out.Double(&out)
+			}
+		}
+		out.Add(&out, &windowSums[w])
+	}
+	return out
+}
+
+// aggregateBuckets computes Σ (i+1)·buckets[i] (buckets[0] holds digit 1).
+func aggregateBuckets(buckets []curve.G1Jac, agg Aggregation) curve.G1Jac {
+	switch agg {
+	case AggregateGrouped:
+		return aggregateGrouped(buckets, GroupSize)
+	default:
+		return aggregateSerial(buckets)
+	}
+}
+
+// aggregateSerial is the classic running-sum: walking buckets from the top,
+// running += bucket; total += running.
+func aggregateSerial(buckets []curve.G1Jac) curve.G1Jac {
+	var running, total curve.G1Jac
+	for i := len(buckets) - 1; i >= 0; i-- {
+		running.Add(&running, &buckets[i])
+		total.Add(&total, &running)
+	}
+	return total
+}
+
+// aggregateGrouped splits the buckets into groups of size g. For group k
+// (owning digits [k·g+1, (k+1)·g]):
+//
+//	Σ_i digit_i·B_i = Σ_k [ k·g·(Σ_{i∈k} B_i) + Σ_{i∈k} local_i·B_i ]
+//
+// Per-group partial sums are independent (pipeline-parallel in hardware —
+// the Fig. 5 latency win); here they are computed with the same running-sum
+// identity per group and combined exactly.
+func aggregateGrouped(buckets []curve.G1Jac, g int) curve.G1Jac {
+	var total curve.G1Jac
+	numGroups := (len(buckets) + g - 1) / g
+	// Process groups from the top so the k·g· scaling can be applied by
+	// repeated accumulate (base trick): maintain sumOfGroupSums and add it
+	// g times per step down — equivalently compute directly.
+	groupSum := make([]curve.G1Jac, numGroups)
+	groupWeighted := make([]curve.G1Jac, numGroups)
+	for k := 0; k < numGroups; k++ {
+		lo := k * g
+		hi := lo + g
+		if hi > len(buckets) {
+			hi = len(buckets)
+		}
+		var running, local curve.G1Jac
+		for i := hi - 1; i >= lo; i-- {
+			running.Add(&running, &buckets[i])
+			local.Add(&local, &running)
+		}
+		groupSum[k] = running // Σ_{i∈k} B_i
+		groupWeighted[k] = local
+	}
+	// total = Σ_k (groupWeighted[k] + (k·g)·groupSum[k]).
+	// Compute Σ_k k·groupSum[k] via suffix sums, then scale by g.
+	var suffix, kWeighted curve.G1Jac
+	for k := numGroups - 1; k >= 1; k-- {
+		suffix.Add(&suffix, &groupSum[k])
+		kWeighted.Add(&kWeighted, &suffix)
+	}
+	// kWeighted = Σ_k k·groupSum[k]; scale by g via double-and-add.
+	var scaled curve.G1Jac
+	rem := g
+	cur := kWeighted
+	for rem > 0 {
+		if rem&1 == 1 {
+			scaled.Add(&scaled, &cur)
+		}
+		cur.Double(&cur)
+		rem >>= 1
+	}
+	total = scaled
+	for k := 0; k < numGroups; k++ {
+		total.Add(&total, &groupWeighted[k])
+	}
+	return total
+}
+
+// SparseStats describes the scalar distribution of a sparse MSM input.
+type SparseStats struct {
+	Zeros, Ones, Dense int
+}
+
+// ClassifyScalars partitions scalars into zeros, ones and dense values.
+func ClassifyScalars(scalars []ff.Fr) SparseStats {
+	var st SparseStats
+	for i := range scalars {
+		switch {
+		case scalars[i].IsZero():
+			st.Zeros++
+		case scalars[i].IsOne():
+			st.Ones++
+		default:
+			st.Dense++
+		}
+	}
+	return st
+}
+
+// SparseMSM computes Σ scalars[i]·points[i] exploiting sparsity as zkSpeed
+// does for witness commitments: zeros are skipped, the points with scalar 1
+// are summed with a pairwise reduction tree, and the dense remainder goes
+// through Pippenger.
+func SparseMSM(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve.G1Jac {
+	if len(points) != len(scalars) {
+		panic("msm: mismatched sparse MSM input")
+	}
+	var onesPts []curve.G1Affine
+	var densePts []curve.G1Affine
+	var denseScalars []ff.Fr
+	for i := range scalars {
+		switch {
+		case scalars[i].IsZero():
+		case scalars[i].IsOne():
+			onesPts = append(onesPts, points[i])
+		default:
+			densePts = append(densePts, points[i])
+			denseScalars = append(denseScalars, scalars[i])
+		}
+	}
+	onesSum := TreeSum(onesPts)
+	denseSum := MSMWithOptions(densePts, denseScalars, opt)
+	var out curve.G1Jac
+	out.Add(&onesSum, &denseSum)
+	return out
+}
+
+// TreeSum adds points with a pairwise binary reduction tree — the schedule
+// the MSM unit uses for 1-valued scalars (§4.2), which keeps the pipelined
+// PADD unit full in hardware.
+func TreeSum(points []curve.G1Affine) curve.G1Jac {
+	if len(points) == 0 {
+		return curve.G1Jac{}
+	}
+	level := make([]curve.G1Jac, len(points))
+	for i := range points {
+		level[i].FromAffine(&points[i])
+	}
+	for len(level) > 1 {
+		next := make([]curve.G1Jac, (len(level)+1)/2)
+		for i := 0; i < len(level)/2; i++ {
+			next[i].Add(&level[2*i], &level[2*i+1])
+		}
+		if len(level)%2 == 1 {
+			next[len(next)-1] = level[len(level)-1]
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Naive computes the MSM by independent scalar multiplications; used as a
+// test oracle.
+func Naive(points []curve.G1Affine, scalars []ff.Fr) curve.G1Jac {
+	var acc curve.G1Jac
+	for i := range points {
+		var pj, term curve.G1Jac
+		pj.FromAffine(&points[i])
+		term.ScalarMul(&pj, &scalars[i])
+		acc.Add(&acc, &term)
+	}
+	return acc
+}

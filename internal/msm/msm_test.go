@@ -1,0 +1,227 @@
+package msm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+)
+
+func randFr(rng *rand.Rand) ff.Fr {
+	v := new(big.Int).Rand(rng, ff.FrModulusBig())
+	var e ff.Fr
+	e.SetBigInt(v)
+	return e
+}
+
+// randPoints returns n distinct multiples of the generator.
+func randPoints(rng *rand.Rand, n int) []curve.G1Affine {
+	out := make([]curve.G1Affine, n)
+	var g, p curve.G1Jac
+	ga := curve.G1Generator()
+	g.FromAffine(&ga)
+	p.Set(&g)
+	for i := 0; i < n; i++ {
+		out[i].FromJacobian(&p)
+		// cheap pseudo-random walk: p = 2p + G occasionally
+		p.Double(&p)
+		if rng.Intn(2) == 1 {
+			p.Add(&p, &g)
+		}
+	}
+	return out
+}
+
+func TestScalarWords(t *testing.T) {
+	var s ff.Fr
+	s.SetUint64(0xdeadbeef12345678)
+	w := scalarWords(&s)
+	if w[0] != 0xdeadbeef12345678 || w[1] != 0 || w[2] != 0 || w[3] != 0 {
+		t.Fatalf("scalarWords wrong: %x", w)
+	}
+}
+
+func TestWindowDigit(t *testing.T) {
+	w := [4]uint64{0xffffffffffffffff, 0x1, 0, 0}
+	if d := windowDigit(w, 0, 8); d != 0xff {
+		t.Fatalf("digit(0,8) = %x", d)
+	}
+	if d := windowDigit(w, 60, 8); d != 0x1f {
+		// bits 60..63 are 1111, bits 64..67 are 0001 → 0001_1111
+		t.Fatalf("digit(60,8) = %x", d)
+	}
+}
+
+func TestMSMMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{1, 2, 3, 17, 64, 100} {
+		pts := randPoints(rng, n)
+		scalars := make([]ff.Fr, n)
+		for i := range scalars {
+			scalars[i] = randFr(rng)
+		}
+		want := Naive(pts, scalars)
+		for _, w := range []int{0, 4, 7, 9} {
+			for _, agg := range []Aggregation{AggregateSerial, AggregateGrouped} {
+				got := MSMWithOptions(pts, scalars, Options{Window: w, Aggregation: agg})
+				if !got.Equal(&want) {
+					t.Fatalf("n=%d window=%d agg=%d: MSM mismatch", n, w, agg)
+				}
+			}
+		}
+		// parallel path
+		got := MSM(pts, scalars)
+		if !got.Equal(&want) {
+			t.Fatalf("n=%d: parallel MSM mismatch", n)
+		}
+	}
+}
+
+func TestMSMEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	// empty input
+	var empty curve.G1Jac
+	if got := MSM(nil, nil); !got.Equal(&empty) {
+		t.Fatal("empty MSM should be infinity")
+	}
+	// all-zero scalars
+	pts := randPoints(rng, 10)
+	zeros := make([]ff.Fr, 10)
+	if got := MSM(pts, zeros); !got.IsInfinity() {
+		t.Fatal("all-zero MSM should be infinity")
+	}
+	// single max scalar (q-1)
+	var s ff.Fr
+	s.SetBigInt(new(big.Int).Sub(ff.FrModulusBig(), big.NewInt(1)))
+	want := Naive(pts[:1], []ff.Fr{s})
+	got := MSM(pts[:1], []ff.Fr{s})
+	if !got.Equal(&want) {
+		t.Fatal("q-1 scalar mismatch")
+	}
+	// points at infinity are absorbed
+	inf := curve.G1Infinity()
+	ptsInf := []curve.G1Affine{pts[0], inf, pts[1]}
+	ss := []ff.Fr{randFr(rng), randFr(rng), randFr(rng)}
+	want = Naive(ptsInf, ss)
+	got = MSM(ptsInf, ss)
+	if !got.Equal(&want) {
+		t.Fatal("infinity point mismatch")
+	}
+}
+
+func TestSparseMSM(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := 200
+	pts := randPoints(rng, n)
+	scalars := make([]ff.Fr, n)
+	// paper's witness statistics: ~45% zeros, ~45% ones, ~10% dense
+	for i := range scalars {
+		switch {
+		case i%10 < 4:
+			// zero
+		case i%10 < 9:
+			scalars[i].SetOne()
+		default:
+			scalars[i] = randFr(rng)
+		}
+	}
+	st := ClassifyScalars(scalars)
+	if st.Zeros+st.Ones+st.Dense != n {
+		t.Fatal("classification does not partition")
+	}
+	if st.Dense == 0 || st.Ones == 0 || st.Zeros == 0 {
+		t.Fatal("test distribution degenerate")
+	}
+	want := Naive(pts, scalars)
+	got := SparseMSM(pts, scalars, Options{Window: 8})
+	if !got.Equal(&want) {
+		t.Fatal("sparse MSM mismatch")
+	}
+}
+
+func TestTreeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 33} {
+		pts := randPoints(rng, n)
+		var want curve.G1Jac
+		for i := range pts {
+			want.AddMixed(&pts[i])
+		}
+		got := TreeSum(pts)
+		if !got.Equal(&want) {
+			t.Fatalf("tree sum mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestAggregationSchemesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	// direct check on aggregateBuckets: Σ (i+1)·B_i
+	for _, nb := range []int{1, 15, 16, 17, 127, 255} {
+		buckets := make([]curve.G1Jac, nb)
+		pts := randPoints(rng, nb)
+		for i := range buckets {
+			buckets[i].FromAffine(&pts[i])
+		}
+		a := aggregateSerial(buckets)
+		b := aggregateGrouped(buckets, GroupSize)
+		if !a.Equal(&b) {
+			t.Fatalf("aggregation mismatch at %d buckets", nb)
+		}
+		// oracle: Σ (i+1)·B_i
+		var want curve.G1Jac
+		for i := range buckets {
+			var s ff.Fr
+			s.SetUint64(uint64(i + 1))
+			var term curve.G1Jac
+			term.ScalarMul(&buckets[i], &s)
+			want.Add(&want, &term)
+		}
+		if !a.Equal(&want) {
+			t.Fatalf("serial aggregation wrong at %d buckets", nb)
+		}
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	if w := DefaultWindow(16); w < 4 {
+		t.Fatal("window too small")
+	}
+	if w := DefaultWindow(1 << 22); w > 10 {
+		t.Fatal("window exceeds design space")
+	}
+}
+
+func BenchmarkMSM1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(56))
+	pts := randPoints(rng, 1024)
+	scalars := make([]ff.Fr, 1024)
+	for i := range scalars {
+		scalars[i] = randFr(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MSM(pts, scalars)
+	}
+}
+
+func BenchmarkSparseMSM1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(57))
+	pts := randPoints(rng, 1024)
+	scalars := make([]ff.Fr, 1024)
+	for i := range scalars {
+		switch {
+		case i%10 < 4:
+		case i%10 < 9:
+			scalars[i].SetOne()
+		default:
+			scalars[i] = randFr(rng)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SparseMSM(pts, scalars, Options{Window: 8, Parallel: true})
+	}
+}

@@ -1,0 +1,224 @@
+// Package pcs implements the PST multilinear polynomial commitment scheme
+// (multilinear KZG) used by HyperPlonk. Commitments are MSMs of MLE tables
+// against a Lagrange-basis SRS; openings follow the halving schedule of
+// §3.3.5: the MLE is reduced to half its size per variable and each
+// quotient is committed with a 2^{μ-1}-, 2^{μ-2}-, …, 1-point MSM.
+// Verification is a (μ+1)-way pairing product.
+//
+// The SRS is generated from explicit toxic waste (τ_1..τ_μ), i.e. a
+// simulated universal trusted-setup ceremony — the appropriate substitute
+// for a real powers-of-tau ceremony in a reproduction.
+package pcs
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+	"zkspeed/internal/msm"
+	"zkspeed/internal/poly"
+)
+
+// SRS is the structured reference string for up to Mu variables.
+type SRS struct {
+	Mu int
+	// Lag[k] is the Lagrange basis for the variable suffix (x_{k+1..μ}):
+	// Lag[k][i] = [eq(i, τ_{k+1..μ})]·G, of size 2^{μ-k}. Lag[0] commits
+	// full MLEs; Lag[k] commits the k-th opening quotient. Lag[μ] = [G].
+	Lag [][]curve.G1Affine
+	// G is the G1 generator, H the G2 generator.
+	G curve.G1Affine
+	H curve.G2Affine
+	// HTau[j] = [τ_{j+1}]·H for j = 0..μ-1 (verifier side).
+	HTau []curve.G2Affine
+}
+
+// Commitment is a hiding-free PST commitment to an MLE.
+type Commitment struct {
+	P curve.G1Affine
+}
+
+// OpeningProof attests that the committed MLE evaluates to a claimed value
+// at a point: one quotient commitment per variable.
+type OpeningProof struct {
+	Quotients []curve.G1Affine
+}
+
+// Setup runs the simulated trusted-setup ceremony for mu variables using
+// the provided entropy source. The toxic waste is discarded before return.
+func Setup(mu int, rng *rand.Rand) *SRS {
+	taus := make([]ff.Fr, mu)
+	rMod := ff.FrModulusBig()
+	for i := range taus {
+		taus[i].SetBigInt(new(big.Int).Rand(rng, rMod))
+	}
+	return SetupWithTaus(taus)
+}
+
+// SetupWithTaus builds the SRS from explicit τ values (exposed for tests
+// that exploit the trapdoor).
+func SetupWithTaus(taus []ff.Fr) *SRS {
+	mu := len(taus)
+	srs := &SRS{
+		Mu:  mu,
+		Lag: make([][]curve.G1Affine, mu+1),
+		G:   curve.G1Generator(),
+		H:   curve.G2Generator(),
+	}
+	var gj curve.G1Jac
+	srs.Lag[mu] = []curve.G1Affine{srs.G}
+	var gJac curve.G1Jac
+	gJac.FromAffine(&srs.G)
+	for k := 0; k < mu; k++ {
+		eq := poly.EqTable(taus[k:])
+		srs.Lag[k] = batchScalarMulG1(&gJac, eq.Evals)
+	}
+	var hJac, ht G2JacAlias
+	hJac.FromAffine(&srs.H)
+	srs.HTau = make([]curve.G2Affine, mu)
+	for j := 0; j < mu; j++ {
+		ht.ScalarMul(&hJac, &taus[j])
+		srs.HTau[j].FromJacobian(&ht)
+	}
+	_ = gj
+	return srs
+}
+
+// G2JacAlias keeps the import surface tidy.
+type G2JacAlias = curve.G2Jac
+
+// batchScalarMulG1 computes [s_i]·base for every scalar, in parallel.
+func batchScalarMulG1(base *curve.G1Jac, scalars []ff.Fr) []curve.G1Affine {
+	out := make([]curve.G1Affine, len(scalars))
+	nw := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(scalars) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(scalars) {
+			hi = len(scalars)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var p curve.G1Jac
+			for i := lo; i < hi; i++ {
+				p.ScalarMul(base, &scalars[i])
+				out[i].FromJacobian(&p)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MaxVars returns the largest MLE size this SRS supports.
+func (s *SRS) MaxVars() int { return s.Mu }
+
+// Commit commits to an MLE of exactly Mu variables (dense MSM).
+func (s *SRS) Commit(m *poly.MLE) (Commitment, error) {
+	if m.NumVars != s.Mu {
+		return Commitment{}, fmt.Errorf("pcs: MLE has %d vars, SRS supports %d", m.NumVars, s.Mu)
+	}
+	sum := msm.MSM(s.Lag[0], m.Evals)
+	var c Commitment
+	c.P.FromJacobian(&sum)
+	return c, nil
+}
+
+// CommitSparse commits using the Sparse MSM path (witness commitments).
+func (s *SRS) CommitSparse(m *poly.MLE) (Commitment, error) {
+	if m.NumVars != s.Mu {
+		return Commitment{}, fmt.Errorf("pcs: MLE has %d vars, SRS supports %d", m.NumVars, s.Mu)
+	}
+	sum := msm.SparseMSM(s.Lag[0], m.Evals, msm.Options{Parallel: true})
+	var c Commitment
+	c.P.FromJacobian(&sum)
+	return c, nil
+}
+
+// Open produces an opening proof and the evaluation of m at point.
+// m is not modified.
+func (s *SRS) Open(m *poly.MLE, point []ff.Fr) (OpeningProof, ff.Fr, error) {
+	if m.NumVars != s.Mu || len(point) != s.Mu {
+		return OpeningProof{}, ff.Fr{}, errors.New("pcs: open dimension mismatch")
+	}
+	work := m.Clone()
+	proof := OpeningProof{Quotients: make([]curve.G1Affine, s.Mu)}
+	q := make([]ff.Fr, 0, work.Len()/2)
+	for k := 0; k < s.Mu; k++ {
+		half := work.Len() / 2
+		q = q[:half]
+		for i := 0; i < half; i++ {
+			q[i].Sub(&work.Evals[2*i+1], &work.Evals[2*i])
+		}
+		sum := msm.MSM(s.Lag[k+1], q)
+		proof.Quotients[k].FromJacobian(&sum)
+		work.FixVariable(&point[k])
+	}
+	return proof, work.Evals[0], nil
+}
+
+// Verify checks that the committed polynomial evaluates to value at point:
+//
+//	e(C - value·G, H) == Π_k e(Q_k, [τ_{k+1}]H - [z_{k+1}]H)
+//
+// folded into a single pairing product sharing one final exponentiation.
+func (s *SRS) Verify(c Commitment, point []ff.Fr, value ff.Fr, proof OpeningProof) (bool, error) {
+	if len(point) != s.Mu || len(proof.Quotients) != s.Mu {
+		return false, errors.New("pcs: verify dimension mismatch")
+	}
+	// Left side: C - value·G, paired with H.
+	var gJac, vG, lhs curve.G1Jac
+	gJac.FromAffine(&s.G)
+	vG.ScalarMul(&gJac, &value)
+	vG.Neg(&vG)
+	lhs.FromAffine(&c.P)
+	lhs.Add(&lhs, &vG)
+	var lhsAff curve.G1Affine
+	lhsAff.FromJacobian(&lhs)
+
+	ps := make([]curve.G1Affine, 0, s.Mu+1)
+	qs := make([]curve.G2Affine, 0, s.Mu+1)
+	ps = append(ps, lhsAff)
+	qs = append(qs, s.H)
+
+	var hJac, zH, rhs curve.G2Jac
+	hJac.FromAffine(&s.H)
+	for k := 0; k < s.Mu; k++ {
+		// [τ_{k+1}]H - [z_{k+1}]H, negated so the product telescopes to 1.
+		zH.ScalarMul(&hJac, &point[k])
+		var tauH curve.G2Jac
+		tauH.FromAffine(&s.HTau[k])
+		zH.Neg(&zH)
+		rhs.Add(&tauH, &zH)
+		var rhsAff curve.G2Affine
+		rhsAff.FromJacobian(&rhs)
+		var negQ curve.G1Affine
+		negQ.Neg(&proof.Quotients[k])
+		ps = append(ps, negQ)
+		qs = append(qs, rhsAff)
+	}
+	return curve.PairingCheck(ps, qs)
+}
+
+// CombineCommitments returns Σ coeffs[i]·cs[i] — commitments are additively
+// homomorphic, which the batch-opening protocol exploits (§3.3.5).
+func CombineCommitments(cs []Commitment, coeffs []ff.Fr) Commitment {
+	pts := make([]curve.G1Affine, len(cs))
+	for i := range cs {
+		pts[i] = cs[i].P
+	}
+	sum := msm.MSMWithOptions(pts, coeffs, msm.Options{Window: 4})
+	var out Commitment
+	out.P.FromJacobian(&sum)
+	return out
+}

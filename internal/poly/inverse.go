@@ -1,0 +1,121 @@
+package poly
+
+import "zkspeed/internal/ff"
+
+// BatchInverse inverts every element of xs using Montgomery batching
+// (§4.4.2): one modular inversion amortized over len(xs) elements via
+// sequential partial products. Zero entries are passed through as zero
+// (and excluded from the batch). Returns a new slice.
+func BatchInverse(xs []ff.Fr) []ff.Fr {
+	out := make([]ff.Fr, len(xs))
+	// partial[i] holds the running product of the first i nonzero inputs.
+	partial := make([]ff.Fr, 0, len(xs)+1)
+	var acc ff.Fr
+	acc.SetOne()
+	partial = append(partial, acc)
+	idx := make([]int, 0, len(xs))
+	for i := range xs {
+		if xs[i].IsZero() {
+			continue
+		}
+		acc.Mul(&acc, &xs[i])
+		partial = append(partial, acc)
+		idx = append(idx, i)
+	}
+	var inv ff.Fr
+	inv.Inverse(&acc)
+	for k := len(idx) - 1; k >= 0; k-- {
+		i := idx[k]
+		out[i].Mul(&inv, &partial[k])
+		inv.Mul(&inv, &xs[i])
+	}
+	return out
+}
+
+// BatchInverseTree inverts every element of xs using the multiplier-tree
+// batching zkSpeed's FracMLE unit implements (§4.4.2–4.4.3): inputs are
+// split into batches of size batch; each batch's product is computed with a
+// binary multiplier tree (O(log b) depth instead of the O(b) sequential
+// chain), inverted once, and the individual inverses are recovered from the
+// tree's internal partial products. Functionally identical to BatchInverse.
+func BatchInverseTree(xs []ff.Fr, batch int) []ff.Fr {
+	if batch < 1 {
+		panic("poly: batch size must be >= 1")
+	}
+	out := make([]ff.Fr, len(xs))
+	for start := 0; start < len(xs); start += batch {
+		end := start + batch
+		if end > len(xs) {
+			end = len(xs)
+		}
+		invertBatchTree(xs[start:end], out[start:end])
+	}
+	return out
+}
+
+// invertBatchTree inverts one batch with an explicit product tree.
+func invertBatchTree(in, out []ff.Fr) {
+	n := len(in)
+	// Collect nonzero elements.
+	vals := make([]ff.Fr, 0, n)
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !in[i].IsZero() {
+			vals = append(vals, in[i])
+			idx = append(idx, i)
+		}
+	}
+	if len(vals) == 0 {
+		return
+	}
+	// Build tree layers bottom-up; layers[0] = leaves.
+	layers := [][]ff.Fr{vals}
+	for len(layers[len(layers)-1]) > 1 {
+		prev := layers[len(layers)-1]
+		next := make([]ff.Fr, (len(prev)+1)/2)
+		for i := 0; i < len(prev)/2; i++ {
+			next[i].Mul(&prev[2*i], &prev[2*i+1])
+		}
+		if len(prev)%2 == 1 {
+			next[len(next)-1] = prev[len(prev)-1]
+		}
+		layers = append(layers, next)
+	}
+	// Invert the root, then push inverses down: if node = l·r then
+	// l^{-1} = node^{-1}·r and r^{-1} = node^{-1}·l.
+	root := layers[len(layers)-1]
+	var rootInv ff.Fr
+	rootInv.Inverse(&root[0])
+	invLayer := []ff.Fr{rootInv}
+	for li := len(layers) - 2; li >= 0; li-- {
+		cur := layers[li]
+		nextInv := make([]ff.Fr, len(cur))
+		for i := range invLayer {
+			l, r := 2*i, 2*i+1
+			if r < len(cur) {
+				nextInv[l].Mul(&invLayer[i], &cur[r])
+				nextInv[r].Mul(&invLayer[i], &cur[l])
+			} else if l < len(cur) {
+				nextInv[l] = invLayer[i]
+			}
+		}
+		invLayer = nextInv
+	}
+	for k, i := range idx {
+		out[i] = invLayer[k]
+	}
+}
+
+// FractionMLE computes φ = N/D elementwise (the FracMLE unit, §4.4),
+// using Montgomery-batched inversion with the paper's optimal batch size 64.
+func FractionMLE(num, den *MLE) *MLE {
+	if num.NumVars != den.NumVars {
+		panic("poly: FractionMLE dimension mismatch")
+	}
+	inv := BatchInverseTree(den.Evals, 64)
+	out := make([]ff.Fr, len(inv))
+	for i := range out {
+		out[i].Mul(&num.Evals[i], &inv[i])
+	}
+	return &MLE{NumVars: num.NumVars, Evals: out}
+}

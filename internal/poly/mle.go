@@ -1,0 +1,200 @@
+// Package poly implements multilinear polynomials in evaluation (MLE table)
+// form — the core data structure of HyperPlonk (§2.3) — together with the
+// tree-structured kernels zkSpeed's Multifunction Tree Unit accelerates
+// (§4.3: Build MLE, MLE Evaluate, Product MLE) and the Montgomery batch
+// inversion behind the Fraction MLE (§4.4).
+//
+// Index convention: the table index encodes x_1 in bit 0 (LSB). SumCheck
+// binds x_1 first, so fixing a variable maps
+// t'[i] = t[2i] + r·(t[2i+1] - t[2i])  (Eq. 2 of the paper).
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zkspeed/internal/ff"
+)
+
+// MLE is a multilinear polynomial over {0,1}^NumVars stored as its 2^NumVars
+// evaluations.
+type MLE struct {
+	NumVars int
+	Evals   []ff.Fr
+}
+
+// NewMLE wraps evals (length must be a power of two) as an MLE.
+func NewMLE(evals []ff.Fr) *MLE {
+	n := len(evals)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("poly: MLE length %d is not a power of two", n))
+	}
+	return &MLE{NumVars: bits.TrailingZeros(uint(n)), Evals: evals}
+}
+
+// NewZeroMLE returns the all-zero MLE over numVars variables.
+func NewZeroMLE(numVars int) *MLE {
+	return &MLE{NumVars: numVars, Evals: make([]ff.Fr, 1<<numVars)}
+}
+
+// Clone deep-copies the MLE.
+func (m *MLE) Clone() *MLE {
+	e := make([]ff.Fr, len(m.Evals))
+	copy(e, m.Evals)
+	return &MLE{NumVars: m.NumVars, Evals: e}
+}
+
+// Len returns the table size 2^NumVars.
+func (m *MLE) Len() int { return len(m.Evals) }
+
+// FixVariable binds x_1 := r, halving the table (the MLE Update kernel).
+// The receiver is mutated in place and returned.
+func (m *MLE) FixVariable(r *ff.Fr) *MLE {
+	half := len(m.Evals) / 2
+	var d ff.Fr
+	for i := 0; i < half; i++ {
+		d.Sub(&m.Evals[2*i+1], &m.Evals[2*i])
+		d.Mul(&d, r)
+		m.Evals[i].Add(&m.Evals[2*i], &d)
+	}
+	m.Evals = m.Evals[:half]
+	m.NumVars--
+	return m
+}
+
+// Evaluate computes m(point) by folding one variable at a time; point must
+// have NumVars entries. The input table is not modified.
+func (m *MLE) Evaluate(point []ff.Fr) ff.Fr {
+	if len(point) != m.NumVars {
+		panic(fmt.Sprintf("poly: evaluate with %d coords on %d-var MLE", len(point), m.NumVars))
+	}
+	if m.NumVars == 0 {
+		return m.Evals[0]
+	}
+	work := make([]ff.Fr, len(m.Evals))
+	copy(work, m.Evals)
+	var d ff.Fr
+	for v := 0; v < m.NumVars; v++ {
+		half := len(work) / 2
+		r := &point[v]
+		for i := 0; i < half; i++ {
+			d.Sub(&work[2*i+1], &work[2*i])
+			d.Mul(&d, r)
+			work[i].Add(&work[2*i], &d)
+		}
+		work = work[:half]
+	}
+	return work[0]
+}
+
+// EqTable builds the MLE table of eq(X, point): the "Build MLE" kernel
+// (§3.3.2, the r(X) polynomial). eq(x, p) = Π_j (x_j p_j + (1-x_j)(1-p_j)).
+// Built with 2^{μ+1}-4 multiplications via the binary-tree schedule the
+// Multifunction Tree Unit implements.
+func EqTable(point []ff.Fr) *MLE {
+	mu := len(point)
+	table := make([]ff.Fr, 1<<mu)
+	table[0].SetOne()
+	size := 1
+	for j := 0; j < mu; j++ {
+		rj := &point[j]
+		// Appending variable j+1 as the current MSB: index bit 2^j.
+		for i := size - 1; i >= 0; i-- {
+			// table entry splits into (1-r)·t and r·t; compute the product
+			// once and derive the complement by subtraction (footnote 3 of
+			// the paper: (1-r1)(1-r2) = (1-r1) - (1-r1)r2).
+			var hi ff.Fr
+			hi.Mul(&table[i], rj)
+			table[i+size].Set(&hi)
+			table[i].Sub(&table[i], &hi)
+		}
+		size <<= 1
+	}
+	return &MLE{NumVars: mu, Evals: table}
+}
+
+// EvalEq evaluates eq(a, b) for two points of equal length in O(μ).
+func EvalEq(a, b []ff.Fr) ff.Fr {
+	if len(a) != len(b) {
+		panic("poly: EvalEq length mismatch")
+	}
+	var acc, t, u, one ff.Fr
+	acc.SetOne()
+	one.SetOne()
+	for i := range a {
+		// a·b + (1-a)(1-b) = 2ab - a - b + 1
+		t.Mul(&a[i], &b[i])
+		t.Double(&t)
+		u.Add(&a[i], &b[i])
+		t.Sub(&t, &u)
+		t.Add(&t, &one)
+		acc.Mul(&acc, &t)
+	}
+	return acc
+}
+
+// IdentityMLE returns the MLE of f(x) = offset + Σ_j 2^{j-1} x_j — the wire
+// identity polynomials id_1..id_3 of the PermutationCheck. The verifier can
+// evaluate it in O(μ) via EvalIdentity without the table.
+func IdentityMLE(numVars int, offset uint64) *MLE {
+	evals := make([]ff.Fr, 1<<numVars)
+	for i := range evals {
+		evals[i].SetUint64(offset + uint64(i))
+	}
+	return &MLE{NumVars: numVars, Evals: evals}
+}
+
+// EvalIdentity evaluates IdentityMLE(len(point), offset) at point in O(μ).
+func EvalIdentity(point []ff.Fr, offset uint64) ff.Fr {
+	var acc, t ff.Fr
+	acc.SetUint64(offset)
+	for j := range point {
+		t.SetUint64(1 << uint(j))
+		t.Mul(&t, &point[j])
+		acc.Add(&acc, &t)
+	}
+	return acc
+}
+
+// Add returns the elementwise sum of a and b as a new MLE.
+func Add(a, b *MLE) *MLE {
+	if a.NumVars != b.NumVars {
+		panic("poly: Add dimension mismatch")
+	}
+	out := make([]ff.Fr, len(a.Evals))
+	for i := range out {
+		out[i].Add(&a.Evals[i], &b.Evals[i])
+	}
+	return &MLE{NumVars: a.NumVars, Evals: out}
+}
+
+// LinearCombine returns Σ coeffs[k]·mles[k] — the MLE Combine kernel
+// (§4.5). All inputs must share the same variable count.
+func LinearCombine(mles []*MLE, coeffs []ff.Fr) *MLE {
+	if len(mles) == 0 || len(mles) != len(coeffs) {
+		panic("poly: LinearCombine size mismatch")
+	}
+	nv := mles[0].NumVars
+	out := make([]ff.Fr, 1<<nv)
+	var t ff.Fr
+	for k, m := range mles {
+		if m.NumVars != nv {
+			panic("poly: LinearCombine dimension mismatch")
+		}
+		c := &coeffs[k]
+		for i := range out {
+			t.Mul(&m.Evals[i], c)
+			out[i].Add(&out[i], &t)
+		}
+	}
+	return &MLE{NumVars: nv, Evals: out}
+}
+
+// ScalarMul returns c·m as a new MLE.
+func ScalarMul(m *MLE, c *ff.Fr) *MLE {
+	out := make([]ff.Fr, len(m.Evals))
+	for i := range out {
+		out[i].Mul(&m.Evals[i], c)
+	}
+	return &MLE{NumVars: m.NumVars, Evals: out}
+}

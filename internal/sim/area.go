@@ -1,0 +1,100 @@
+package sim
+
+import "math"
+
+// AreaBreakdown is the Table 5 decomposition in mm² (7 nm).
+type AreaBreakdown struct {
+	MSM, Sumcheck, ConstructND, FracMLE, MLECombine, MLEUpdate, MTU, Misc float64
+	SRAM, HBMPHY                                                          float64
+}
+
+// TotalCompute returns the compute (logic) area.
+func (a AreaBreakdown) TotalCompute() float64 {
+	return a.MSM + a.Sumcheck + a.ConstructND + a.FracMLE + a.MLECombine + a.MLEUpdate + a.MTU + a.Misc
+}
+
+// TotalMemory returns SRAM + HBM PHY area.
+func (a AreaBreakdown) TotalMemory() float64 { return a.SRAM + a.HBMPHY }
+
+// Total returns the full chip area.
+func (a AreaBreakdown) Total() float64 { return a.TotalCompute() + a.TotalMemory() }
+
+// Area computes the chip area of a design point sized for 2^mu-gate
+// problems. All per-unit constants trace to Table 5 of the paper (see
+// constants.go).
+func Area(cfg Config, mu int) AreaBreakdown {
+	var a AreaBreakdown
+	a.MSM = float64(cfg.MSMCores*cfg.MSMPEs) * PADDModmuls * Modmul381mm2
+	a.Sumcheck = float64(cfg.SumcheckPEs) * SumcheckPEModmuls * Modmul255mm2
+	a.ConstructND = float64(cfg.FracPEs) * ConstructNDModmuls * Modmul255mm2
+	// FracMLE: Table 5 charges 1.92 mm² per PE (batched inverse units +
+	// shared multiplier tree + BEEA datapath).
+	a.FracMLE = float64(cfg.FracPEs) * 1.92
+	a.MLECombine = float64(MLECombineModmuls) * Modmul255mm2
+	a.MLEUpdate = float64(cfg.MLEUpdatePEs*cfg.MLEUpdateMuls) * Modmul255mm2
+	a.MTU = 12.28
+	a.Misc = MiscAreamm2
+	a.SRAM = sramMB(cfg, mu) * SRAMmm2PerMB
+	a.HBMPHY = phyArea(cfg.BandwidthGBps)
+	return a
+}
+
+// sramMB sizes the on-chip memory: the compressed input-MLE global SRAM
+// (§4.6), the MSM point banks (§4.2.1), FracMLE batch buffers and staging.
+func sramMB(cfg Config, mu int) float64 {
+	n := math.Pow(2, float64(mu))
+	globalBytes := 13 * n * FrBytes / MLECompression
+	msmBytes := float64(cfg.MSMCores*cfg.MSMPEs*cfg.MSMPointsPerPE) * 3 * 48
+	fracBytes := float64(cfg.FracPEs*FracBatchUnits*FracBatch) * FrBytes
+	const stagingBytes = 0.88 * 1e6 // bus/double-buffering (calibrated to Table 5)
+	return (globalBytes + msmBytes + fracBytes + stagingBytes) / 1e6
+}
+
+// phyArea maps off-chip bandwidth to PHY area (§7.1): HBM3 PHYs above
+// 512 GB/s, one HBM2(E) PHY at 512 GB/s, DDR5-class below.
+func phyArea(bwGBps float64) float64 {
+	switch {
+	case bwGBps >= 1024:
+		return math.Ceil(bwGBps/1024) * HBM3PHYmm2
+	case bwGBps >= 512:
+		return HBM2PHYmm2
+	default:
+		return math.Ceil(bwGBps/256) * DDRPHYmm2
+	}
+}
+
+// PowerBreakdown is the Table 5 power decomposition in watts.
+type PowerBreakdown struct {
+	MSM, Sumcheck, ConstructND, FracMLE, MLECombine, MLEUpdate, MTU, Misc float64
+	SRAM, HBM                                                             float64
+}
+
+// TotalCompute returns total logic power.
+func (p PowerBreakdown) TotalCompute() float64 {
+	return p.MSM + p.Sumcheck + p.ConstructND + p.FracMLE + p.MLECombine + p.MLEUpdate + p.MTU + p.Misc
+}
+
+// Total returns full-chip average power.
+func (p PowerBreakdown) Total() float64 { return p.TotalCompute() + p.SRAM + p.HBM }
+
+// Power estimates average power for a simulated run: per-unit activity
+// (utilization from the schedule) times area times calibrated density.
+func Power(res Result, area AreaBreakdown) PowerBreakdown {
+	util := res.Utilization()
+	var p PowerBreakdown
+	p.MSM = area.MSM * util["MSM"] * PowerDensityMSM
+	p.Sumcheck = area.Sumcheck * util["Sumcheck"] * PowerDensitySumcheck
+	p.ConstructND = area.ConstructND * util["Construct N&D"] * PowerDensityCompute
+	p.FracMLE = area.FracMLE * util["FracMLE"] * PowerDensityCompute
+	p.MLECombine = area.MLECombine * util["MLE Combine"] * PowerDensityCompute
+	p.MLEUpdate = area.MLEUpdate * util["MLE Update"] * PowerDensityCompute
+	p.MTU = area.MTU * util["Multifunction"] * PowerDensityCompute
+	p.Misc = area.Misc * 0.02
+	p.SRAM = area.SRAM * PowerDensitySRAM
+	if area.HBMPHY >= HBM3PHYmm2 {
+		p.HBM = area.HBMPHY / HBM3PHYmm2 * PowerPerHBM3PHY
+	} else {
+		p.HBM = area.HBMPHY / HBM2PHYmm2 * PowerPerHBM3PHY / 2
+	}
+	return p
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "math"
+
+// KernelTimes decomposes the runtime by protocol kernel, in cycles —
+// the rows of Fig. 14 plus an Other bucket (batch evals, MLE combines,
+// fraction/product construction, SHA3).
+type KernelTimes struct {
+	WitnessMSM  float64
+	WiringMSM   float64
+	PolyOpenMSM float64
+	ZeroCheck   float64
+	PermCheck   float64
+	OpenCheck   float64
+	Other       float64
+}
+
+// Total sums all kernels.
+func (k KernelTimes) Total() float64 {
+	return k.WitnessMSM + k.WiringMSM + k.PolyOpenMSM + k.ZeroCheck + k.PermCheck + k.OpenCheck + k.Other
+}
+
+// StepTimes aggregates kernels into the paper's four protocol steps
+// (Fig. 12b).
+type StepTimes struct {
+	WitnessCommit     float64
+	GateIdentity      float64
+	WireIdentity      float64
+	BatchEvalPolyOpen float64
+}
+
+// UnitBusy records busy cycles per accelerator unit (Fig. 13).
+type UnitBusy struct {
+	MSM, Sumcheck, MLEUpdate, MTU, ConstructND, FracMLE, MLECombine, SHA3 float64
+}
+
+// Result is the outcome of simulating one proof on one design point.
+type Result struct {
+	Config      Config
+	Mu          int
+	TotalCycles float64
+	Kernels     KernelTimes
+	Steps       StepTimes
+	Busy        UnitBusy
+	BytesMoved  float64
+}
+
+// Milliseconds converts the total latency to wall-clock time at 1 GHz.
+func (r Result) Milliseconds() float64 { return r.TotalCycles / 1e6 }
+
+// Utilization returns per-unit busy fractions.
+func (r Result) Utilization() map[string]float64 {
+	t := r.TotalCycles
+	return map[string]float64{
+		"MSM":           r.Busy.MSM / t,
+		"Sumcheck":      r.Busy.Sumcheck / t,
+		"MLE Update":    r.Busy.MLEUpdate / t,
+		"Multifunction": r.Busy.MTU / t,
+		"Construct N&D": r.Busy.ConstructND / t,
+		"FracMLE":       r.Busy.FracMLE / t,
+		"MLE Combine":   r.Busy.MLECombine / t,
+		"SHA3":          r.Busy.SHA3 / t,
+	}
+}
+
+// Simulate runs the full-chip performance model for a 2^mu-gate proof on
+// the given design point. Protocol steps execute strictly in sequence
+// (SHA3 transcript ordering, §3.3.6); within a step, units overlap
+// according to the Fig. 2C dataflow.
+func Simulate(cfg Config, mu int) Result {
+	bw := cfg.BandwidthGBps // bytes per cycle at 1 GHz
+	n := math.Pow(2, float64(mu))
+	res := Result{Config: cfg, Mu: mu}
+
+	// ---- Step 1: Witness Commits — three Sparse MSMs in series (§4.2).
+	for i := 0; i < 3; i++ {
+		m := cfg.SparseMSMCycles(n, bw)
+		res.Kernels.WitnessMSM += m.cycles
+		res.Busy.MSM += m.busy
+		res.BytesMoved += m.bytesIn
+	}
+	res.Kernels.WitnessMSM += SHA3StepCycles
+	res.Busy.SHA3 += SHA3StepCycles
+
+	// ---- Step 2: Gate Identity — Build MLE then ZeroCheck.
+	bm, bmBusy, bmBytes := cfg.BuildMLECycles(mu, bw)
+	zc := cfg.SumcheckCycles(mu, ZeroCheckTables, bw, false)
+	res.Kernels.ZeroCheck = bm + zc.cycles + SHA3StepCycles
+	res.Busy.MTU += bmBusy
+	res.Busy.Sumcheck += zc.scBusy
+	res.Busy.MLEUpdate += zc.updBusy
+	res.Busy.SHA3 += SHA3StepCycles
+	res.BytesMoved += bmBytes + zc.bytesMoved
+
+	// ---- Step 3: Wiring Identity.
+	// Construct N&D → FracMLE → {ProdMLE, φ-MSM}; ProdMLE → π-MSM.
+	// The φ commitment overlaps the fraction pipeline (Fig. 2C: at most 4
+	// bus channels active); the π commitment follows the product tree.
+	ndFrac, ndBusy, fracBusy, ndBytes := cfg.ConstructNDFracCycles(mu, bw)
+	pm, pmBusy, pmBytes := cfg.ProductMLECycles(mu, bw)
+	phiMSM := cfg.DenseMSMCycles(n, bw)
+	piMSM := cfg.DenseMSMCycles(n, bw)
+	// Phase A: the fraction pipeline streams φ into its MSM (overlapped).
+	// Phase B: the product tree streams π into its MSM (overlapped).
+	phaseA := math.Max(ndFrac, phiMSM.cycles)
+	phaseB := math.Max(pm, piMSM.cycles)
+	res.Kernels.WiringMSM = phaseA + phaseB
+	res.Busy.ConstructND += ndBusy
+	res.Busy.FracMLE += fracBusy
+	res.Busy.MTU += pmBusy
+	res.Busy.MSM += phiMSM.busy + piMSM.busy
+	res.BytesMoved += ndBytes + pmBytes + phiMSM.bytesIn + piMSM.bytesIn
+
+	bm2, bm2Busy, bm2Bytes := cfg.BuildMLECycles(mu, bw)
+	pc := cfg.SumcheckCycles(mu, PermCheckTables, bw, true)
+	res.Kernels.PermCheck = bm2 + pc.cycles + SHA3StepCycles
+	res.Busy.MTU += bm2Busy
+	res.Busy.Sumcheck += pc.scBusy
+	res.Busy.MLEUpdate += pc.updBusy
+	res.Busy.SHA3 += SHA3StepCycles
+	res.BytesMoved += bm2Bytes + pc.bytesMoved
+
+	// ---- Step 4: Batch Evaluations (MTU only).
+	be, beBusy, beBytes := cfg.BatchEvalCycles(mu, bw)
+	res.Kernels.Other += be + SHA3StepCycles
+	res.Busy.MTU += beBusy
+	res.Busy.SHA3 += SHA3StepCycles
+	res.BytesMoved += beBytes
+
+	// ---- Step 5: Polynomial Opening.
+	// MLE Combine builds the y_j tables and k_j eq-tables (MTU), then
+	// OpenCheck runs, then the halving MSM chain opens g'.
+	mc, mcBusy, mcBytes := cfg.MLECombineCycles(mu, bw)
+	var kBuild, kBusy, kBytes float64
+	for j := 0; j < 6; j++ {
+		cyc, b, by := cfg.BuildMLECycles(mu, bw)
+		kBuild += cyc
+		kBusy += b
+		kBytes += by
+	}
+	oc := cfg.SumcheckCycles(mu, OpenCheckTables, bw, true)
+	po := cfg.PolyOpenMSMCycles(mu, bw)
+	res.Kernels.OpenCheck = oc.cycles + SHA3StepCycles
+	res.Kernels.PolyOpenMSM = po.cycles
+	res.Kernels.Other += mc + kBuild
+	res.Busy.MLECombine += mcBusy
+	res.Busy.MTU += kBusy
+	res.Busy.Sumcheck += oc.scBusy
+	res.Busy.MLEUpdate += oc.updBusy
+	res.Busy.MSM += po.busy
+	res.Busy.SHA3 += SHA3StepCycles
+	res.BytesMoved += mcBytes + kBytes + oc.bytesMoved + po.bytesIn
+
+	res.TotalCycles = res.Kernels.Total()
+	res.Steps = StepTimes{
+		WitnessCommit:     res.Kernels.WitnessMSM,
+		GateIdentity:      res.Kernels.ZeroCheck,
+		WireIdentity:      res.Kernels.WiringMSM + res.Kernels.PermCheck,
+		BatchEvalPolyOpen: res.Kernels.PolyOpenMSM + res.Kernels.OpenCheck + mc + kBuild + be + SHA3StepCycles,
+	}
+	return res
+}

@@ -1,0 +1,115 @@
+// Package sim implements the zkSpeed performance, area and power models:
+// per-unit cycle models for the eight accelerator units (§4), the
+// full-chip schedule that maps HyperPlonk's protocol steps onto them under
+// a shared-bus/HBM bandwidth roofline (§5-6), and the calibrated CPU
+// baseline. The design space matches Table 2 of the paper; unit constants
+// trace to §4 and Tables 4-5 (constants the paper does not state are
+// fitted to a published curve and marked "calibrated").
+package sim
+
+import "fmt"
+
+// Config is one zkSpeed design point (Table 2).
+type Config struct {
+	MSMCores       int     // 1, 2
+	MSMPEs         int     // PEs per core: 1, 2, 4, 8, 16
+	MSMWindow      int     // Pippenger window bits: 7, 8, 9, 10
+	MSMPointsPerPE int     // point-SRAM capacity per PE: 1K..16K
+	FracPEs        int     // FracMLE PEs: 1, 2, 4
+	SumcheckPEs    int     // 1, 2, 4, 8, 16
+	MLEUpdatePEs   int     // 1..11
+	MLEUpdateMuls  int     // modmuls per MLE Update PE: 1, 2, 4, 8, 16
+	BandwidthGBps  float64 // 64..4096
+}
+
+// DesignKnobs returns the Table 2 sweep values.
+func DesignKnobs() (cores, pes, windows, points, frac, sc, mleu, mlemuls []int, bws []float64) {
+	cores = []int{1, 2}
+	pes = []int{1, 2, 4, 8, 16}
+	windows = []int{7, 8, 9, 10}
+	points = []int{1024, 2048, 4096, 8192, 16384}
+	frac = []int{1, 2, 4}
+	sc = []int{1, 2, 4, 8, 16}
+	mleu = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	mlemuls = []int{1, 2, 4, 8, 16}
+	bws = []float64{64, 128, 256, 512, 1024, 2048, 4096}
+	return
+}
+
+// DesignSpace enumerates every Table 2 combination (1,155,000 points).
+func DesignSpace() []Config {
+	cores, pes, windows, points, frac, sc, mleu, mlemuls, bws := DesignKnobs()
+	out := make([]Config, 0,
+		len(cores)*len(pes)*len(windows)*len(points)*len(frac)*len(sc)*len(mleu)*len(mlemuls)*len(bws))
+	for _, c := range cores {
+		for _, p := range pes {
+			for _, w := range windows {
+				for _, pt := range points {
+					for _, f := range frac {
+						for _, s := range sc {
+							for _, mu := range mleu {
+								for _, mm := range mlemuls {
+									for _, bw := range bws {
+										out = append(out, Config{
+											MSMCores: c, MSMPEs: p, MSMWindow: w,
+											MSMPointsPerPE: pt, FracPEs: f,
+											SumcheckPEs: s, MLEUpdatePEs: mu,
+											MLEUpdateMuls: mm, BandwidthGBps: bw,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the config against the Table 2 domain.
+func (c Config) Validate() error {
+	in := func(v int, set []int) bool {
+		for _, s := range set {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+	cores, pes, windows, points, frac, sc, mleu, mlemuls, bws := DesignKnobs()
+	if !in(c.MSMCores, cores) || !in(c.MSMPEs, pes) || !in(c.MSMWindow, windows) ||
+		!in(c.MSMPointsPerPE, points) || !in(c.FracPEs, frac) || !in(c.SumcheckPEs, sc) ||
+		!in(c.MLEUpdatePEs, mleu) || !in(c.MLEUpdateMuls, mlemuls) {
+		return fmt.Errorf("sim: config %v outside Table 2 design space", c)
+	}
+	okBW := false
+	for _, b := range bws {
+		if c.BandwidthGBps == b {
+			okBW = true
+		}
+	}
+	if !okBW {
+		return fmt.Errorf("sim: bandwidth %.0f outside Table 2 design space", c.BandwidthGBps)
+	}
+	return nil
+}
+
+// String renders the config compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("msm=%dx%d w=%d pts=%d frac=%d sc=%d mleu=%dx%d bw=%.0fGB/s",
+		c.MSMCores, c.MSMPEs, c.MSMWindow, c.MSMPointsPerPE, c.FracPEs,
+		c.SumcheckPEs, c.MLEUpdatePEs, c.MLEUpdateMuls, c.BandwidthGBps)
+}
+
+// PaperDesign is the highlighted configuration of §7.4 / Table 5: one MSM
+// unit with 9-bit windows, 16 PEs, 2048 points per PE, 1 FracMLE PE, 2
+// SumCheck PEs, 11 MLE Update PEs with 4 modmuls each, 2 TB/s HBM3.
+func PaperDesign() Config {
+	return Config{
+		MSMCores: 1, MSMPEs: 16, MSMWindow: 9, MSMPointsPerPE: 2048,
+		FracPEs: 1, SumcheckPEs: 2, MLEUpdatePEs: 11, MLEUpdateMuls: 4,
+		BandwidthGBps: 2048,
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "math"
+
+// CPU baseline model: the AMD EPYC 7502 running the reference HyperPlonk
+// prover (§7.3). Anchor runtimes come from the paper's published
+// measurements (Table 3 for 2^17..2^23, Table 4 for 2^24); intermediate
+// sizes interpolate geometrically, and sizes below 2^17 extrapolate with
+// the HyperPlonk prover's O(n) scaling. The per-kernel split uses the
+// Fig. 12a percentages, which the paper reports for 2^20 gates and which
+// hold approximately across sizes (all kernels are O(n)).
+
+// cpuAnchorsMS maps μ → measured CPU proving time in milliseconds.
+var cpuAnchorsMS = map[int]float64{
+	17: 1429,
+	20: 8619,
+	21: 18637,
+	22: 37469,
+	23: 74052,
+	24: 145500,
+}
+
+// CPUTimeMS returns the modeled CPU proving latency for 2^mu gates.
+func CPUTimeMS(mu int) float64 {
+	if v, ok := cpuAnchorsMS[mu]; ok {
+		return v
+	}
+	// Find bracketing anchors for geometric interpolation.
+	lo, hi := 0, 0
+	for k := range cpuAnchorsMS {
+		if k < mu && (lo == 0 || k > lo) {
+			lo = k
+		}
+		if k > mu && (hi == 0 || k < hi) {
+			hi = k
+		}
+	}
+	switch {
+	case lo == 0: // below all anchors: O(n) extrapolation from 2^17
+		return cpuAnchorsMS[17] * math.Pow(2, float64(mu-17))
+	case hi == 0: // above all anchors: O(n) extrapolation from 2^24
+		return cpuAnchorsMS[24] * math.Pow(2, float64(mu-24))
+	default:
+		f := float64(mu-lo) / float64(hi-lo)
+		return cpuAnchorsMS[lo] * math.Pow(cpuAnchorsMS[hi]/cpuAnchorsMS[lo], f)
+	}
+}
+
+// CPUKernelFractions is the Fig. 12a runtime breakdown of the CPU prover.
+var CPUKernelFractions = map[string]float64{
+	"Sparse MSMs":           0.088,
+	"Gate Identity":         0.056,
+	"Create PermCheck MLEs": 0.012,
+	"PermCheck Dense MSMs":  0.436,
+	"PermCheck":             0.062,
+	"Batch Evals":           0.025,
+	"MLE Combine":           0.033,
+	"OpenCheck":             0.041,
+	"Poly Open Dense MSMs":  0.246,
+}
+
+// CPUKernels maps the CPU breakdown onto the Fig. 14 kernel axes.
+func CPUKernels(mu int) KernelTimes {
+	total := CPUTimeMS(mu) * 1e6 // cycles at 1 GHz equivalent (ns)
+	return KernelTimes{
+		WitnessMSM:  total * CPUKernelFractions["Sparse MSMs"],
+		WiringMSM:   total * CPUKernelFractions["PermCheck Dense MSMs"],
+		PolyOpenMSM: total * CPUKernelFractions["Poly Open Dense MSMs"],
+		ZeroCheck:   total * CPUKernelFractions["Gate Identity"],
+		PermCheck:   total * (CPUKernelFractions["PermCheck"] + CPUKernelFractions["Create PermCheck MLEs"]),
+		OpenCheck:   total * CPUKernelFractions["OpenCheck"],
+		Other:       total * (CPUKernelFractions["Batch Evals"] + CPUKernelFractions["MLE Combine"]),
+	}
+}
+
+// CPUDieAreaMM2 is the EPYC 7502 compute-die area the paper compares
+// against at iso-area (§7.3).
+const CPUDieAreaMM2 = 296.0

@@ -1,0 +1,108 @@
+package sim
+
+import "math"
+
+// MTUSchedule describes a Multifunction Tree Unit run over a 2^mu-entry
+// workload (§4.3.3, Fig. 6): a 3-level (8-leaf) hardware tree plus an
+// accumulator PE that processes the remaining tree levels depth-first.
+type MTUSchedule struct {
+	Mu          int
+	Makespan    float64 // cycles
+	PEWork      float64 // total multiply operations
+	Utilization float64 // PE-array busy fraction
+	PeakStorage float64 // intermediate elements buffered on chip
+}
+
+// mtuPEs counts the PEs in the unit: 4+2+1 tree PEs plus the accumulator.
+const mtuPEs = 8.0
+
+// mulPipelineLatency is the modular multiplier pipeline depth used in the
+// MTU/FracMLE latency models. Calibrated: §4.4.4's batch-size optimum
+// (b = 64) implies (b-1-log2 b)·L ≈ BEEA latency 509 → L ≈ 9.
+const mulPipelineLatency = 9.0
+
+// HybridTraversal models zkSpeed's DFS/BFS hybrid (§4.3.2): the hardware
+// tree consumes 8 inputs per cycle; upper levels are folded into the
+// accumulator, whose register file holds only O(μ) partials. Utilization
+// exceeds 99% for 2^20 workloads (§4.3.3).
+func HybridTraversal(mu int) MTUSchedule {
+	n := math.Pow(2, float64(mu))
+	work := n - 1 // binary-tree multiplies
+	// The 8-lane front end dominates; the accumulator fills its gaps once
+	// multiple levels are in flight (Fig. 6, cycle 44).
+	makespan := n/mtuPEs + mulPipelineLatency*float64(mu)
+	return MTUSchedule{
+		Mu:          mu,
+		Makespan:    makespan,
+		PEWork:      work,
+		Utilization: work / (mtuPEs * makespan),
+		PeakStorage: float64(mu) * mtuPEs, // accumulator register file
+	}
+}
+
+// BFSTraversal models the reference level-order schedule (§4.3.2): each
+// level completes before the next starts, exposing one pipeline drain per
+// level and requiring the full widest level to be buffered (the 128 MB
+// problem the paper cites for 2^23 inputs).
+func BFSTraversal(mu int) MTUSchedule {
+	n := math.Pow(2, float64(mu))
+	work := n - 1
+	makespan := 0.0
+	levelSize := n / 2
+	for l := 0; l < mu; l++ {
+		makespan += math.Max(levelSize/mtuPEs, 1) + mulPipelineLatency
+		levelSize /= 2
+	}
+	return MTUSchedule{
+		Mu:          mu,
+		Makespan:    makespan,
+		PEWork:      work,
+		Utilization: work / (mtuPEs * makespan),
+		PeakStorage: n / 2, // widest intermediate level
+	}
+}
+
+// FracMLEDesign captures the §4.4.4 batch-size tradeoff (Fig. 8).
+type FracMLEDesign struct {
+	Batch             int
+	PartialProdLat    float64 // sequential partial-product chain
+	InverseLat        float64 // multiplier tree + BEEA
+	LatencyImbalance  float64
+	InverseUnits      int     // batched-inverse units for 1 elem/cycle
+	StandaloneAreaMM2 float64 // Fig. 8's area (no cross-unit reuse)
+}
+
+// FracMLEAnalyze evaluates one batch size.
+func FracMLEAnalyze(b int) FracMLEDesign {
+	d := FracMLEDesign{Batch: b}
+	d.PartialProdLat = float64(b-1) * mulPipelineLatency
+	tree := math.Ceil(math.Log2(float64(b))) * mulPipelineLatency
+	d.InverseLat = tree + BEEALatency
+	d.LatencyImbalance = math.Abs(d.PartialProdLat - d.InverseLat)
+	d.InverseUnits = int(math.Ceil((d.InverseLat + float64(b)) / float64(b)))
+	// Standalone area: one BEEA datapath per unit plus a multiplier tree;
+	// from b = 64 the tree completes a batch before the next arrives and
+	// is shared across all units (§4.4.4).
+	const beeaAreaMM2 = 0.15 // calibrated: 12 units + shared tree ≈ Table 5's 1.92 mm²
+	trees := float64(d.InverseUnits)
+	if b >= 64 {
+		trees = 1
+	}
+	treeArea := trees * float64(b-1) * Modmul255mm2
+	sramMB := float64(d.InverseUnits*b) * FrBytes * 2 / 1e6
+	d.StandaloneAreaMM2 = float64(d.InverseUnits)*beeaAreaMM2 + treeArea + sramMB*SRAMmm2PerMB
+	return d
+}
+
+// FracMLEOptimalBatch returns the batch size minimizing latency imbalance
+// over the Fig. 8 sweep (2..256); the paper selects 64.
+func FracMLEOptimalBatch() int {
+	best, bestVal := 2, math.Inf(1)
+	for b := 2; b <= 256; b *= 2 {
+		d := FracMLEAnalyze(b)
+		if d.LatencyImbalance < bestVal {
+			best, bestVal = b, d.LatencyImbalance
+		}
+	}
+	return best
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDesignSpaceSize(t *testing.T) {
+	// Table 2: 2·5·4·5 · 3 · 5 · 11 · 5 · 7 = 577,500 configurations.
+	ds := DesignSpace()
+	want := 2 * 5 * 4 * 5 * 3 * 5 * 11 * 5 * 7
+	if len(ds) != want {
+		t.Fatalf("design space has %d points, want %d", len(ds), want)
+	}
+	for _, c := range ds[:100] {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfigValidateRejectsBad(t *testing.T) {
+	c := PaperDesign()
+	c.MSMWindow = 13
+	if err := c.Validate(); err == nil {
+		t.Fatal("window 13 should be rejected")
+	}
+	c = PaperDesign()
+	c.BandwidthGBps = 100
+	if err := c.Validate(); err == nil {
+		t.Fatal("bandwidth 100 should be rejected")
+	}
+}
+
+func TestPaperDesignAreaMatchesTable5(t *testing.T) {
+	// Table 5 of the paper (the highlighted design, SRAM sized for its
+	// largest workload, 2^23): MSM 105.64, SumCheck 24.96, N&D 1.35,
+	// FracMLE 1.92, MLE Combine 9.56, MLE Update 5.84, MTU 12.28, Other
+	// 1.98 → compute 163.53; SRAM 143.73, HBM PHYs 59.20 → total 366.46.
+	a := Area(PaperDesign(), PaperDesignMaxMu)
+	checks := []struct {
+		name           string
+		got, want, tol float64
+	}{
+		{"MSM", a.MSM, 105.64, 1.0},
+		{"Sumcheck", a.Sumcheck, 24.96, 0.1},
+		{"ConstructND", a.ConstructND, 1.35, 0.1},
+		{"FracMLE", a.FracMLE, 1.92, 0.01},
+		{"MLECombine", a.MLECombine, 9.56, 0.05},
+		{"MLEUpdate", a.MLEUpdate, 5.84, 0.05},
+		{"MTU", a.MTU, 12.28, 0.01},
+		{"Misc", a.Misc, 1.98, 0.01},
+		{"TotalCompute", a.TotalCompute(), 163.53, 1.2},
+		{"SRAM", a.SRAM, 143.73, 3.0},
+		{"HBMPHY", a.HBMPHY, 59.20, 0.01},
+		{"Total", a.Total(), 366.46, 4.0},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s area = %.2f mm², paper says %.2f (tol %.2f)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestAggregationLatencyReduction(t *testing.T) {
+	// §4.2.2: grouped aggregation cuts latency by ~92% on average across
+	// window sizes 7..10 (Fig. 5).
+	var sum float64
+	for w := 7; w <= 10; w++ {
+		serial := AggSerialCycles(w)
+		grouped := AggGroupedCycles(w)
+		if grouped >= serial {
+			t.Fatalf("grouped aggregation slower at W=%d", w)
+		}
+		sum += 1 - grouped/serial
+	}
+	avg := sum / 4
+	if avg < 0.85 || avg > 0.97 {
+		t.Fatalf("average aggregation reduction = %.1f%%, paper says ~92%%", avg*100)
+	}
+}
+
+func TestSimulatePaperDesignAt2_20(t *testing.T) {
+	// Table 3: the highlighted design proves the 2^20-gate Auction
+	// workload in 11.405 ms. The model must land in the same regime
+	// (±40%).
+	res := Simulate(PaperDesign(), 20)
+	ms := res.Milliseconds()
+	if ms < 11.405*0.6 || ms > 11.405*1.4 {
+		t.Fatalf("simulated 2^20 runtime %.2f ms, paper reports 11.405 ms", ms)
+	}
+	// MSM-dominated, like Fig. 13.
+	util := res.Utilization()
+	if util["MSM"] < 0.3 {
+		t.Fatalf("MSM utilization %.2f implausibly low", util["MSM"])
+	}
+	if util["MSM"] > 1.0001 || util["Sumcheck"] > 1.0001 {
+		t.Fatal("utilization exceeds 1")
+	}
+}
+
+func TestSpeedupOverCPUNear800x(t *testing.T) {
+	// The headline result: geomean 801× over CPU across the Table 3
+	// workloads at the fixed 2 TB/s design. Allow the model a generous
+	// band (500×-1200×) — the shape matters, not the third digit.
+	cfg := PaperDesign()
+	product := 1.0
+	sizes := []int{17, 20, 21, 22, 23}
+	for _, mu := range sizes {
+		res := Simulate(cfg, mu)
+		sp := CPUTimeMS(mu) / res.Milliseconds()
+		if sp < 100 {
+			t.Fatalf("mu=%d speedup only %.0f×", mu, sp)
+		}
+		product *= sp
+	}
+	gmean := math.Pow(product, 1/float64(len(sizes)))
+	if gmean < 500 || gmean > 1200 {
+		t.Fatalf("geomean speedup %.0f×, paper reports 801×", gmean)
+	}
+}
+
+func TestBandwidthMonotonicity(t *testing.T) {
+	// More bandwidth must never slow a design down.
+	cfg := PaperDesign()
+	prev := math.Inf(1)
+	for _, bw := range []float64{512, 1024, 2048, 4096} {
+		cfg.BandwidthGBps = bw
+		res := Simulate(cfg, 20)
+		if res.TotalCycles > prev*1.0001 {
+			t.Fatalf("runtime increased with bandwidth at %.0f GB/s", bw)
+		}
+		prev = res.TotalCycles
+	}
+}
+
+func TestPEScalingMonotonicity(t *testing.T) {
+	cfg := PaperDesign()
+	prev := math.Inf(1)
+	for _, pes := range []int{1, 2, 4, 8, 16} {
+		cfg.MSMPEs = pes
+		res := Simulate(cfg, 20)
+		if res.TotalCycles > prev*1.0001 {
+			t.Fatalf("runtime increased with MSM PEs at %d", pes)
+		}
+		prev = res.TotalCycles
+	}
+	cfg = PaperDesign()
+	prev = math.Inf(1)
+	for _, pes := range []int{1, 2, 4, 8, 16} {
+		cfg.SumcheckPEs = pes
+		res := Simulate(cfg, 20)
+		if res.TotalCycles > prev*1.0001 {
+			t.Fatalf("runtime increased with SumCheck PEs at %d", pes)
+		}
+		prev = res.TotalCycles
+	}
+}
+
+func TestSumcheckIsMemoryBoundMSMIsComputeBound(t *testing.T) {
+	// Fig. 11's central claim: MSM speedups scale with PEs, not
+	// bandwidth; SumCheck speedups scale with bandwidth and saturate.
+	base := PaperDesign()
+	base.SumcheckPEs = 16
+	base.BandwidthGBps = 512
+	loBW := Simulate(base, 20)
+	base.BandwidthGBps = 4096
+	hiBW := Simulate(base, 20)
+	scGain := (loBW.Kernels.ZeroCheck + loBW.Kernels.PermCheck + loBW.Kernels.OpenCheck) /
+		(hiBW.Kernels.ZeroCheck + hiBW.Kernels.PermCheck + hiBW.Kernels.OpenCheck)
+	if scGain < 2 {
+		t.Fatalf("sumcheck bandwidth gain %.2f×, expected memory-bound scaling", scGain)
+	}
+	msmGain := (loBW.Kernels.WitnessMSM + loBW.Kernels.WiringMSM) /
+		(hiBW.Kernels.WitnessMSM + hiBW.Kernels.WiringMSM)
+	if msmGain > scGain {
+		t.Fatalf("MSM more bandwidth-sensitive (%.2f×) than sumcheck (%.2f×)", msmGain, scGain)
+	}
+}
+
+func TestStepsSumToTotal(t *testing.T) {
+	res := Simulate(PaperDesign(), 20)
+	sum := res.Steps.WitnessCommit + res.Steps.GateIdentity + res.Steps.WireIdentity + res.Steps.BatchEvalPolyOpen
+	if math.Abs(sum-res.TotalCycles)/res.TotalCycles > 1e-6 {
+		t.Fatalf("step times %.0f != total %.0f", sum, res.TotalCycles)
+	}
+	k := res.Kernels
+	ksum := k.Total()
+	if math.Abs(ksum-res.TotalCycles)/res.TotalCycles > 1e-6 {
+		t.Fatal("kernel times do not sum to total")
+	}
+}
+
+func TestPowerMatchesTable5Regime(t *testing.T) {
+	res := Simulate(PaperDesign(), 20)
+	a := Area(PaperDesign(), PaperDesignMaxMu)
+	p := Power(res, a)
+	// Table 5: total 170.88 W; the model should land within ~35%.
+	if p.Total() < 100 || p.Total() > 240 {
+		t.Fatalf("total power %.1f W, paper reports 170.88 W", p.Total())
+	}
+	// Power density within the CPU envelope (§7.4: 0.46 W/mm²).
+	density := p.Total() / a.Total()
+	if density > 0.8 {
+		t.Fatalf("power density %.2f W/mm² implausible", density)
+	}
+}
+
+func TestCPUModelAnchors(t *testing.T) {
+	for mu, want := range cpuAnchorsMS {
+		if got := CPUTimeMS(mu); got != want {
+			t.Fatalf("CPU anchor mu=%d: %f != %f", mu, got, want)
+		}
+	}
+	// interpolation monotone
+	prev := 0.0
+	for mu := 15; mu <= 25; mu++ {
+		v := CPUTimeMS(mu)
+		if v <= prev {
+			t.Fatalf("CPU model not monotone at mu=%d", mu)
+		}
+		prev = v
+	}
+	// fractions sum to ~1
+	sum := 0.0
+	for _, f := range CPUKernelFractions {
+		sum += f
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("CPU kernel fractions sum to %.3f", sum)
+	}
+}
+
+func TestMTUHybridUtilization(t *testing.T) {
+	// §4.3.3: >99% PE utilization for a 2^20 workload.
+	h := HybridTraversal(20)
+	if h.Utilization < 0.99 {
+		t.Fatalf("hybrid MTU utilization %.4f, paper reports >0.99", h.Utilization)
+	}
+	b := BFSTraversal(20)
+	if b.PeakStorage <= h.PeakStorage {
+		t.Fatal("BFS should require far more intermediate storage")
+	}
+	// BFS buffers half the problem (2^22 elements ≈ 128 MB at 2^23, §4.3.2).
+	if b.PeakStorage != math.Pow(2, 19) {
+		t.Fatalf("BFS peak storage %f", b.PeakStorage)
+	}
+}
+
+func TestFracMLEOptimum(t *testing.T) {
+	// §4.4.4/Fig. 8: both latency imbalance and area are optimal at b=64.
+	if got := FracMLEOptimalBatch(); got != 64 {
+		t.Fatalf("optimal batch = %d, paper selects 64", got)
+	}
+	d64 := FracMLEAnalyze(64)
+	if d64.InverseUnits < 9 || d64.InverseUnits > 13 {
+		t.Fatalf("b=64 needs %d units, paper says 12", d64.InverseUnits)
+	}
+	d2 := FracMLEAnalyze(2)
+	if d2.InverseUnits < 200 || d2.InverseUnits > 300 {
+		t.Fatalf("b=2 needs %d units, paper says ~256", d2.InverseUnits)
+	}
+	// area curve dips at 64
+	if !(FracMLEAnalyze(2).StandaloneAreaMM2 > d64.StandaloneAreaMM2 &&
+		FracMLEAnalyze(256).StandaloneAreaMM2 > d64.StandaloneAreaMM2) {
+		t.Fatal("area curve not minimized at b=64")
+	}
+}
+
+func TestPHYAreaTiers(t *testing.T) {
+	if phyArea(2048) != 2*HBM3PHYmm2 {
+		t.Fatal("2 TB/s should use 2 HBM3 PHYs (Table 5: 59.2 mm²)")
+	}
+	if phyArea(512) != HBM2PHYmm2 {
+		t.Fatal("512 GB/s should use 1 HBM2 PHY")
+	}
+	if phyArea(64) >= HBM2PHYmm2 {
+		t.Fatal("DDR-class PHY should be cheaper than HBM2")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := PaperDesign()
+	for i := 0; i < b.N; i++ {
+		Simulate(cfg, 20)
+	}
+}

@@ -1,0 +1,224 @@
+package sim
+
+import "math"
+
+// This file models the latency of each zkSpeed accelerator unit in cycles
+// (1 cycle = 1 ns at the paper's 1 GHz clock).
+
+// AggSerialCycles is SZKP's running-sum bucket aggregation: 2·(2^W-1)
+// strictly dependent point additions, each paying the full PADD pipeline
+// latency (§4.2.2, Fig. 5 "SZKP").
+func AggSerialCycles(window int) float64 {
+	buckets := math.Pow(2, float64(window)) - 1
+	return 2 * buckets * PADDLatency
+}
+
+// AggGroupedCycles is zkSpeed's grouped aggregation (§4.2.2, Fig. 5
+// "Ours"): buckets split into groups of 16; the per-group running sums are
+// independent, so the pipelined PADD processes them back to back (one
+// serial chain of length 16 exposed, plus the fill of 2^W additions), and
+// the per-group results are combined with 2·(2^W/16) dependent additions.
+func AggGroupedCycles(window int) float64 {
+	buckets := math.Pow(2, float64(window))
+	groups := buckets / AggGroupSize
+	return AggGroupSize*PADDLatency + buckets + 2*groups*PADDLatency
+}
+
+// numWindows is the Pippenger window count for the configured width.
+func numWindows(window int) float64 {
+	return math.Ceil(ScalarBits / float64(window))
+}
+
+// msmLanes is the number of parallel pipelined PADD lanes.
+func (c Config) msmLanes() float64 { return float64(c.MSMCores * c.MSMPEs) }
+
+// msmResult carries the latency decomposition of one MSM call.
+type msmResult struct {
+	cycles  float64 // end-to-end latency
+	busy    float64 // PADD-lane busy cycles (for utilization)
+	bytesIn float64 // HBM traffic
+}
+
+// DenseMSMCycles models an n-point dense Pippenger MSM: one bucket-
+// accumulation PADD per point per window (II = 1 across the lanes),
+// followed by per-window aggregation; point data is refetched once per
+// window when the working set exceeds the PE-local SRAM (§4.2.1).
+func (c Config) DenseMSMCycles(n float64, bw float64) msmResult {
+	if n <= 0 {
+		return msmResult{}
+	}
+	nw := numWindows(c.MSMWindow)
+	lanes := c.msmLanes()
+	bucket := n * nw / lanes
+	agg := AggGroupedCycles(c.MSMWindow)
+	// Per-window aggregations overlap with other windows' bucket phases
+	// across lanes; at least one aggregation tail is exposed.
+	aggTotal := math.Max(agg, nw*agg/lanes)
+	compute := bucket + aggTotal + PADDLatency*math.Log2(n+2)
+
+	capacity := float64(c.MSMCores * c.MSMPEs * c.MSMPointsPerPE)
+	refetch := 1.0
+	if n > capacity {
+		refetch = nw
+	}
+	bytes := n*PointBytes*refetch + n*FrBytes
+	mem := bytes / bw
+	return msmResult{cycles: math.Max(compute, mem), busy: bucket + aggTotal, bytesIn: bytes}
+}
+
+// SparseMSMCycles models a witness-commit MSM with the paper's sparsity
+// statistics: zeros skipped, 1-scalars summed by a pipelined reduction
+// tree, the ~10% dense remainder through Pippenger (§4.2).
+func (c Config) SparseMSMCycles(n float64, bw float64) msmResult {
+	lanes := c.msmLanes()
+	ones := WitnessOnesFrac * n
+	denseN := WitnessDenseFrac * n
+
+	treeCompute := ones/lanes + PADDLatency*math.Log2(ones+2)
+	dense := c.DenseMSMCycles(denseN, bw)
+
+	// Ones need only point fetches (scalars are implicit, §4.2.1).
+	bytes := ones*PointBytes + dense.bytesIn
+	mem := bytes / bw
+	compute := treeCompute + dense.cycles
+	return msmResult{
+		cycles:  math.Max(compute, mem),
+		busy:    ones/lanes + dense.busy,
+		bytesIn: bytes,
+	}
+}
+
+// sumcheckPhase models one full SumCheck (μ rounds) plus its MLE Updates.
+type sumcheckPhase struct {
+	cycles     float64
+	scBusy     float64 // SumCheck PE busy cycles
+	updBusy    float64 // MLE Update busy cycles
+	bytesMoved float64
+}
+
+// SumcheckCycles models a μ-round sumcheck over `tables` MLE tables.
+// Round k processes 2^{μ-k} hypercube instances (one per cycle per PE,
+// §4.1.3); the streaming design (§4.1.2) reads the tables from HBM each
+// round and the MLE Update unit reads them again and writes the halved
+// tables back. round1OffChip selects whether round 1's inputs stream from
+// HBM (PermCheck/OpenCheck) or from compressed on-chip SRAM (ZeroCheck's
+// selector/witness tables, §4.6).
+func (c Config) SumcheckCycles(mu int, tables int, bw float64, round1OffChip bool) sumcheckPhase {
+	var ph sumcheckPhase
+	updRate := float64(c.MLEUpdatePEs * c.MLEUpdateMuls)
+	scPEs := float64(c.SumcheckPEs)
+	const fill = 300 // pipeline fill/drain per round (calibrated)
+	for k := 1; k <= mu; k++ {
+		inst := math.Pow(2, float64(mu-k))
+		tblBytes := float64(tables) * inst * 2 * FrBytes // full tables this round
+
+		scCompute := inst/scPEs + fill
+		scIn := tblBytes
+		if k == 1 && !round1OffChip {
+			scIn = inst * 2 * FrBytes // only the freshly built eq table
+		}
+		tRound := math.Max(scCompute, scIn/bw)
+
+		updCompute := float64(tables) * inst / updRate
+		updIn := tblBytes
+		updOut := tblBytes / 2
+		if k == 1 && !round1OffChip {
+			updIn = inst * 2 * FrBytes
+			// halved tables all become 255-bit dense and spill off-chip
+		}
+		tUpd := math.Max(updCompute, (updIn+updOut)/bw)
+
+		ph.cycles += tRound + tUpd + SHA3RoundCycles
+		ph.scBusy += inst / scPEs
+		ph.updBusy += updCompute
+		ph.bytesMoved += scIn + updIn + updOut
+	}
+	return ph
+}
+
+// BuildMLECycles models the Multifunction Tree Unit building a 2^μ-entry
+// eq table (2^{μ+1}-4 multiplications arranged as a forward tree, §4.3)
+// and streaming it to HBM.
+func (c Config) BuildMLECycles(mu int, bw float64) (cycles, busy, bytes float64) {
+	n := math.Pow(2, float64(mu))
+	busy = n / MTULanes
+	bytes = n * FrBytes
+	return math.Max(busy, bytes/bw), busy, bytes
+}
+
+// ProductMLECycles models the MTU's Product MLE construction (§4.3.3):
+// 2^μ-1 multiplications streamed with the hybrid DFS/BFS traversal, with φ
+// read in and π written out.
+func (c Config) ProductMLECycles(mu int, bw float64) (cycles, busy, bytes float64) {
+	n := math.Pow(2, float64(mu))
+	busy = n / MTULanes
+	bytes = 2 * n * FrBytes
+	return math.Max(busy, bytes/bw), busy, bytes
+}
+
+// ConstructNDFracCycles models the Construct N&D → FracMLE pipeline
+// (§4.4): elementwise construction of N1-3/D1-3 (streamed to HBM for the
+// later PermCheck) feeding the batched-inversion pipeline at FracPEs
+// elements per cycle.
+func (c Config) ConstructNDFracCycles(mu int, bw float64) (cycles, ndBusy, fracBusy, bytes float64) {
+	n := math.Pow(2, float64(mu))
+	rate := float64(c.FracPEs)
+	pipeDepth := float64(FracBatch*FracBatchUnits) + BEEALatency
+	compute := n/rate + pipeDepth
+	// Writes: 6 intermediate MLEs + N + D are spilled for PermCheck, plus
+	// φ streamed onward (counted in the consumer). Reads: witness +
+	// σ tables come from compressed on-chip SRAM (§4.6).
+	bytes = 8 * n * FrBytes
+	cycles = math.Max(compute, bytes/bw)
+	return cycles, n / rate, n / rate, bytes
+}
+
+// BatchEvalCycles models Step 4 (§3.3.4): 22 MLE Evaluates on the MTU.
+// Only φ and π stream from HBM; the other 11 tables read from on-chip
+// SRAM, the 84% bandwidth saving of §4.6.
+func (c Config) BatchEvalCycles(mu int, bw float64) (cycles, busy, bytes float64) {
+	n := math.Pow(2, float64(mu))
+	busy = 22 * n / MTULanes
+	bytes = 2 * n * FrBytes
+	return math.Max(busy, bytes/bw), busy, bytes
+}
+
+// MLECombineCycles models the linear combinations of Step 5 (§4.5): the
+// six y_j MLEs (22 weighted table accumulations) and the final g'
+// combination, on the unit's 72 shared modmuls.
+func (c Config) MLECombineCycles(mu int, bw float64) (cycles, busy, bytes float64) {
+	n := math.Pow(2, float64(mu))
+	muls := (22 + 6) * n
+	busy = muls / float64(MLECombineModmuls)
+	// φ, π in from HBM; 6 y tables out; g' out.
+	bytes = 2*n*FrBytes + 6*n*FrBytes + n*FrBytes
+	return math.Max(busy, bytes/bw), busy, bytes
+}
+
+// PolyOpenMSMCycles models the halving MSM chain of §3.3.5: MSMs of size
+// 2^{μ-1}, 2^{μ-2}, …, 1. Bucket phases of successive MSMs overlap with
+// the previous aggregation where the PADD has slack; what remains exposed
+// is max(bucket, aggregation) per MSM — the serialization cost Fig. 11
+// attributes to Polynomial Opening.
+func (c Config) PolyOpenMSMCycles(mu int, bw float64) msmResult {
+	nw := numWindows(c.MSMWindow)
+	lanes := c.msmLanes()
+	agg := AggGroupedCycles(c.MSMWindow)
+	var out msmResult
+	totalPoints := 0.0
+	for k := mu - 1; k >= 0; k-- {
+		n := math.Pow(2, float64(k))
+		bucket := n * nw / lanes
+		out.cycles += math.Max(bucket, agg)
+		out.busy += bucket + agg
+		totalPoints += n
+	}
+	out.cycles += PADDLatency * float64(mu) // drain per MSM
+	bytes := totalPoints * (PointBytes + FrBytes)
+	out.bytesIn = bytes
+	mem := bytes / bw
+	if mem > out.cycles {
+		out.cycles = mem
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+// Package sumcheck implements the multi-round SumCheck protocol (§2.2) for
+// virtual polynomials that are sums of products of multilinear polynomials —
+// the exact shape of HyperPlonk's ZeroCheck, PermCheck and OpenCheck
+// instances (Eqs. 3-5 of the paper). The prover mirrors the zkSpeed
+// SumCheck PE dataflow (Fig. 4): per hypercube instance, every unique MLE
+// is extended once to all needed evaluation points, per-term products are
+// formed, and results accumulate per evaluation point; after each round the
+// MLE Update kernel (Eq. 2) folds the verifier challenge into every table.
+package sumcheck
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zkspeed/internal/ff"
+	"zkspeed/internal/poly"
+	"zkspeed/internal/transcript"
+)
+
+// Term is one product term: Coeff · Π_k MLEs[Indices[k]].
+type Term struct {
+	Coeff   ff.Fr
+	Indices []int
+}
+
+// VirtualPoly is a sum of products of shared multilinear polynomials.
+type VirtualPoly struct {
+	NumVars int
+	MLEs    []*poly.MLE
+	Terms   []Term
+}
+
+// NewVirtualPoly creates an empty virtual polynomial over numVars variables.
+func NewVirtualPoly(numVars int) *VirtualPoly {
+	return &VirtualPoly{NumVars: numVars}
+}
+
+// AddMLE registers an MLE and returns its index.
+func (vp *VirtualPoly) AddMLE(m *poly.MLE) int {
+	if m.NumVars != vp.NumVars {
+		panic(fmt.Sprintf("sumcheck: MLE has %d vars, virtual poly has %d", m.NumVars, vp.NumVars))
+	}
+	vp.MLEs = append(vp.MLEs, m)
+	return len(vp.MLEs) - 1
+}
+
+// AddTerm appends coeff·Π MLEs[idx] to the polynomial.
+func (vp *VirtualPoly) AddTerm(coeff ff.Fr, idx ...int) {
+	for _, i := range idx {
+		if i < 0 || i >= len(vp.MLEs) {
+			panic("sumcheck: term references unknown MLE")
+		}
+	}
+	vp.Terms = append(vp.Terms, Term{Coeff: coeff, Indices: idx})
+}
+
+// Degree returns the maximum per-variable degree (the longest product).
+func (vp *VirtualPoly) Degree() int {
+	d := 0
+	for _, t := range vp.Terms {
+		if len(t.Indices) > d {
+			d = len(t.Indices)
+		}
+	}
+	return d
+}
+
+// SumOverHypercube computes Σ_{x∈{0,1}^μ} vp(x), the prover's claim.
+func (vp *VirtualPoly) SumOverHypercube() ff.Fr {
+	var sum ff.Fr
+	n := 1 << vp.NumVars
+	var prod, t ff.Fr
+	for i := 0; i < n; i++ {
+		for _, term := range vp.Terms {
+			prod = term.Coeff
+			for _, k := range term.Indices {
+				prod.Mul(&prod, &vp.MLEs[k].Evals[i])
+			}
+			t = prod
+			sum.Add(&sum, &t)
+		}
+	}
+	return sum
+}
+
+// EvaluateAt evaluates the virtual polynomial at an arbitrary point via its
+// constituent MLEs.
+func (vp *VirtualPoly) EvaluateAt(point []ff.Fr) ff.Fr {
+	evals := make([]ff.Fr, len(vp.MLEs))
+	for k, m := range vp.MLEs {
+		evals[k] = m.Evaluate(point)
+	}
+	return CombineTermEvals(vp.Terms, evals)
+}
+
+// CombineTermEvals computes Σ_terms coeff·Π evals[idx] given per-MLE
+// evaluations at a common point.
+func CombineTermEvals(terms []Term, evals []ff.Fr) ff.Fr {
+	var out, prod ff.Fr
+	for _, term := range terms {
+		prod = term.Coeff
+		for _, k := range term.Indices {
+			prod.Mul(&prod, &evals[k])
+		}
+		out.Add(&out, &prod)
+	}
+	return out
+}
+
+// RoundPoly is the univariate round polynomial, sent as its evaluations at
+// X = 0, 1, …, d (d+1 points characterize a degree-d polynomial, §2.3).
+type RoundPoly struct {
+	Evals []ff.Fr
+}
+
+// Proof is a complete sumcheck transcript: one round polynomial per
+// variable.
+type Proof struct {
+	Rounds []RoundPoly
+}
+
+// ProverResult bundles the proof with the artifacts the caller needs to
+// finish the outer protocol.
+type ProverResult struct {
+	Proof      Proof
+	Challenges []ff.Fr // the sumcheck point r
+	FinalEvals []ff.Fr // each MLE evaluated at r, in registration order
+}
+
+// Prove runs the sumcheck prover. The MLE tables inside vp are consumed
+// (folded in place round by round); pass clones if the caller needs them.
+// Challenges are drawn from tr, which the verifier replays.
+func Prove(vp *VirtualPoly, tr *transcript.Transcript) ProverResult {
+	mu := vp.NumVars
+	deg := vp.Degree()
+	res := ProverResult{
+		Challenges: make([]ff.Fr, 0, mu),
+	}
+	res.Proof.Rounds = make([]RoundPoly, 0, mu)
+	for round := 0; round < mu; round++ {
+		rp := proveRound(vp, deg)
+		tr.AppendFrs("sumcheck.round", rp.Evals)
+		r := tr.ChallengeFr("sumcheck.r")
+		res.Proof.Rounds = append(res.Proof.Rounds, rp)
+		res.Challenges = append(res.Challenges, r)
+		for _, m := range vp.MLEs {
+			m.FixVariable(&r)
+		}
+	}
+	res.FinalEvals = make([]ff.Fr, len(vp.MLEs))
+	for k, m := range vp.MLEs {
+		res.FinalEvals[k] = m.Evals[0]
+	}
+	return res
+}
+
+// proveRound computes the round polynomial evaluations at X = 0..deg.
+// Work is split across goroutines by hypercube instance ranges, mirroring
+// the multi-PE parallelism of §4.1.3.
+func proveRound(vp *VirtualPoly, deg int) RoundPoly {
+	half := vp.MLEs[0].Len() / 2
+	nEvals := deg + 1
+	nw := runtime.GOMAXPROCS(0)
+	if nw > half {
+		nw = 1
+	}
+	partial := make([][]ff.Fr, nw)
+	var wg sync.WaitGroup
+	chunk := (half + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > half {
+			hi = half
+		}
+		if lo >= hi {
+			partial[w] = make([]ff.Fr, nEvals)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := make([]ff.Fr, nEvals)
+			// per-MLE evaluation ladders (Fig. 4 "Per-MLE Evaluations")
+			evals := make([][]ff.Fr, len(vp.MLEs))
+			for k := range evals {
+				evals[k] = make([]ff.Fr, nEvals)
+			}
+			var delta, prod ff.Fr
+			for i := lo; i < hi; i++ {
+				for k, m := range vp.MLEs {
+					e0 := &m.Evals[2*i]
+					e1 := &m.Evals[2*i+1]
+					ev := evals[k]
+					ev[0] = *e0
+					if nEvals > 1 {
+						ev[1] = *e1
+						delta.Sub(e1, e0)
+						for t := 2; t < nEvals; t++ {
+							ev[t].Add(&ev[t-1], &delta)
+						}
+					}
+				}
+				for _, term := range vp.Terms {
+					for t := 0; t < nEvals; t++ {
+						prod = term.Coeff
+						for _, k := range term.Indices {
+							prod.Mul(&prod, &evals[k][t])
+						}
+						acc[t].Add(&acc[t], &prod)
+					}
+				}
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := make([]ff.Fr, nEvals)
+	for w := range partial {
+		for t := 0; t < nEvals; t++ {
+			out[t].Add(&out[t], &partial[w][t])
+		}
+	}
+	return RoundPoly{Evals: out}
+}
+
+// InterpolateAt evaluates the degree-(len(evals)-1) polynomial defined by
+// its values at X = 0,1,…,d at an arbitrary point r (Lagrange form; the
+// fixed-cost Barycentric step of §4.1.1).
+func InterpolateAt(evals []ff.Fr, r *ff.Fr) ff.Fr {
+	d := len(evals) - 1
+	// If r is one of the sample points, return directly.
+	for j := 0; j <= d; j++ {
+		pj := ff.NewFr(uint64(j))
+		if pj.Equal(r) {
+			return evals[j]
+		}
+	}
+	// numerators: Π_k (r-k); per-j denominators: (j-k) products.
+	diffs := make([]ff.Fr, d+1)
+	var full ff.Fr
+	full.SetOne()
+	for k := 0; k <= d; k++ {
+		pk := ff.NewFr(uint64(k))
+		diffs[k].Sub(r, &pk)
+		full.Mul(&full, &diffs[k])
+	}
+	var out ff.Fr
+	for j := 0; j <= d; j++ {
+		// w_j = Π_{k≠j} (j-k); term = evals[j]·full / (diffs[j]·w_j)
+		var wj ff.Fr
+		wj.SetOne()
+		for k := 0; k <= d; k++ {
+			if k == j {
+				continue
+			}
+			var jk ff.Fr
+			jk.SetInt64(int64(j - k))
+			wj.Mul(&wj, &jk)
+		}
+		var den, term ff.Fr
+		den.Mul(&diffs[j], &wj)
+		den.Inverse(&den)
+		term.Mul(&full, &den)
+		term.Mul(&term, &evals[j])
+		out.Add(&out, &term)
+	}
+	return out
+}
+
+// VerifyResult is the outcome of verifying a sumcheck proof.
+type VerifyResult struct {
+	Challenges []ff.Fr // the sumcheck point r
+	FinalClaim ff.Fr   // claimed value of the virtual polynomial at r
+}
+
+// Verify replays the sumcheck rounds against the transcript, checking the
+// g(0)+g(1) consistency at every round. The caller must separately check
+// FinalClaim against oracle evaluations of the underlying MLEs at r.
+func Verify(claim ff.Fr, proof Proof, numVars, degree int, tr *transcript.Transcript) (VerifyResult, error) {
+	var res VerifyResult
+	if len(proof.Rounds) != numVars {
+		return res, fmt.Errorf("sumcheck: expected %d rounds, got %d", numVars, len(proof.Rounds))
+	}
+	cur := claim
+	res.Challenges = make([]ff.Fr, 0, numVars)
+	for round, rp := range proof.Rounds {
+		if len(rp.Evals) != degree+1 {
+			return res, fmt.Errorf("sumcheck: round %d has %d evals, want %d", round, len(rp.Evals), degree+1)
+		}
+		var s ff.Fr
+		s.Add(&rp.Evals[0], &rp.Evals[1])
+		if !s.Equal(&cur) {
+			return res, errors.New("sumcheck: round consistency check failed")
+		}
+		tr.AppendFrs("sumcheck.round", rp.Evals)
+		r := tr.ChallengeFr("sumcheck.r")
+		res.Challenges = append(res.Challenges, r)
+		cur = InterpolateAt(rp.Evals, &r)
+	}
+	res.FinalClaim = cur
+	return res, nil
+}

@@ -1,0 +1,125 @@
+// Package transcript implements SHA3-256 (Keccak) from scratch and the
+// Fiat–Shamir transcript HyperPlonk uses to derive verifier challenges.
+// The paper (§3.3.6) notes SHA3 acts as the order-enforcing mechanism
+// between protocol steps: every prover message is absorbed before any
+// subsequent challenge is squeezed.
+package transcript
+
+import "encoding/binary"
+
+// keccak round constants.
+var keccakRC = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets for the ρ step, indexed [x][y].
+var keccakRho = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+func rotl64(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// keccakF1600 applies the Keccak-f[1600] permutation to the 5×5 lane state.
+func keccakF1600(a *[5][5]uint64) {
+	var c [5]uint64
+	var d [5]uint64
+	var b [5][5]uint64
+	for round := 0; round < 24; round++ {
+		// θ
+		for x := 0; x < 5; x++ {
+			c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl64(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x][y] ^= d[x]
+			}
+		}
+		// ρ and π
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y][(2*x+3*y)%5] = rotl64(a[x][y], keccakRho[x][y])
+			}
+		}
+		// χ
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x][y] = b[x][y] ^ (^b[(x+1)%5][y] & b[(x+2)%5][y])
+			}
+		}
+		// ι
+		a[0][0] ^= keccakRC[round]
+	}
+}
+
+const sha3Rate = 136 // SHA3-256 rate in bytes
+
+// sha3State is an incremental SHA3-256 sponge.
+type sha3State struct {
+	a      [5][5]uint64
+	buf    [sha3Rate]byte
+	offset int
+}
+
+func (s *sha3State) absorbBlock(block []byte) {
+	for i := 0; i < sha3Rate/8; i++ {
+		lane := binary.LittleEndian.Uint64(block[i*8:])
+		x, y := i%5, i/5
+		s.a[x][y] ^= lane
+	}
+	keccakF1600(&s.a)
+}
+
+// Write absorbs p into the sponge. It never fails.
+func (s *sha3State) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		take := sha3Rate - s.offset
+		if take > len(p) {
+			take = len(p)
+		}
+		copy(s.buf[s.offset:], p[:take])
+		s.offset += take
+		p = p[take:]
+		if s.offset == sha3Rate {
+			s.absorbBlock(s.buf[:])
+			s.offset = 0
+		}
+	}
+	return n, nil
+}
+
+// Sum256 finalizes a copy of the sponge and returns the 32-byte digest,
+// leaving the receiver usable for further writes.
+func (s *sha3State) Sum256() [32]byte {
+	clone := *s
+	// SHA3 domain padding: 0x06 ... 0x80.
+	for i := clone.offset; i < sha3Rate; i++ {
+		clone.buf[i] = 0
+	}
+	clone.buf[clone.offset] ^= 0x06
+	clone.buf[sha3Rate-1] ^= 0x80
+	clone.absorbBlock(clone.buf[:])
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		x, y := i%5, i/5
+		binary.LittleEndian.PutUint64(out[i*8:], clone.a[x][y])
+	}
+	return out
+}
+
+// Sum256 returns the SHA3-256 digest of data.
+func Sum256(data []byte) [32]byte {
+	var s sha3State
+	s.Write(data)
+	return s.Sum256()
+}

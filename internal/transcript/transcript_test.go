@@ -1,0 +1,124 @@
+package transcript
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+)
+
+// Known-answer tests for SHA3-256 (FIPS 202 vectors).
+func TestSHA3KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+		{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+		{"hello world", "644bcc7e564373040999aac89e7622f3ca71fba1d972fd94a31c3bfbf24e3938"},
+		{
+			"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376",
+		},
+	}
+	for _, c := range cases {
+		got := Sum256([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA3-256(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSHA3LongInput(t *testing.T) {
+	// 1 million 'a' characters (standard long-message vector).
+	msg := make([]byte, 1_000_000)
+	for i := range msg {
+		msg[i] = 'a'
+	}
+	got := Sum256(msg)
+	const want = "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("long SHA3 = %x, want %s", got, want)
+	}
+}
+
+func TestSHA3Incremental(t *testing.T) {
+	var s sha3State
+	s.Write([]byte("hello "))
+	s.Write([]byte("world"))
+	got := s.Sum256()
+	want := Sum256([]byte("hello world"))
+	if got != want {
+		t.Fatal("incremental write disagrees with one-shot")
+	}
+	// Sum must not disturb further writes.
+	s.Write([]byte("!"))
+	got2 := s.Sum256()
+	want2 := Sum256([]byte("hello world!"))
+	if got2 != want2 {
+		t.Fatal("Sum256 is not idempotent w.r.t. further writes")
+	}
+}
+
+func TestTranscriptDeterminism(t *testing.T) {
+	build := func() []ff.Fr {
+		tr := New("test")
+		v := ff.NewFr(42)
+		tr.AppendFr("x", &v)
+		g := curve.G1Generator()
+		tr.AppendG1("g", &g)
+		return tr.ChallengeFrs("c", 4)
+	}
+	a, b := build(), build()
+	for i := range a {
+		if !a[i].Equal(&b[i]) {
+			t.Fatal("transcript not deterministic")
+		}
+	}
+}
+
+func TestTranscriptBinding(t *testing.T) {
+	tr1 := New("test")
+	v1 := ff.NewFr(1)
+	tr1.AppendFr("x", &v1)
+	c1 := tr1.ChallengeFr("c")
+
+	tr2 := New("test")
+	v2 := ff.NewFr(2)
+	tr2.AppendFr("x", &v2)
+	c2 := tr2.ChallengeFr("c")
+
+	if c1.Equal(&c2) {
+		t.Fatal("different absorbed data produced identical challenge")
+	}
+
+	// Challenges must chain: second challenge differs from first.
+	tr3 := New("test")
+	a := tr3.ChallengeFr("c")
+	b := tr3.ChallengeFr("c")
+	if a.Equal(&b) {
+		t.Fatal("sequential challenges identical")
+	}
+}
+
+func TestTranscriptLabelSeparation(t *testing.T) {
+	tr1 := New("test")
+	tr1.AppendBytes("ab", []byte("c"))
+	c1 := tr1.ChallengeFr("x")
+	tr2 := New("test")
+	tr2.AppendBytes("a", []byte("bc"))
+	c2 := tr2.ChallengeFr("x")
+	// Length framing must keep these apart.
+	if c1.Equal(&c2) {
+		t.Fatal("label/data framing collision")
+	}
+}
+
+func BenchmarkSHA3_1KiB(b *testing.B) {
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(msg)
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkspeed/internal/msm"
+)
+
+func TestTable3Workloads(t *testing.T) {
+	ws := Table3Workloads()
+	if len(ws) != 5 {
+		t.Fatalf("expected 5 workloads, got %d", len(ws))
+	}
+	prevMu := 0
+	for _, w := range ws {
+		if w.Mu <= prevMu && prevMu != 0 {
+			t.Fatal("workloads not ordered by size")
+		}
+		if w.CPUms <= 0 || w.PaperZKSpeedms <= 0 {
+			t.Fatal("missing baseline numbers")
+		}
+		prevMu = w.Mu
+	}
+}
+
+func TestSyntheticCircuitIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mu := range []int{6, 8, 10} {
+		circuit, assignment, pub, err := Synthetic(mu, rng)
+		if err != nil {
+			t.Fatalf("mu=%d: %v", mu, err)
+		}
+		if circuit.Mu != mu {
+			t.Fatalf("mu=%d: compiled to %d", mu, circuit.Mu)
+		}
+		if err := circuit.CheckAssignment(assignment); err != nil {
+			t.Fatalf("mu=%d: %v", mu, err)
+		}
+		if len(pub) == 0 {
+			t.Fatal("no public inputs")
+		}
+	}
+}
+
+func TestSyntheticWitnessSparsity(t *testing.T) {
+	// §6.2: the generator should produce witness tables dominated by
+	// 0/1 values (the paper assumes ≥90% of values are 0 or 1).
+	rng := rand.New(rand.NewSource(8))
+	_, assignment, _, err := Synthetic(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := msm.ClassifyScalars(assignment.W1.Evals)
+	n := float64(st.Zeros + st.Ones + st.Dense)
+	sparseFrac := float64(st.Zeros+st.Ones) / n
+	if sparseFrac < 0.6 {
+		t.Fatalf("w1 sparse fraction %.2f too low for a §6.2-style workload", sparseFrac)
+	}
+}
