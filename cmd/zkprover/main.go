@@ -1,69 +1,150 @@
 // Command zkprover runs the functional HyperPlonk prover and verifier end
-// to end on a synthetic workload (§6.2-style) and prints per-step timings —
-// the software analogue of the paper's CPU baseline measurements.
+// to end on a synthetic workload (§6.2-style), prints per-step timings —
+// the software analogue of the paper's CPU baseline measurements — and
+// couples the measured proof with the zkSpeed accelerator model's
+// predicted latency for the same problem size.
 //
 // Usage:
 //
-//	zkprover -mu 10          # prove a 2^10-gate circuit and verify it
+//	zkprover -mu 10            # prove a 2^10-gate circuit and verify it
 //	zkprover -mu 12 -seed 7 -skip-verify
+//	zkprover -mu 12 -batch 4   # prove 4 circuits on one cached SRS
+//	zkprover -mu 10 -timeout 5s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
-	"zkspeed/internal/hyperplonk"
-	"zkspeed/internal/workload"
+	"zkspeed"
 )
 
 func main() {
 	mu := flag.Int("mu", 10, "log2 of the gate count")
-	seed := flag.Int64("seed", 1, "workload generator seed")
+	seed := flag.Int64("seed", 1, "workload generator and setup-entropy seed")
 	skipVerify := flag.Bool("skip-verify", false, "skip the (pairing-heavy) verification")
+	batch := flag.Int("batch", 1, "number of circuits to prove on one shared SRS")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "abort proving after this long (0 = no limit)")
 	flag.Parse()
 
 	if *mu < 2 || *mu > 20 {
 		log.Fatalf("mu=%d out of the supported functional range [2,20]", *mu)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	opts := []zkspeed.Option{
+		zkspeed.WithEntropy(zkspeed.SeededEntropy(*seed)),
+		zkspeed.WithTimings(),
+		zkspeed.WithSRSCache(),
+	}
+	if *workers > 0 {
+		opts = append(opts, zkspeed.WithParallelism(*workers))
+	}
+	eng := zkspeed.New(opts...)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *batch > 1 {
+		runBatch(ctx, eng, *mu, *seed, *batch, *skipVerify)
+		return
+	}
+
 	fmt.Printf("building synthetic 2^%d-gate circuit...\n", *mu)
-	circuit, assignment, pub, err := workload.Synthetic(*mu, rng)
+	circuit, assignment, pub, err := zkspeed.SyntheticWorkloadSeeded(*mu, *seed)
 	if err != nil {
 		log.Fatalf("workload: %v", err)
 	}
 
 	fmt.Printf("running universal setup (SRS for mu=%d)...\n", circuit.Mu)
 	t0 := time.Now()
-	pk, vk, err := hyperplonk.Setup(circuit, rng)
-	if err != nil {
+	if _, _, err := eng.Setup(ctx, circuit); err != nil {
 		log.Fatalf("setup: %v", err)
 	}
 	fmt.Printf("  setup: %v\n", time.Since(t0).Round(time.Millisecond))
 
 	fmt.Println("proving...")
-	proof, tm, err := hyperplonk.Prove(pk, assignment)
+	res, err := eng.Prove(ctx, circuit, assignment)
 	if err != nil {
 		log.Fatalf("prove: %v", err)
 	}
+	tm := res.Timings
 	fmt.Printf("  step 1  witness commits:       %v\n", tm.WitnessCommit.Round(time.Microsecond))
 	fmt.Printf("  step 2  gate identity:         %v\n", tm.GateIdentity.Round(time.Microsecond))
 	fmt.Printf("  step 3  wiring identity:       %v\n", tm.WireIdentity.Round(time.Microsecond))
 	fmt.Printf("  step 4  batch evaluations:     %v\n", tm.BatchEvals.Round(time.Microsecond))
 	fmt.Printf("  step 5  polynomial opening:    %v\n", tm.PolyOpen.Round(time.Microsecond))
 	fmt.Printf("  total prover time:             %v\n", tm.Total.Round(time.Microsecond))
-	fmt.Printf("  proof size: %d bytes (%.2f KB)\n", proof.ProofSizeBytes(), float64(proof.ProofSizeBytes())/1024)
+	fmt.Printf("  proof size: %d bytes (%.2f KB)\n", res.Stats.ProofBytes, float64(res.Stats.ProofBytes)/1024)
+
+	printEstimate(eng, res.Stats)
 
 	if *skipVerify {
 		return
 	}
 	fmt.Println("verifying...")
 	t0 = time.Now()
-	if err := hyperplonk.Verify(vk, pub, proof); err != nil {
+	if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
 		log.Fatalf("VERIFICATION FAILED: %v", err)
 	}
 	fmt.Printf("  proof verified in %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// runBatch proves `count` distinct circuits of the same size on the
+// Engine's worker pool; the universal SRS ceremony runs exactly once.
+func runBatch(ctx context.Context, eng *zkspeed.Engine, mu int, seed int64, count int, skipVerify bool) {
+	fmt.Printf("building %d synthetic 2^%d-gate circuits...\n", count, mu)
+	jobs := make([]zkspeed.ProofJob, count)
+	for i := range jobs {
+		circuit, assignment, _, err := zkspeed.SyntheticWorkloadSeeded(mu, seed+int64(i))
+		if err != nil {
+			log.Fatalf("workload %d: %v", i, err)
+		}
+		jobs[i] = zkspeed.ProofJob{Circuit: circuit, Assignment: assignment}
+	}
+	t0 := time.Now()
+	results, err := eng.ProveBatch(ctx, jobs)
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("job %d: %v", r.Job, r.Err)
+		}
+		fmt.Printf("  job %d: proved in %v (%d-byte proof, cached setup: %v)\n",
+			r.Job, r.Result.Stats.ProverTime.Round(time.Microsecond),
+			r.Result.Stats.ProofBytes, r.Result.Stats.SetupCached)
+	}
+	st := eng.Stats()
+	fmt.Printf("batch of %d done in %v — SRS ceremonies: %d, key setups: %d\n",
+		count, time.Since(t0).Round(time.Millisecond), st.SRSSetups, st.KeySetups)
+	if !skipVerify {
+		fmt.Println("verifying...")
+		t0 = time.Now()
+		for i, r := range results {
+			if err := eng.Verify(ctx, jobs[i].Circuit, r.Result.PublicInputs, r.Result.Proof); err != nil {
+				log.Fatalf("job %d: VERIFICATION FAILED: %v", i, err)
+			}
+		}
+		fmt.Printf("  all %d proofs verified in %v\n", count, time.Since(t0).Round(time.Millisecond))
+	}
+	printEstimate(eng, results[0].Result.Stats)
+}
+
+// printEstimate couples the measured proof with the accelerator model.
+func printEstimate(eng *zkspeed.Engine, stats zkspeed.ProofStats) {
+	est := eng.Estimate(stats, zkspeed.PaperDesign())
+	fmt.Printf("zkSpeed estimate (paper design, 2^%d gates):\n", stats.Mu)
+	fmt.Printf("  predicted accelerator latency: %.3f ms\n", est.PredictedMS)
+	fmt.Printf("  measured CPU time:             %.1f ms (%.0f× slower)\n",
+		est.MeasuredMS, est.SpeedupVsMeasured)
+	fmt.Printf("  paper CPU baseline:            %.0f ms (%.0f× slower)\n",
+		est.CPUBaselineMS, est.SpeedupVsCPU)
 }

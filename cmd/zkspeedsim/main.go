@@ -15,39 +15,17 @@ import (
 	"os"
 	"strings"
 
-	"zkspeed/internal/experiments"
+	"zkspeed"
 )
 
-var generators = map[string]func() string{
-	"table1":    experiments.Table1,
-	"table2":    experiments.Table2,
-	"table3":    experiments.Table3,
-	"table4":    experiments.Table4,
-	"table5":    experiments.Table5,
-	"fig5":      experiments.Figure5,
-	"fig6":      experiments.Figure6,
-	"fig8":      experiments.Figure8,
-	"fig9":      experiments.Figure9,
-	"fig10":     experiments.Figure10,
-	"fig11":     experiments.Figure11,
-	"fig12":     experiments.Figure12,
-	"fig13":     experiments.Figure13,
-	"fig14":     experiments.Figure14,
-	"ablations": experiments.Ablations,
-	"all":       experiments.All,
-}
-
 func main() {
-	names := make([]string, 0, len(generators))
-	for k := range generators {
-		names = append(names, k)
-	}
-	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(names, ", "))
+	exp := flag.String("exp", "all",
+		"experiment to run: "+strings.Join(zkspeed.ExperimentNames(), ", "))
 	flag.Parse()
-	gen, ok := generators[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: %s\n", *exp, strings.Join(names, ", "))
+	out, err := zkspeed.RunExperiment(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Print(gen())
+	fmt.Print(out)
 }

@@ -1,0 +1,531 @@
+package zkspeed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkspeed/internal/hyperplonk"
+	"zkspeed/internal/pcs"
+	"zkspeed/internal/sim"
+)
+
+// Engine is a reusable prover/verifier session. It owns a cache of
+// universal SRSs (one per problem size) and of per-circuit proving and
+// verifying keys (keyed by circuit digest), so repeated proofs of the same
+// circuit — and proofs of different circuits of the same size — skip the
+// expensive setup work. This is HyperPlonk's one-time-setup property (§1
+// of the paper) surfaced as API shape: setup happens at most once per
+// relation for the lifetime of the Engine.
+//
+// An Engine is safe for concurrent use. All long-running operations accept
+// a context.Context and abort within one protocol step when it is
+// cancelled.
+type Engine struct {
+	cfg engineConfig
+
+	mu      sync.Mutex
+	seed    []byte                 // master ceremony seed, read lazily from cfg.entropy
+	seedErr error                  // sticky entropy-read failure
+	srs     map[int]*srsEntry      // universal SRS per problem size
+	keys    map[[32]byte]*keyEntry // preprocessed keys per circuit digest
+	digests map[*Circuit][32]byte  // memoized circuit digests (O(2^mu) to hash)
+	st      EngineStats
+}
+
+// srsEntry is a singleflight slot for one problem size's ceremony, so the
+// (seconds-long at large sizes) SRS derivation never runs under the Engine
+// lock and concurrent same-size callers wait for a single derivation.
+type srsEntry struct {
+	done chan struct{}
+	s    *SRS
+	err  error
+}
+
+type circuitKeys struct {
+	pk *ProvingKey
+	vk *VerifyingKey
+}
+
+// keyEntry is a singleflight slot in the key cache: the creator closes
+// done when setup finishes, so concurrent proofs of the same circuit wait
+// for one preprocessing instead of repeating it — without holding the
+// Engine lock across the (potentially seconds-long) setup.
+type keyEntry struct {
+	done chan struct{}
+	k    *circuitKeys
+	err  error
+}
+
+// EngineStats counts the work an Engine has performed — primarily a
+// visibility hook for the caching behaviour (a second proof of the same
+// circuit must not increment SRSSetups or KeySetups).
+type EngineStats struct {
+	// SRSSetups counts simulated trusted-setup ceremonies run.
+	SRSSetups int
+	// KeySetups counts circuit preprocessings (selector/σ commitments).
+	KeySetups int
+	// KeyCacheHits counts proofs/verifies served from the key cache.
+	KeyCacheHits int
+	// Proofs and Verifies count completed operations.
+	Proofs   int
+	Verifies int
+}
+
+// New constructs an Engine. With no options it uses crypto/rand entropy,
+// one proving worker per CPU for batches, enabled SRS/key caching, and no
+// per-step timing collection.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		cfg:     defaultEngineConfig(),
+		srs:     make(map[int]*srsEntry),
+		keys:    make(map[[32]byte]*keyEntry),
+		digests: make(map[*Circuit][32]byte),
+	}
+	for _, o := range opts {
+		o(&e.cfg)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the Engine's work counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st
+}
+
+// SRSFor returns the Engine's universal SRS for 2^mu-gate circuits,
+// running the simulated ceremony on first use. The returned SRS may be
+// preloaded into another Engine via WithSRS — the reuse hook for sharing
+// one ceremony across processes.
+func (e *Engine) SRSFor(ctx context.Context, mu int) (*SRS, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.srsFor(ctx, mu)
+}
+
+// masterSeed lazily reads the 64-byte ceremony seed from the entropy
+// source. The read failure is sticky: a broken entropy source fails every
+// subsequent setup the same way.
+func (e *Engine) masterSeed() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.seed == nil && e.seedErr == nil {
+		buf := make([]byte, 64)
+		if _, err := io.ReadFull(e.cfg.entropy, buf); err != nil {
+			e.seedErr = fmt.Errorf("zkspeed: reading setup entropy: %w", err)
+		} else {
+			e.seed = buf
+		}
+	}
+	return e.seed, e.seedErr
+}
+
+// srsFor returns (deriving if needed) the SRS for mu. The ceremony is
+// derived deterministically from the Engine's master seed, so an Engine
+// that does not retain the SRS (WithoutSRSCache) rebuilds the identical
+// ceremony on demand and earlier proofs stay verifiable. In caching mode
+// concurrent same-size callers singleflight on one derivation, which runs
+// outside the Engine lock so other operations never stall behind it.
+func (e *Engine) srsFor(ctx context.Context, mu int) (*SRS, error) {
+	if p := e.cfg.preloadSRS; p != nil && p.Mu == mu {
+		return p, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !e.cfg.cache {
+		seed, err := e.masterSeed()
+		if err != nil {
+			return nil, err
+		}
+		s := pcs.SetupFromSeed(seed, mu)
+		e.mu.Lock()
+		e.st.SRSSetups++
+		e.mu.Unlock()
+		return s, nil
+	}
+	for {
+		e.mu.Lock()
+		if entry, ok := e.srs[mu]; ok {
+			e.mu.Unlock()
+			select {
+			case <-entry.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if entry.err == nil {
+				return entry.s, nil
+			}
+			// Creator failed (possibly its own cancelled context): evict
+			// the dead entry and retry under our context.
+			e.mu.Lock()
+			if cur, ok := e.srs[mu]; ok && cur == entry {
+				delete(e.srs, mu)
+			}
+			e.mu.Unlock()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		entry := &srsEntry{done: make(chan struct{})}
+		e.srs[mu] = entry
+		e.mu.Unlock()
+		seed, err := e.masterSeed()
+		if err == nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			} else {
+				entry.s = pcs.SetupFromSeed(seed, mu)
+			}
+		}
+		entry.err = err
+		close(entry.done)
+		e.mu.Lock()
+		if err != nil {
+			if cur, ok := e.srs[mu]; ok && cur == entry {
+				delete(e.srs, mu)
+			}
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.st.SRSSetups++
+		e.mu.Unlock()
+		return entry.s, nil
+	}
+}
+
+// keysFor returns the preprocessed keys for the circuit, reusing the cache
+// when the circuit digest is known. The bool reports whether the keys came
+// from cache. The context is checked before each setup stage so a
+// cancelled caller does not pay for the ceremony or the preprocessing.
+//
+// In caching mode concurrent callers of the same circuit singleflight on a
+// keyEntry; the SRS derivation and the per-circuit preprocessing both run
+// outside the Engine lock, so cached proofs and Stats never stall behind a
+// setup.
+func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if !e.cfg.cache {
+		// No retention: straight-line setup, nothing stored (not even the
+		// digest memo, which would pin the circuit tables in memory).
+		srs, err := e.srsFor(ctx, circuit.Mu)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		pk, vk, err := hyperplonk.SetupWithSRS(circuit, srs)
+		if err != nil {
+			return nil, false, err
+		}
+		e.mu.Lock()
+		e.st.KeySetups++
+		e.mu.Unlock()
+		return &circuitKeys{pk: pk, vk: vk}, false, nil
+	}
+
+	// Memoize circuit.Digest() per circuit pointer — it is an O(2^mu)
+	// SHA3 pass, so the first computation happens outside the lock (it is
+	// pure, so a concurrent duplicate is merely redundant). The memo pins
+	// the circuit in memory, which is why uncached mode skips it.
+	e.mu.Lock()
+	digest, haveDigest := e.digests[circuit]
+	e.mu.Unlock()
+	if !haveDigest {
+		digest = circuit.Digest()
+	}
+	e.mu.Lock()
+	if !haveDigest {
+		e.digests[circuit] = digest
+	}
+	for {
+		if entry, ok := e.keys[digest]; ok {
+			e.mu.Unlock()
+			select {
+			case <-entry.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if entry.err == nil {
+				e.mu.Lock()
+				e.st.KeyCacheHits++
+				e.mu.Unlock()
+				return entry.k, true, nil
+			}
+			// The creator failed — possibly on its own cancelled context.
+			// Evict the dead entry and retry under our context.
+			e.mu.Lock()
+			if cur, ok := e.keys[digest]; ok && cur == entry {
+				delete(e.keys, digest)
+			}
+			if err := ctx.Err(); err != nil {
+				e.mu.Unlock()
+				return nil, false, err
+			}
+			continue
+		}
+
+		// We are the creator: publish the in-flight entry, then derive the
+		// SRS and preprocess outside the lock.
+		entry := &keyEntry{done: make(chan struct{})}
+		e.keys[digest] = entry
+		e.mu.Unlock()
+		srs, err := e.srsFor(ctx, circuit.Mu)
+		if err == nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			} else {
+				var pk *ProvingKey
+				var vk *VerifyingKey
+				pk, vk, err = hyperplonk.SetupWithSRS(circuit, srs)
+				if err == nil {
+					entry.k = &circuitKeys{pk: pk, vk: vk}
+				}
+			}
+		}
+		entry.err = err
+		close(entry.done)
+		e.mu.Lock()
+		if err != nil {
+			if cur, ok := e.keys[digest]; ok && cur == entry {
+				delete(e.keys, digest)
+			}
+			e.mu.Unlock()
+			return nil, false, err
+		}
+		e.st.KeySetups++
+		e.mu.Unlock()
+		return entry.k, false, nil
+	}
+}
+
+// Setup preprocesses a circuit under the Engine's cached universal SRS and
+// returns its keys. Prove and Verify call this implicitly; it is exposed
+// for callers that hand keys to another process. Cancelling the context
+// aborts before the ceremony and before the preprocessing.
+func (e *Engine) Setup(ctx context.Context, circuit *Circuit) (*ProvingKey, *VerifyingKey, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k, _, err := e.keysFor(ctx, circuit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k.pk, k.vk, nil
+}
+
+// ProofResult bundles everything one Prove call produced.
+type ProofResult struct {
+	Proof *Proof
+	// Timings is the per-step wall-clock breakdown; nil unless the Engine
+	// was built WithTimings().
+	Timings *StepTimings
+	// PublicInputs are extracted from the assignment for convenient
+	// verification.
+	PublicInputs []Scalar
+	// Stats feeds Engine.Estimate to couple this measured proof with a
+	// predicted accelerator latency.
+	Stats ProofStats
+}
+
+// ProofStats is the measured shape of one proof — the functional-side
+// facts the modeling side needs.
+type ProofStats struct {
+	Mu         int
+	NumGates   int
+	NumPublic  int
+	ProofBytes int
+	// ProverTime is the measured CPU proving latency (setup excluded).
+	ProverTime time.Duration
+	// SetupCached reports whether this proof reused cached keys.
+	SetupCached bool
+}
+
+// Prove generates a proof for the assignment, running setup at most once
+// per circuit. Cancelling the context aborts the proof within one protocol
+// step and returns ctx.Err().
+func (e *Engine) Prove(ctx context.Context, circuit *Circuit, assignment *Assignment) (*ProofResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k, cached, err := e.keysFor(ctx, circuit)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	proof, tm, err := hyperplonk.ProveWithContext(ctx, k.pk, assignment,
+		&hyperplonk.ProveOptions{CollectTimings: e.cfg.timings})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.st.Proofs++
+	e.mu.Unlock()
+	return &ProofResult{
+		Proof:        proof,
+		Timings:      tm,
+		PublicInputs: circuit.PublicInputs(assignment),
+		Stats: ProofStats{
+			Mu:          circuit.Mu,
+			NumGates:    circuit.NumGates(),
+			NumPublic:   circuit.NumPublic,
+			ProofBytes:  proof.ProofSizeBytes(),
+			ProverTime:  time.Since(start),
+			SetupCached: cached,
+		},
+	}, nil
+}
+
+// ProofJob is one unit of work for ProveBatch.
+type ProofJob struct {
+	Circuit    *Circuit
+	Assignment *Assignment
+}
+
+// BatchResult is the outcome of one ProveBatch job, in job order.
+type BatchResult struct {
+	Job    int
+	Result *ProofResult
+	Err    error
+}
+
+// ProveBatch proves the jobs concurrently on the Engine's worker pool
+// (WithParallelism). Setup is shared: jobs over the same circuit reuse one
+// key preprocessing, and jobs of the same size reuse one SRS ceremony.
+// Per-job failures land in BatchResult.Err; the returned error is non-nil
+// only when the context was cancelled and at least one job was cut short,
+// in which case the affected jobs carry ctx.Err().
+func (e *Engine) ProveBatch(ctx context.Context, jobs []ProofJob) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(jobs))
+	nw := e.cfg.parallelism
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Job: i, Err: err}
+					continue
+				}
+				res, err := e.Prove(ctx, jobs[i].Circuit, jobs[i].Assignment)
+				out[i] = BatchResult{Job: i, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	// A cancellation that lands after the last job finished is not a
+	// batch failure: report ctx.Err() only when it actually cut a job
+	// short. Other per-job failures stay in the results alone.
+	if err := ctx.Err(); err != nil {
+		for _, r := range out {
+			if errors.Is(r.Err, err) {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Verify checks a proof against the circuit's cached verifying key and the
+// public inputs.
+func (e *Engine) Verify(ctx context.Context, circuit *Circuit, pub []Scalar, proof *Proof) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k, _, err := e.keysFor(ctx, circuit)
+	if err != nil {
+		return err
+	}
+	return e.VerifyWithKey(ctx, k.vk, pub, proof)
+}
+
+// VerifyWithKey checks a proof against an explicit verifying key — the
+// path for verifiers that received vk out of band and never saw the
+// circuit.
+func (e *Engine) VerifyWithKey(ctx context.Context, vk *VerifyingKey, pub []Scalar, proof *Proof) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := hyperplonk.VerifyWithContext(ctx, vk, pub, proof, nil); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.st.Verifies++
+	e.mu.Unlock()
+	return nil
+}
+
+// HardwareEstimate couples a measured proof with the zkSpeed accelerator
+// model: the predicted latency of the same proof on a given design point,
+// next to the CPU baseline and (when available) the measured CPU time.
+type HardwareEstimate struct {
+	Design DesignConfig
+	Sim    SimResult
+	// PredictedMS is the modeled zkSpeed latency for this proof size.
+	PredictedMS float64
+	// CPUBaselineMS is the paper's calibrated CPU-baseline latency.
+	CPUBaselineMS float64
+	// MeasuredMS is the proof's measured CPU time (0 when unknown).
+	MeasuredMS float64
+	// SpeedupVsCPU is CPUBaselineMS / PredictedMS — the paper's headline
+	// metric (801× geomean for the highlighted design).
+	SpeedupVsCPU float64
+	// SpeedupVsMeasured is MeasuredMS / PredictedMS (0 when unknown).
+	SpeedupVsMeasured float64
+}
+
+// Estimate predicts how the proof described by stats would perform on the
+// given accelerator design point — the prove-then-estimate flow that
+// unifies the repository's functional and modeling sides. It is the
+// method form of the package-level Estimate for fluent use next to
+// Prove; the Engine's state does not influence the prediction.
+func (e *Engine) Estimate(stats ProofStats, design DesignConfig) HardwareEstimate {
+	return Estimate(stats, design)
+}
+
+// Estimate predicts how the proof described by stats would perform on the
+// given accelerator design point. stats needs only Mu for a prediction;
+// a measured ProverTime additionally yields SpeedupVsMeasured.
+func Estimate(stats ProofStats, design DesignConfig) HardwareEstimate {
+	res := sim.Simulate(design, stats.Mu)
+	est := HardwareEstimate{
+		Design:        design,
+		Sim:           res,
+		PredictedMS:   res.Milliseconds(),
+		CPUBaselineMS: sim.CPUTimeMS(stats.Mu),
+	}
+	if stats.ProverTime > 0 {
+		est.MeasuredMS = float64(stats.ProverTime) / float64(time.Millisecond)
+	}
+	if est.PredictedMS > 0 {
+		est.SpeedupVsCPU = est.CPUBaselineMS / est.PredictedMS
+		est.SpeedupVsMeasured = est.MeasuredMS / est.PredictedMS
+	}
+	return est
+}

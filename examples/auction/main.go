@@ -9,9 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"zkspeed"
 )
@@ -49,19 +49,19 @@ func main() {
 	}
 	fmt.Printf("auction circuit: %d bids → 2^%d gates\n", len(bids), circuit.Mu)
 
-	rng := rand.New(rand.NewSource(7))
-	pk, vk, err := zkspeed.Setup(circuit, rng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	proof, timings, err := zkspeed.Prove(pk, assignment)
+	eng := zkspeed.New(
+		zkspeed.WithEntropy(zkspeed.SeededEntropy(7)),
+		zkspeed.WithTimings(),
+	)
+	ctx := context.Background()
+	res, err := eng.Prove(ctx, circuit, assignment)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("proved winning price %s in %v (%d-byte proof)\n",
-		pub[0].String(), timings.Total, proof.ProofSizeBytes())
+		pub[0].String(), res.Timings.Total, res.Stats.ProofBytes)
 
-	if err := zkspeed.Verify(vk, pub, proof); err != nil {
+	if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
 		log.Fatalf("verification failed: %v", err)
 	}
 	fmt.Println("any bidder can now verify the price is the true maximum ✓")
@@ -69,7 +69,7 @@ func main() {
 	// An auctioneer announcing a lower price cannot produce an accepted
 	// proof: verification against the forged public input fails.
 	forged := []zkspeed.Scalar{zkspeed.NewScalar(4550)}
-	if err := zkspeed.Verify(vk, forged, proof); err == nil {
+	if err := eng.Verify(ctx, circuit, forged, res.Proof); err == nil {
 		log.Fatal("forged price accepted!")
 	}
 	fmt.Println("understated winning price rejected ✓")

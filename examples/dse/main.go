@@ -41,12 +41,14 @@ func main() {
 		return
 	}
 	fmt.Printf("\nbest design under 300 mm²: %s\n", best.Config)
-	res := zkspeed.Simulate(best.Config, mu)
+	// Estimate couples a proof shape (here just the problem size) with a
+	// design point; with a measured proof, res.Stats slots in here.
+	est := zkspeed.Estimate(zkspeed.ProofStats{Mu: mu}, best.Config)
+	res := est.Sim
 	area := zkspeed.Area(best.Config, mu)
 	power := zkspeed.Power(res, area)
-	cpu := zkspeed.CPUTimeMS(mu)
 	fmt.Printf("  runtime:  %.3f ms (%.0f× over the %.0f ms CPU baseline)\n",
-		res.Milliseconds(), cpu/res.Milliseconds(), cpu)
+		est.PredictedMS, est.SpeedupVsCPU, est.CPUBaselineMS)
 	fmt.Printf("  area:     %.1f mm² (compute %.1f, SRAM %.1f, PHY %.1f)\n",
 		area.Total(), area.TotalCompute(), area.SRAM, area.HBMPHY)
 	fmt.Printf("  power:    %.1f W (%.2f W/mm²)\n", power.Total(), power.Total()/area.Total())

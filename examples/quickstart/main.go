@@ -1,12 +1,12 @@
 // Quickstart: prove knowledge of a secret x with x² + 3x + 5 == y for a
 // public y, then verify the proof. This is the smallest end-to-end use of
-// the zkspeed HyperPlonk API.
+// the zkspeed Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"zkspeed"
 )
@@ -29,22 +29,24 @@ func main() {
 	}
 	fmt.Printf("circuit: 2^%d gates, %d public input(s)\n", circuit.Mu, len(pub))
 
-	// 2. Universal setup (simulated powers-of-tau ceremony).
-	rng := rand.New(rand.NewSource(42))
-	pk, vk, err := zkspeed.Setup(circuit, rng)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 2. Create an Engine. It runs the universal setup (simulated
+	//    powers-of-tau ceremony) lazily on first proof and caches the SRS
+	//    and circuit keys for every proof after that.
+	eng := zkspeed.New(
+		zkspeed.WithEntropy(zkspeed.SeededEntropy(42)),
+		zkspeed.WithTimings(),
+	)
+	ctx := context.Background()
 
 	// 3. Prove.
-	proof, timings, err := zkspeed.Prove(pk, assignment)
+	res, err := eng.Prove(ctx, circuit, assignment)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("proved in %v (proof size %d bytes)\n", timings.Total, proof.ProofSizeBytes())
+	fmt.Printf("proved in %v (proof size %d bytes)\n", res.Timings.Total, res.Stats.ProofBytes)
 
 	// 4. Verify.
-	if err := zkspeed.Verify(vk, pub, proof); err != nil {
+	if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
 		log.Fatalf("verification failed: %v", err)
 	}
 	fmt.Printf("verified: y = %s is x²+3x+5 for a secret x ✓\n", pub[0].String())
@@ -52,8 +54,13 @@ func main() {
 	// A wrong public input must fail.
 	bad := append([]zkspeed.Scalar(nil), pub...)
 	bad[0] = zkspeed.NewScalar(1)
-	if err := zkspeed.Verify(vk, bad, proof); err == nil {
+	if err := eng.Verify(ctx, circuit, bad, res.Proof); err == nil {
 		log.Fatal("forged public input was accepted!")
 	}
 	fmt.Println("forged public input rejected ✓")
+
+	// 5. Estimate: what would this proof cost on the paper's accelerator?
+	est := eng.Estimate(res.Stats, zkspeed.PaperDesign())
+	fmt.Printf("zkSpeed estimate: %.4f ms on the paper design (measured CPU: %.2f ms)\n",
+		est.PredictedMS, est.MeasuredMS)
 }

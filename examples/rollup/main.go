@@ -6,9 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"zkspeed"
 )
@@ -71,18 +71,18 @@ func main() {
 	fmt.Printf("rollup circuit: %d transfers over %d accounts → 2^%d gates\n",
 		len(txs), len(initial), circuit.Mu)
 
-	rng := rand.New(rand.NewSource(13))
-	pk, vk, err := zkspeed.Setup(circuit, rng)
+	eng := zkspeed.New(
+		zkspeed.WithEntropy(zkspeed.SeededEntropy(13)),
+		zkspeed.WithTimings(),
+	)
+	ctx := context.Background()
+	res, err := eng.Prove(ctx, circuit, assignment)
 	if err != nil {
 		log.Fatal(err)
 	}
-	proof, timings, err := zkspeed.Prove(pk, assignment)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("proved batch in %v (%d-byte proof)\n", timings.Total, proof.ProofSizeBytes())
+	fmt.Printf("proved batch in %v (%d-byte proof)\n", res.Timings.Total, res.Stats.ProofBytes)
 
-	if err := zkspeed.Verify(vk, pub, proof); err != nil {
+	if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
 		log.Fatalf("verification failed: %v", err)
 	}
 	fmt.Println("rollup state transition verified ✓")

@@ -1,0 +1,52 @@
+package zkspeed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zkspeed/internal/experiments"
+)
+
+// experimentGenerators maps artifact names to the generators that
+// regenerate the corresponding table or figure of the paper's evaluation.
+var experimentGenerators = map[string]func() string{
+	"table1":    experiments.Table1,
+	"table2":    experiments.Table2,
+	"table3":    experiments.Table3,
+	"table4":    experiments.Table4,
+	"table5":    experiments.Table5,
+	"fig5":      experiments.Figure5,
+	"fig6":      experiments.Figure6,
+	"fig8":      experiments.Figure8,
+	"fig9":      experiments.Figure9,
+	"fig10":     experiments.Figure10,
+	"fig11":     experiments.Figure11,
+	"fig12":     experiments.Figure12,
+	"fig13":     experiments.Figure13,
+	"fig14":     experiments.Figure14,
+	"ablations": experiments.Ablations,
+	"all":       experiments.All,
+}
+
+// ExperimentNames lists the paper-evaluation artifacts RunExperiment can
+// regenerate, in sorted order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experimentGenerators))
+	for k := range experimentGenerators {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunExperiment regenerates the named table or figure of the zkSpeed
+// paper's evaluation and returns it as formatted text.
+func RunExperiment(name string) (string, error) {
+	gen, ok := experimentGenerators[name]
+	if !ok {
+		return "", fmt.Errorf("zkspeed: unknown experiment %q; options: %s",
+			name, strings.Join(ExperimentNames(), ", "))
+	}
+	return gen(), nil
+}

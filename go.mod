@@ -1,0 +1,3 @@
+module zkspeed
+
+go 1.24

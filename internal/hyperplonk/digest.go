@@ -1,0 +1,29 @@
+package hyperplonk
+
+import (
+	"zkspeed/internal/ff"
+	"zkspeed/internal/transcript"
+)
+
+// Digest returns a 32-byte hash binding the full compiled circuit: gate
+// count, public-input count, all five selector tables and the wiring
+// permutation. Two circuits share a digest iff they are the same
+// preprocessed relation, which makes the digest the natural cache key for
+// proving/verifying keys derived under a shared universal SRS.
+func (c *Circuit) Digest() [32]byte {
+	tr := transcript.New("zkspeed.hyperplonk.circuit")
+	muFr := ff.NewFr(uint64(c.Mu))
+	tr.AppendFr("mu", &muFr)
+	npFr := ff.NewFr(uint64(c.NumPublic))
+	tr.AppendFr("npub", &npFr)
+	tr.AppendFrs("qL", c.QL.Evals)
+	tr.AppendFrs("qR", c.QR.Evals)
+	tr.AppendFrs("qM", c.QM.Evals)
+	tr.AppendFrs("qO", c.QO.Evals)
+	tr.AppendFrs("qC", c.QC.Evals)
+	for j := range c.Sigma {
+		tr.AppendFrs("sigma", c.Sigma[j].Evals)
+	}
+	d := tr.ChallengeFr("digest")
+	return d.Bytes()
+}

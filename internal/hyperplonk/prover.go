@@ -1,6 +1,7 @@
 package hyperplonk
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -21,10 +22,28 @@ type StepTimings struct {
 	Total         time.Duration
 }
 
-// Prove generates a HyperPlonk proof for the assignment under pk.
-// The protocol steps run strictly in sequence, interleaved with SHA3
-// transcript updates, exactly as Fig. 2 of the paper lays them out.
+// ProveOptions tunes a single proof generation.
+type ProveOptions struct {
+	// CollectTimings enables the per-step wall-clock breakdown; when
+	// false, ProveWithContext returns nil timings.
+	CollectTimings bool
+}
+
+// Prove generates a HyperPlonk proof for the assignment under pk with
+// default options and no cancellation.
 func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
+	return ProveWithContext(context.Background(), pk, a, &ProveOptions{CollectTimings: true})
+}
+
+// ProveWithContext generates a HyperPlonk proof for the assignment under
+// pk. The protocol steps run strictly in sequence, interleaved with SHA3
+// transcript updates, exactly as Fig. 2 of the paper lays them out. The
+// context is checked at every protocol-step boundary, so cancellation
+// aborts the proof within one step and returns ctx.Err().
+func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *ProveOptions) (*Proof, *StepTimings, error) {
+	if opts == nil {
+		opts = &ProveOptions{CollectTimings: true}
+	}
 	c := pk.Circuit
 	mu := c.Mu
 	n := c.NumGates()
@@ -41,6 +60,9 @@ func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	tr.AppendFrs("public", pub)
 
 	// ---- Step 1: Witness Commits (Sparse MSMs, §3.3.1) ----
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t0 := time.Now()
 	var err error
 	for j, w := range []*poly.MLE{a.W1, a.W2, a.W3} {
@@ -52,6 +74,9 @@ func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	tm.WitnessCommit = time.Since(t0)
 
 	// ---- Step 2: Gate Identity (ZeroCheck, §3.3.2) ----
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t0 = time.Now()
 	zcPoint := tr.ChallengeFrs("zerocheck.t", mu)
 	eq1 := poly.EqTable(zcPoint) // Build MLE on the Multifunction Tree Unit
@@ -62,6 +87,9 @@ func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	tm.GateIdentity = time.Since(t0)
 
 	// ---- Step 3: Wiring Identity (PermCheck, §3.3.3) ----
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t0 = time.Now()
 	beta := tr.ChallengeFr("permcheck.beta")
 	gamma := tr.ChallengeFr("permcheck.gamma")
@@ -87,6 +115,9 @@ func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	tm.WireIdentity = time.Since(t0)
 
 	// ---- Step 4: Batch Evaluations (§3.3.4) ----
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t0 = time.Now()
 	piVars := c.PublicVars()
 	rPI := tr.ChallengeFrs("pi.r", piVars)
@@ -99,6 +130,9 @@ func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	tm.BatchEvals = time.Since(t0)
 
 	// ---- Step 5: Polynomial Opening (OpenCheck + PST opening, §3.3.5) ----
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	t0 = time.Now()
 	eta := tr.ChallengeFr("open.eta")
 	weights := etaWeights(&eta)
@@ -160,6 +194,9 @@ func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	proof.Opening = opening
 	tm.PolyOpen = time.Since(t0)
 	tm.Total = time.Since(start)
+	if !opts.CollectTimings {
+		return proof, nil, nil
+	}
 	return proof, tm, nil
 }
 

@@ -1,6 +1,7 @@
 package hyperplonk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -19,11 +20,28 @@ const (
 	openCheckDegree = 2 // y_j·k_j
 )
 
-// Verify checks a HyperPlonk proof against the verifying key and public
-// inputs. It replays the transcript, verifies all three sumchecks, the
-// gate/wiring/product/public-input identities over the 22 batch
-// evaluations, and the final PST pairing check.
+// VerifyOptions tunes proof verification. It is currently empty but keeps
+// the signature stable as verification knobs (batching, pairing schedule)
+// arrive.
+type VerifyOptions struct{}
+
+// Verify checks a HyperPlonk proof with default options and no
+// cancellation.
 func Verify(vk *VerifyingKey, pub []ff.Fr, proof *Proof) error {
+	return VerifyWithContext(context.Background(), vk, pub, proof, nil)
+}
+
+// VerifyWithContext checks a HyperPlonk proof against the verifying key
+// and public inputs. It replays the transcript, verifies all three
+// sumchecks, the gate/wiring/product/public-input identities over the 22
+// batch evaluations, and the final PST pairing check. The context is
+// checked before the transcript replay and again before the (pairing-
+// heavy) opening check.
+func VerifyWithContext(ctx context.Context, vk *VerifyingKey, pub []ff.Fr, proof *Proof, opts *VerifyOptions) error {
+	_ = opts
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	mu := vk.Mu
 	if len(pub) != vk.NumPublic {
 		return fmt.Errorf("hyperplonk: got %d public inputs, circuit has %d", len(pub), vk.NumPublic)
@@ -158,6 +176,9 @@ func Verify(vk *VerifyingKey, pub []ff.Fr, proof *Proof) error {
 	}
 
 	// ---- Step 5: polynomial opening ----
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	eta := tr.ChallengeFr("open.eta")
 	weights := etaWeights(&eta)
 	var claim ff.Fr

@@ -22,6 +22,7 @@ import (
 	"zkspeed/internal/ff"
 	"zkspeed/internal/msm"
 	"zkspeed/internal/poly"
+	"zkspeed/internal/transcript"
 )
 
 // SRS is the structured reference string for up to Mu variables.
@@ -51,6 +52,10 @@ type OpeningProof struct {
 
 // Setup runs the simulated trusted-setup ceremony for mu variables using
 // the provided entropy source. The toxic waste is discarded before return.
+//
+// Deprecated: use SetupFromSeed with a seed drawn from any entropy source
+// (crypto/rand in production, a fixed seed in tests) — it additionally
+// makes the ceremony reproducible from the seed alone.
 func Setup(mu int, rng *rand.Rand) *SRS {
 	taus := make([]ff.Fr, mu)
 	rMod := ff.FrModulusBig()
@@ -58,6 +63,19 @@ func Setup(mu int, rng *rand.Rand) *SRS {
 		taus[i].SetBigInt(new(big.Int).Rand(rng, rMod))
 	}
 	return SetupWithTaus(taus)
+}
+
+// SetupFromSeed derives the simulated ceremony deterministically from a
+// master seed: τ values come from a SHA3 transcript over (seed, mu).
+// Re-running with the same seed reproduces the identical SRS, which lets
+// callers discard the (memory-heavy) SRS and rebuild it on demand without
+// breaking previously issued proofs.
+func SetupFromSeed(seed []byte, mu int) *SRS {
+	tr := transcript.New("zkspeed.pcs.srs")
+	tr.AppendBytes("seed", seed)
+	muFr := ff.NewFr(uint64(mu))
+	tr.AppendFr("mu", &muFr)
+	return SetupWithTaus(tr.ChallengeFrs("tau", mu))
 }
 
 // SetupWithTaus builds the SRS from explicit τ values (exposed for tests

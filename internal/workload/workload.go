@@ -33,6 +33,12 @@ func Table3Workloads() []Named {
 	}
 }
 
+// SyntheticSeed is Synthetic with a deterministic generator derived from
+// seed — the reproducible entry point used by the public API and the CLI.
+func SyntheticSeed(mu int, seed int64) (*hyperplonk.Circuit, *hyperplonk.Assignment, []ff.Fr, error) {
+	return Synthetic(mu, rand.New(rand.NewSource(seed)))
+}
+
 // Synthetic builds a valid random circuit with ~2^mu gates whose witness
 // statistics follow §6.2: roughly 45% zeros, 45% ones and 10% full-width
 // values across the wire tables. Returns the compiled circuit, a

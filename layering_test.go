@@ -1,0 +1,55 @@
+package zkspeed_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalImportBoundary enforces the layering rule of the public API:
+// only the root zkspeed package (the files in the repository root) and
+// code under internal/ may import zkspeed/internal/... packages. The
+// commands and examples must compile against the public surface alone, so
+// that everything they do is expressible through the documented API.
+func TestInternalImportBoundary(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			// The root package and internal/ are the two legitimate homes
+			// for internal imports; everything else is checked.
+			if path == "internal" || name == ".git" || name == ".github" || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		if filepath.Dir(path) == "." {
+			// Root-package files (and its tests) may import internal/.
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			t.Errorf("%s: %v", path, perr)
+			return nil
+		}
+		for _, imp := range f.Imports {
+			v := strings.Trim(imp.Path.Value, `"`)
+			if v == "zkspeed/internal" || strings.HasPrefix(v, "zkspeed/internal/") {
+				t.Errorf("%s imports %s: packages outside internal/ must use the public zkspeed API", path, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

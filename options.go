@@ -1,0 +1,87 @@
+package zkspeed
+
+import (
+	crand "crypto/rand"
+	"io"
+	"math/rand"
+	"runtime"
+)
+
+// engineConfig is the resolved option set of an Engine.
+type engineConfig struct {
+	entropy     io.Reader
+	parallelism int
+	cache       bool
+	timings     bool
+	preloadSRS  *SRS
+}
+
+func defaultEngineConfig() engineConfig {
+	return engineConfig{
+		entropy:     crand.Reader,
+		parallelism: runtime.GOMAXPROCS(0),
+		cache:       true,
+	}
+}
+
+// Option configures an Engine at construction time.
+type Option func(*engineConfig)
+
+// WithSRSCache enables caching of the universal SRS and per-circuit keys
+// across proofs. This is the default; the option exists to state the
+// intent explicitly and to re-enable caching after WithoutSRSCache.
+func WithSRSCache() Option {
+	return func(c *engineConfig) { c.cache = true }
+}
+
+// WithoutSRSCache disables retention: every Prove/Verify re-derives the
+// SRS and circuit preprocessing instead of keeping them in memory. The
+// ceremony is re-derived deterministically from the Engine's master
+// entropy seed, so proofs made earlier remain verifiable — the trade is
+// setup time per call for memory. Useful for memory-constrained callers
+// and for tests that measure setup cost.
+func WithoutSRSCache() Option {
+	return func(c *engineConfig) { c.cache = false }
+}
+
+// WithParallelism bounds the ProveBatch worker pool to n concurrent
+// proofs. Values below 1 fall back to the default (one worker per CPU).
+func WithParallelism(n int) Option {
+	return func(c *engineConfig) {
+		if n >= 1 {
+			c.parallelism = n
+		}
+	}
+}
+
+// WithEntropy sets the entropy source for the simulated trusted-setup
+// ceremony. The default is crypto/rand; tests pass SeededEntropy for
+// reproducible SRSs.
+func WithEntropy(r io.Reader) Option {
+	return func(c *engineConfig) {
+		if r != nil {
+			c.entropy = r
+		}
+	}
+}
+
+// WithTimings enables the per-step wall-clock breakdown on every proof
+// (ProofResult.Timings); off by default.
+func WithTimings() Option {
+	return func(c *engineConfig) { c.timings = true }
+}
+
+// WithSRS preloads an existing universal SRS — the reuse hook for sharing
+// one ceremony across Engines or processes. The preloaded SRS serves every
+// circuit of its size regardless of the caching mode; other sizes derive
+// from the Engine's entropy as usual.
+func WithSRS(srs *SRS) Option {
+	return func(c *engineConfig) { c.preloadSRS = srs }
+}
+
+// SeededEntropy returns a deterministic entropy stream derived from seed,
+// for reproducible setup ceremonies in tests and examples. Not for
+// production use.
+func SeededEntropy(seed int64) io.Reader {
+	return rand.New(rand.NewSource(seed))
+}

@@ -4,6 +4,10 @@
 // exploration from the ISCA 2025 paper "Need for zkSpeed: Accelerating
 // HyperPlonk for Zero-Knowledge Proofs".
 //
+// The entry point is the Engine: a reusable prover session that caches the
+// universal SRS and per-circuit keys, so only the first proof of a
+// relation pays for setup.
+//
 // Functional side (the workload):
 //
 //	b := zkspeed.NewBuilder()
@@ -11,14 +15,16 @@
 //	y := b.PublicInput(zkspeed.NewScalar(9))
 //	b.AssertEqual(b.Mul(x, x), y)
 //	circuit, assignment, pub, _ := b.Compile()
-//	pk, vk, _ := zkspeed.Setup(circuit, rng)
-//	proof, _, _ := zkspeed.Prove(pk, assignment)
-//	err := zkspeed.Verify(vk, pub, proof)
 //
-// Modeling side (the accelerator):
+//	eng := zkspeed.New(zkspeed.WithTimings())
+//	res, _ := eng.Prove(ctx, circuit, assignment)
+//	err := eng.Verify(ctx, circuit, pub, res.Proof)
 //
-//	res := zkspeed.Simulate(zkspeed.PaperDesign(), 20)
-//	area := zkspeed.Area(zkspeed.PaperDesign(), 20)
+// Modeling side (the accelerator), coupled to measured proofs through
+// Engine.Estimate:
+//
+//	est := eng.Estimate(res.Stats, zkspeed.PaperDesign())
+//	// est.PredictedMS vs est.MeasuredMS vs est.CPUBaselineMS
 //	points := zkspeed.ExploreDesignSpace(20)
 package zkspeed
 
@@ -73,30 +79,51 @@ type SRS = pcs.SRS
 func NewBuilder() *Builder { return hyperplonk.NewBuilder() }
 
 // Setup preprocesses a circuit under a fresh simulated-ceremony SRS.
+//
+// Deprecated: use Engine.Setup — an Engine built WithEntropy caches the
+// SRS and keys so repeated setups are free, and takes any io.Reader
+// entropy source instead of *rand.Rand.
 func Setup(c *Circuit, rng *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
 	return hyperplonk.Setup(c, rng)
 }
 
 // SetupWithSRS preprocesses a circuit under an existing universal SRS —
 // HyperPlonk's one-time-setup property.
+//
+// Deprecated: use Engine.Setup with an Engine built via WithSRS(srs); the
+// Engine also caches the resulting keys by circuit digest.
 func SetupWithSRS(c *Circuit, srs *SRS) (*ProvingKey, *VerifyingKey, error) {
 	return hyperplonk.SetupWithSRS(c, srs)
 }
 
 // Prove generates a proof for the assignment.
+//
+// Deprecated: use Engine.Prove, which adds context cancellation, key
+// caching and batch proving.
 func Prove(pk *ProvingKey, a *Assignment) (*Proof, *StepTimings, error) {
 	return hyperplonk.Prove(pk, a)
 }
 
 // Verify checks a proof against the verifying key and public inputs.
+//
+// Deprecated: use Engine.Verify (by circuit) or Engine.VerifyWithKey.
 func Verify(vk *VerifyingKey, pub []Scalar, proof *Proof) error {
 	return hyperplonk.Verify(vk, pub, proof)
 }
 
 // SyntheticWorkload builds a valid random 2^mu-gate circuit with the
 // paper's §6.2 witness statistics.
+//
+// Deprecated: use SyntheticWorkloadSeeded, which does not expose
+// *rand.Rand in the public API.
 func SyntheticWorkload(mu int, rng *rand.Rand) (*Circuit, *Assignment, []Scalar, error) {
 	return workload.Synthetic(mu, rng)
+}
+
+// SyntheticWorkloadSeeded builds a valid random 2^mu-gate circuit with the
+// paper's §6.2 witness statistics, deterministically from seed.
+func SyntheticWorkloadSeeded(mu int, seed int64) (*Circuit, *Assignment, []Scalar, error) {
+	return workload.SyntheticSeed(mu, seed)
 }
 
 // ---- Accelerator model API ----
