@@ -1,0 +1,130 @@
+package zkspeed
+
+// Public surface of the continuous-benchmarking subsystem. The harness
+// itself lives in internal/bench; this file re-exports it and contributes
+// the end-to-end Engine.Prove benchmarks, which must be built here because
+// internal/bench cannot import the root package. cmd/zkbench (like every
+// command) compiles against this surface alone.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"zkspeed/internal/bench"
+)
+
+// Benchmark-harness types, re-exported for commands and external callers.
+type (
+	// BenchConfig selects the sizes the benchmark suite runs at.
+	BenchConfig = bench.SuiteConfig
+	// BenchmarkCase is one runnable benchmark (kernel or end-to-end).
+	BenchmarkCase = bench.Benchmark
+	// BenchRunner executes benchmarks with warmup and repetitions.
+	BenchRunner = bench.Runner
+	// BenchReport is the machine-readable BENCH_<sha>.json document.
+	BenchReport = bench.Report
+	// BenchRecord is one benchmark's measured result.
+	BenchRecord = bench.Record
+	// BenchRunConfig records the run parameters inside a report.
+	BenchRunConfig = bench.RunConfig
+	// BenchComparison is the outcome of gating a run against a baseline.
+	BenchComparison = bench.Comparison
+)
+
+// DefaultBenchConfig returns the standard suite shape (quick = CI-sized).
+func DefaultBenchConfig(quick bool) BenchConfig { return bench.DefaultConfig(quick) }
+
+// KernelBenchmarks builds the kernel-level suite: Pippenger and Sparse MSM
+// across window widths and both aggregation schedules, the sumcheck round
+// loop, PCS commit/open, and the MLE fold.
+func KernelBenchmarks(cfg BenchConfig) []BenchmarkCase { return bench.KernelSuite(cfg) }
+
+// NewBenchReport assembles an empty report capturing this process's
+// environment (CPU, GOMAXPROCS, Go version) under the given git SHA.
+func NewBenchReport(gitSHA string, run BenchRunConfig) *BenchReport {
+	return bench.NewReport(gitSHA, run, time.Now())
+}
+
+// ReadBenchReport loads and validates a BENCH_*.json file.
+func ReadBenchReport(path string) (*BenchReport, error) { return bench.ReadReportFile(path) }
+
+// CompareBenchReports flags benchmarks whose current median is more than
+// thresholdPct percent slower than the baseline median.
+func CompareBenchReports(baseline, current *BenchReport, thresholdPct float64) *BenchComparison {
+	return bench.Compare(baseline, current, thresholdPct)
+}
+
+// E2EBenchmarks builds the end-to-end suite: one Engine.Prove benchmark
+// per problem size in cfg.E2EMus. Each case primes its Engine's SRS and
+// key caches in Setup, so the timed iterations measure steady-state
+// proving (the paper's per-proof latency, setup amortized away), and runs
+// the Engine WithTimings so every record decomposes into per-step kernel
+// shares (steps_ns) analogous to the paper's Table 1 profile.
+func E2EBenchmarks(cfg BenchConfig) []BenchmarkCase {
+	var out []BenchmarkCase
+	for _, mu := range cfg.E2EMus {
+		mu := mu
+		var (
+			eng      *Engine
+			circuit  *Circuit
+			assign   *Assignment
+			stepSum  map[string]time.Duration
+			stepReps int
+		)
+		out = append(out, BenchmarkCase{
+			Name:   fmt.Sprintf("e2e/prove/mu%d", mu),
+			Kind:   bench.KindE2E,
+			Params: map[string]string{"mu": strconv.Itoa(mu), "seed": strconv.FormatInt(cfg.Seed, 10)},
+			Setup: func() error {
+				eng = New(WithEntropy(SeededEntropy(cfg.Seed)), WithTimings())
+				var err error
+				circuit, assign, _, err = SyntheticWorkloadSeeded(mu, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				stepSum = make(map[string]time.Duration)
+				stepReps = 0
+				// Prime the SRS ceremony and key preprocessing so no
+				// iteration (warmup included) pays one-time setup.
+				_, _, err = eng.Setup(context.Background(), circuit)
+				return err
+			},
+			// Warmup iterations also pass through Iterate; resetting here
+			// keeps steps_ns a mean over exactly the measured reps, in
+			// line with the record's warmup-excluded stats.
+			StartMeasured: func() {
+				stepSum = make(map[string]time.Duration)
+				stepReps = 0
+			},
+			Iterate: func() error {
+				res, err := eng.Prove(context.Background(), circuit, assign)
+				if err != nil {
+					return err
+				}
+				for k, v := range res.StepBreakdown() {
+					stepSum[k] += v
+				}
+				stepReps++
+				return nil
+			},
+			Steps: func() map[string]time.Duration {
+				if stepReps == 0 {
+					return nil
+				}
+				mean := make(map[string]time.Duration, len(stepSum))
+				for k, v := range stepSum {
+					mean[k] = v / time.Duration(stepReps)
+				}
+				return mean
+			},
+		})
+	}
+	return out
+}
+
+// SuiteBenchmarks is the full structured suite: kernels then end-to-end.
+func SuiteBenchmarks(cfg BenchConfig) []BenchmarkCase {
+	return append(KernelBenchmarks(cfg), E2EBenchmarks(cfg)...)
+}

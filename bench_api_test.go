@@ -1,0 +1,102 @@
+package zkspeed_test
+
+// Tests of the public benchmarking surface: the end-to-end suite must
+// measure real cached-setup proofs and decompose them into per-step kernel
+// shares, and the suite must satisfy the coverage contract the CI gate
+// relies on (kernels + ≥2 e2e sizes in quick mode).
+
+import (
+	"strings"
+	"testing"
+
+	"zkspeed"
+	"zkspeed/internal/bench"
+)
+
+func TestE2EBenchmarkRecordsStepShares(t *testing.T) {
+	cfg := zkspeed.DefaultBenchConfig(true)
+	cfg.E2EMus = []int{6}
+	cfg.Seed = 3
+	bms := zkspeed.E2EBenchmarks(cfg)
+	if len(bms) != 1 {
+		t.Fatalf("want 1 e2e benchmark, got %d", len(bms))
+	}
+	r := zkspeed.BenchRunner{Warmup: 1, Reps: 2}
+	rec, err := r.Run(bms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "e2e/prove/mu6" || rec.Kind != "e2e" {
+		t.Fatalf("record identity: %+v", rec)
+	}
+	if rec.Stats.MedianNS <= 0 {
+		t.Fatal("median must be positive")
+	}
+	// The Engine runs WithTimings, so every protocol step must appear.
+	for _, step := range []string{"witness_commit", "gate_identity", "wire_identity", "batch_evals", "poly_open"} {
+		if _, ok := rec.StepsNS[step]; !ok {
+			t.Errorf("steps_ns missing %q: %v", step, rec.StepsNS)
+		}
+	}
+}
+
+// TestQuickSuiteShape pins the coverage contract of `zkbench -quick`: at
+// least 4 kernel benchmarks and at least 2 end-to-end problem sizes, with
+// both MSM flavors swept over both aggregation schedules.
+func TestQuickSuiteShape(t *testing.T) {
+	cfg := zkspeed.DefaultBenchConfig(true)
+	bms := zkspeed.SuiteBenchmarks(cfg)
+	kernels, e2e := 0, 0
+	names := map[string]bool{}
+	for _, bm := range bms {
+		if names[bm.Name] {
+			t.Errorf("duplicate benchmark name %q", bm.Name)
+		}
+		names[bm.Name] = true
+		switch bm.Kind {
+		case bench.KindKernel:
+			kernels++
+		case bench.KindE2E:
+			e2e++
+		default:
+			t.Errorf("%s: unknown kind %q", bm.Name, bm.Kind)
+		}
+	}
+	if kernels < 4 {
+		t.Errorf("quick suite has %d kernel benchmarks, want >= 4", kernels)
+	}
+	if e2e < 2 {
+		t.Errorf("quick suite has %d e2e sizes, want >= 2", e2e)
+	}
+	for _, want := range []string{"msm/pippenger/", "msm/sparse/", "sumcheck/rounds/", "pcs/commit/", "pcs/open/", "mle/fold/"} {
+		found := false
+		for name := range names {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("quick suite missing a %q benchmark", want)
+		}
+	}
+	for _, agg := range []string{"/serial", "/grouped"} {
+		found := false
+		for name := range names {
+			if strings.HasSuffix(name, agg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("quick suite missing the %s aggregation schedule", agg)
+		}
+	}
+}
+
+func TestStepBreakdownNilWithoutTimings(t *testing.T) {
+	res := &zkspeed.ProofResult{}
+	if res.StepBreakdown() != nil {
+		t.Fatal("StepBreakdown must be nil when timings were not collected")
+	}
+}

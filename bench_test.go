@@ -7,11 +7,12 @@ package zkspeed_test
 // quantity of each experiment as a custom metric.
 
 import (
+	"context"
 	"math"
-	"math/rand"
 	"testing"
 
 	"zkspeed"
+	"zkspeed/internal/bench"
 	"zkspeed/internal/dse"
 	"zkspeed/internal/experiments"
 	"zkspeed/internal/profile"
@@ -229,46 +230,51 @@ func BenchmarkExperimentTextArtifacts(b *testing.B) {
 }
 
 // ---- Functional prover benchmarks (the real cryptography) ----
+//
+// These reuse the internal/bench suite closures via bench.RunB, so
+// `go test -bench`, `go run ./cmd/zkbench` and the CI bench-gate all
+// measure the exact same deterministic, seed-derived workloads.
+
+// benchSeed fixes every functional benchmark's inputs (workload circuits,
+// SRS ceremonies, MSM scalars), making metrics reproducible run-to-run.
+const benchSeed = 1
 
 func benchmarkProve(b *testing.B, mu int) {
-	rng := rand.New(rand.NewSource(1))
-	circuit, assignment, _, err := workload.Synthetic(mu, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	pk, _, err := zkspeed.Setup(circuit, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := zkspeed.Prove(pk, assignment); err != nil {
-			b.Fatal(err)
-		}
-	}
+	cfg := zkspeed.DefaultBenchConfig(true)
+	cfg.Seed = benchSeed
+	cfg.E2EMus = []int{mu}
+	bench.RunB(b, zkspeed.E2EBenchmarks(cfg)[0])
 }
 
 func BenchmarkProve2pow8(b *testing.B)  { benchmarkProve(b, 8) }
 func BenchmarkProve2pow10(b *testing.B) { benchmarkProve(b, 10) }
 func BenchmarkProve2pow12(b *testing.B) { benchmarkProve(b, 12) }
 
+// BenchmarkKernels runs the quick kernel suite (Pippenger/Sparse MSM
+// across windows and aggregation schedules, sumcheck rounds, PCS
+// commit/open, MLE fold) as sub-benchmarks.
+func BenchmarkKernels(b *testing.B) {
+	cfg := zkspeed.DefaultBenchConfig(true)
+	cfg.Seed = benchSeed
+	for _, bm := range zkspeed.KernelBenchmarks(cfg) {
+		b.Run(bm.Name, func(b *testing.B) { bench.RunB(b, bm) })
+	}
+}
+
 func BenchmarkVerify2pow10(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	circuit, assignment, pub, err := workload.Synthetic(10, rng)
+	circuit, assignment, pub, err := zkspeed.SyntheticWorkloadSeeded(10, benchSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pk, vk, err := zkspeed.Setup(circuit, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	proof, _, err := zkspeed.Prove(pk, assignment)
+	eng := zkspeed.New(zkspeed.WithEntropy(zkspeed.SeededEntropy(benchSeed)))
+	ctx := context.Background()
+	res, err := eng.Prove(ctx, circuit, assignment)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := zkspeed.Verify(vk, pub, proof); err != nil {
+		if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,233 @@
+// Command zkbench runs the repository's structured benchmark suite —
+// kernel-level (Pippenger and Sparse MSM across window widths and both
+// aggregation schedules, sumcheck round loop, PCS commit/open, MLE fold)
+// and end-to-end Engine.Prove — and writes a machine-readable
+// BENCH_<sha>.json performance record. With -compare it gates the fresh
+// run against a committed baseline and exits nonzero on regression, which
+// is how CI decides whether a PR made the prover slower.
+//
+// Usage:
+//
+//	zkbench -quick                                   # CI-sized suite, writes BENCH_<sha>.json
+//	zkbench -quick -compare bench/baseline.json -threshold 15
+//	zkbench -e2e-mu 12,14,16,18 -reps 5              # full paper-range sweep (minutes per size)
+//	zkbench -run 'msm/' -list                        # show the MSM benchmarks and exit
+//	zkbench -quick -out bench/baseline.json          # refresh the committed baseline
+//
+// -compare is repeatable: CI gates one run against both a merge-base
+// report measured on the same runner (enforcing) and the committed
+// trajectory baseline (advisory when the hardware differs).
+//
+// Exit codes: 0 success, 1 regression (or missing baseline benchmark),
+// 2 usage or runtime error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"zkspeed"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the CI-sized suite (small sizes, few reps)")
+	reps := flag.Int("reps", 0, "measured repetitions per benchmark (0 = suite default)")
+	warmup := flag.Int("warmup", -1, "discarded warmup iterations per benchmark (-1 = suite default)")
+	seed := flag.Int64("seed", 1, "seed for all deterministic benchmark inputs")
+	e2eMu := flag.String("e2e-mu", "", "comma-separated end-to-end problem sizes, e.g. 12,14,16 (empty = suite default)")
+	runFilter := flag.String("run", "", "only run benchmarks whose name matches this regexp")
+	list := flag.Bool("list", false, "list the selected benchmark names and exit")
+	out := flag.String("out", ".", "output path: a directory (canonical BENCH_<sha>.json name) or an exact .json file")
+	sha := flag.String("sha", "", "git SHA recorded in the report (empty = autodetect)")
+	var compares compareList
+	flag.Var(&compares, "compare", "baseline BENCH_*.json to gate against (repeatable: one run can gate against several baselines)")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent over the baseline median")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("zkbench: ")
+
+	cfg := zkspeed.DefaultBenchConfig(*quick)
+	cfg.Seed = *seed
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *warmup >= 0 {
+		cfg.Warmup = *warmup
+	}
+	if *e2eMu != "" {
+		mus, err := parseMuList(*e2eMu)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		cfg.E2EMus = mus
+	}
+
+	benchmarks := zkspeed.SuiteBenchmarks(cfg)
+	var filter *regexp.Regexp
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			log.Printf("bad -run regexp: %v", err)
+			os.Exit(2)
+		}
+		filter = re
+		var kept []zkspeed.BenchmarkCase
+		for _, bm := range benchmarks {
+			if re.MatchString(bm.Name) {
+				kept = append(kept, bm)
+			}
+		}
+		benchmarks = kept
+	}
+	if len(benchmarks) == 0 {
+		log.Print("no benchmarks selected")
+		os.Exit(2)
+	}
+	if *list {
+		for _, bm := range benchmarks {
+			fmt.Println(bm.Name)
+		}
+		return
+	}
+
+	report := zkspeed.NewBenchReport(resolveSHA(*sha), zkspeed.BenchRunConfig{
+		Quick:  *quick,
+		Warmup: cfg.Warmup,
+		Reps:   cfg.Reps,
+		Seed:   cfg.Seed,
+	})
+	runner := zkspeed.BenchRunner{
+		Warmup: cfg.Warmup,
+		Reps:   cfg.Reps,
+		Log:    log.Printf,
+	}
+	log.Printf("running %d benchmarks (warmup %d, reps %d) on %s",
+		len(benchmarks), cfg.Warmup, cfg.Reps, report.Env.CPU)
+	if err := runner.RunAll(report, benchmarks); err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	path, err := report.WriteFile(*out)
+	if err != nil {
+		log.Printf("writing report: %v", err)
+		os.Exit(2)
+	}
+	log.Printf("wrote %s (%d results)", path, len(report.Results))
+
+	failed := false
+	for _, baselinePath := range compares {
+		baseline, err := zkspeed.ReadBenchReport(baselinePath)
+		if err != nil {
+			log.Printf("reading baseline: %v", err)
+			os.Exit(2)
+		}
+		// A run whose shape was narrowed by flags gates only the matching
+		// scope: -run drops baseline records outside the regex (but keeps
+		// matching ones absent from the current run, so renames within the
+		// gated subset still surface as missing), and -e2e-mu drops e2e
+		// baseline records for sizes this run did not measure. Default-
+		// shape runs keep full missing-benchmark detection so suite
+		// coverage cannot silently shrink without a baseline refresh.
+		if filter != nil || *e2eMu != "" {
+			selected := make(map[string]bool, len(benchmarks))
+			for _, bm := range benchmarks {
+				selected[bm.Name] = true
+			}
+			var kept []zkspeed.BenchRecord
+			for _, rec := range baseline.Results {
+				if filter != nil && !filter.MatchString(rec.Name) {
+					continue
+				}
+				if *e2eMu != "" && strings.HasPrefix(rec.Name, "e2e/") && !selected[rec.Name] {
+					continue
+				}
+				kept = append(kept, rec)
+			}
+			baseline.Results = kept
+		}
+		if len(baseline.Results) == 0 {
+			log.Printf("baseline %s has no benchmarks comparable to this run — the gate would pass vacuously", baselinePath)
+			os.Exit(2)
+		}
+		if baseline.Run.Quick != *quick || baseline.Run.Seed != cfg.Seed {
+			log.Printf("note: %s was recorded with quick=%v seed=%d but this run has quick=%v seed=%d — the runs measure different work",
+				baselinePath, baseline.Run.Quick, baseline.Run.Seed, *quick, cfg.Seed)
+		}
+		cmp := zkspeed.CompareBenchReports(baseline, report, *threshold)
+		fmt.Printf("--- vs %s ---\n%s", baselinePath, cmp.Format())
+		regressions := 0
+		for _, e := range cmp.Entries {
+			if e.Regression {
+				regressions++
+			}
+		}
+		switch {
+		case cmp.Failed():
+			log.Printf("FAIL against %s: %d regression(s) beyond %.1f%%, %d baseline benchmark(s) missing from this run",
+				baselinePath, regressions, *threshold, len(cmp.MissingInCurrent))
+			failed = true
+		case cmp.EnvNote != "":
+			log.Printf("advisory: hardware mismatch with %s — timing deltas reported above but not gated", baselinePath)
+		default:
+			log.Printf("ok: within %.1f%% of %s", *threshold, baselinePath)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// compareList collects repeated -compare flags.
+type compareList []string
+
+func (c *compareList) String() string { return strings.Join(*c, ",") }
+func (c *compareList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+// parseMuList parses "12,14,16" into problem sizes, bounds-checked to the
+// functional prover's supported range.
+func parseMuList(s string) ([]int, error) {
+	var mus []int
+	for _, f := range strings.Split(s, ",") {
+		mu, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -e2e-mu entry %q: %v", f, err)
+		}
+		if mu < 2 || mu > 20 {
+			return nil, fmt.Errorf("-e2e-mu %d out of the supported functional range [2,20]", mu)
+		}
+		mus = append(mus, mu)
+	}
+	return mus, nil
+}
+
+// resolveSHA picks the git SHA recorded in the report: the -sha flag, the
+// repository HEAD, the CI-provided GITHUB_SHA, or "dev", in that order.
+func resolveSHA(flagSHA string) string {
+	if flagSHA != "" {
+		return flagSHA
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	if s := os.Getenv("GITHUB_SHA"); s != "" {
+		if len(s) > 12 {
+			s = s[:12]
+		}
+		return s
+	}
+	return "dev"
+}

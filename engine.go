@@ -387,6 +387,15 @@ func (e *Engine) Prove(ctx context.Context, circuit *Circuit, assignment *Assign
 	}, nil
 }
 
+// StepBreakdown returns the proof's per-protocol-step wall-clock times
+// keyed by stable step names (witness_commit, gate_identity, wire_identity,
+// batch_evals, poly_open), or nil when the Engine was not built
+// WithTimings(). The benchmark harness stores this decomposition in each
+// end-to-end record's steps_ns field.
+func (r *ProofResult) StepBreakdown() map[string]time.Duration {
+	return r.Timings.Map()
+}
+
 // ProofJob is one unit of work for ProveBatch.
 type ProofJob struct {
 	Circuit    *Circuit

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comparison is the outcome of gating a fresh report against a baseline.
+type Comparison struct {
+	ThresholdPct float64
+	Entries      []CompareEntry
+	// MissingInCurrent lists baseline benchmarks the fresh run did not
+	// produce — usually a renamed benchmark or a filtered run; flagged as
+	// a failure so coverage cannot silently shrink.
+	MissingInCurrent []string
+	// NewInCurrent lists benchmarks with no baseline entry (informational:
+	// new benchmarks gate only once the baseline is refreshed).
+	NewInCurrent []string
+	// EnvNote is non-empty when baseline and current were measured on
+	// visibly different hardware, where medians move for reasons that have
+	// nothing to do with the code under test. In that case timing deltas
+	// are reported but do not fail the gate (missing benchmarks still do):
+	// a baseline from another machine can only produce noise verdicts, so
+	// the fix is refreshing the baseline on the gate's hardware, not
+	// failing every PR until someone does.
+	EnvNote string
+}
+
+// CompareEntry is one matched benchmark pair.
+type CompareEntry struct {
+	Name       string
+	BaselineNS int64
+	CurrentNS  int64
+	// DeltaPct is the median's relative change in percent (positive =
+	// slower than baseline).
+	DeltaPct float64
+	// MinDeltaPct is the same for the fastest sample.
+	MinDeltaPct float64
+	Regression  bool
+}
+
+// Compare matches records by name and flags any benchmark slower than the
+// baseline by more than thresholdPct percent. To be robust against
+// scheduling noise — which inflates samples one-sidedly — a regression
+// requires both the median and the minimum to exceed the threshold: a
+// genuine slowdown raises the floor of the distribution, a noisy neighbor
+// does not lower it.
+func Compare(baseline, current *Report, thresholdPct float64) *Comparison {
+	c := &Comparison{ThresholdPct: thresholdPct}
+	cur := make(map[string]Record, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	seen := make(map[string]bool, len(baseline.Results))
+	for _, b := range baseline.Results {
+		seen[b.Name] = true
+		r, ok := cur[b.Name]
+		if !ok {
+			c.MissingInCurrent = append(c.MissingInCurrent, b.Name)
+			continue
+		}
+		e := CompareEntry{Name: b.Name, BaselineNS: b.Stats.MedianNS, CurrentNS: r.Stats.MedianNS}
+		if b.Stats.MedianNS > 0 {
+			e.DeltaPct = 100 * (float64(r.Stats.MedianNS) - float64(b.Stats.MedianNS)) / float64(b.Stats.MedianNS)
+			e.MinDeltaPct = e.DeltaPct
+			if b.Stats.MinNS > 0 {
+				e.MinDeltaPct = 100 * (float64(r.Stats.MinNS) - float64(b.Stats.MinNS)) / float64(b.Stats.MinNS)
+			}
+			e.Regression = e.DeltaPct > thresholdPct && e.MinDeltaPct > thresholdPct
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	for _, r := range current.Results {
+		if !seen[r.Name] {
+			c.NewInCurrent = append(c.NewInCurrent, r.Name)
+		}
+	}
+	if !envMatches(baseline.Env, current.Env) {
+		c.EnvNote = fmt.Sprintf("baseline hardware (%s, %d CPUs, GOMAXPROCS %d) does not verifiably match current (%s, %d CPUs, GOMAXPROCS %d) — timing deltas are advisory; gate against a baseline measured on this machine",
+			orUnknown(baseline.Env.CPU), baseline.Env.NumCPU, baseline.Env.GOMAXPROCS,
+			orUnknown(current.Env.CPU), current.Env.NumCPU, current.Env.GOMAXPROCS)
+	}
+	return c
+}
+
+// envMatches reports whether two environments are close enough that
+// timing medians are comparable: identical known CPU model, core count,
+// GOMAXPROCS, OS, architecture and Go toolchain. An unknown CPU (empty
+// string — only Linux exposes /proc/cpuinfo) never matches: hardware that
+// cannot be identified cannot be verified equal. Core counts matter
+// because the MSM and sumcheck kernels parallelize across GOMAXPROCS;
+// the toolchain matters because codegen changes move field-arithmetic
+// timings for reasons unrelated to the code under test.
+func envMatches(a, b Env) bool {
+	return a.CPU != "" && a.CPU == b.CPU &&
+		a.NumCPU == b.NumCPU && a.GOMAXPROCS == b.GOMAXPROCS &&
+		a.GOOS == b.GOOS && a.GOARCH == b.GOARCH &&
+		a.GoVersion == b.GoVersion
+}
+
+func orUnknown(cpu string) string {
+	if cpu == "" {
+		return "unknown CPU"
+	}
+	return cpu
+}
+
+// Failed reports whether the comparison should gate: any baseline
+// benchmark missing from the current run, or — when both runs came from
+// the same hardware — any regression. See EnvNote for why cross-machine
+// timing deltas are advisory.
+func (c *Comparison) Failed() bool {
+	if len(c.MissingInCurrent) > 0 {
+		return true
+	}
+	if c.EnvNote != "" {
+		return false
+	}
+	for _, e := range c.Entries {
+		if e.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the comparison as an aligned human-readable table.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %14s %14s %9s\n", "benchmark", "baseline", "current", "delta")
+	for _, e := range c.Entries {
+		mark := ""
+		if e.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-40s %12dns %12dns %+8.1f%%%s\n",
+			e.Name, e.BaselineNS, e.CurrentNS, e.DeltaPct, mark)
+	}
+	for _, name := range c.MissingInCurrent {
+		fmt.Fprintf(&b, "%-40s MISSING from current run\n", name)
+	}
+	for _, name := range c.NewInCurrent {
+		fmt.Fprintf(&b, "%-40s new (no baseline entry)\n", name)
+	}
+	if c.EnvNote != "" {
+		fmt.Fprintf(&b, "warning: %s\n", c.EnvNote)
+	}
+	return b.String()
+}

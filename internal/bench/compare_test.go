@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// reportWith builds a report whose records have the given medians (ns),
+// with a fixed environment so the gating behavior under test does not
+// depend on the host the tests run on.
+func reportWith(medians map[string]int64) *Report {
+	r := NewReport("test", RunConfig{}, time.Unix(0, 0))
+	r.Env = Env{
+		GitSHA: "test", GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64",
+		CPU: "Test CPU", NumCPU: 8, GOMAXPROCS: 8, TimestampUTC: "1970-01-01T00:00:00Z",
+	}
+	for name, med := range medians {
+		r.Results = append(r.Results, Record{
+			Name: name, Kind: KindKernel, Reps: 3,
+			Stats: Stats{MedianNS: med, MeanNS: med, P95NS: med, MinNS: med, MaxNS: med},
+		})
+	}
+	return r
+}
+
+// TestCompareInjectedRegression is the gate's contract: a 2× slowdown on
+// any benchmark must fail, while 1% jitter must pass.
+func TestCompareInjectedRegression(t *testing.T) {
+	baseline := reportWith(map[string]int64{"a": 1_000_000, "b": 500_000})
+
+	slow := reportWith(map[string]int64{"a": 2_000_000, "b": 500_000})
+	cmp := Compare(baseline, slow, 15)
+	if !cmp.Failed() {
+		t.Fatal("2x slowdown must fail the gate")
+	}
+	var found bool
+	for _, e := range cmp.Entries {
+		if e.Name == "a" {
+			found = true
+			if !e.Regression || e.DeltaPct < 99 || e.DeltaPct > 101 {
+				t.Errorf("entry a: %+v", e)
+			}
+		} else if e.Regression {
+			t.Errorf("unexpected regression on %s", e.Name)
+		}
+	}
+	if !found {
+		t.Fatal("no entry for benchmark a")
+	}
+	if !strings.Contains(cmp.Format(), "REGRESSION") {
+		t.Error("Format must flag the regression")
+	}
+
+	jitter := reportWith(map[string]int64{"a": 1_010_000, "b": 495_000})
+	if cmp := Compare(baseline, jitter, 15); cmp.Failed() {
+		t.Fatalf("1%% jitter must pass:\n%s", cmp.Format())
+	}
+
+	// A median inflated by scheduling noise while the fastest sample
+	// still matches the baseline floor is not a regression.
+	noisy := reportWith(map[string]int64{"a": 1_400_000, "b": 500_000})
+	for i := range noisy.Results {
+		if noisy.Results[i].Name == "a" {
+			noisy.Results[i].Stats.MinNS = 1_000_000
+		}
+	}
+	if cmp := Compare(baseline, noisy, 15); cmp.Failed() {
+		t.Fatalf("noise-inflated median with unchanged floor must pass:\n%s", cmp.Format())
+	}
+
+	// Large improvements are not failures either.
+	fast := reportWith(map[string]int64{"a": 400_000, "b": 500_000})
+	if cmp := Compare(baseline, fast, 15); cmp.Failed() {
+		t.Fatal("speedups must pass")
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	baseline := reportWith(map[string]int64{"a": 100, "gone": 100})
+	current := reportWith(map[string]int64{"a": 100, "fresh": 100})
+	cmp := Compare(baseline, current, 10)
+	if !cmp.Failed() {
+		t.Fatal("a baseline benchmark missing from the run must fail the gate")
+	}
+	if len(cmp.MissingInCurrent) != 1 || cmp.MissingInCurrent[0] != "gone" {
+		t.Errorf("missing: %v", cmp.MissingInCurrent)
+	}
+	if len(cmp.NewInCurrent) != 1 || cmp.NewInCurrent[0] != "fresh" {
+		t.Errorf("new: %v", cmp.NewInCurrent)
+	}
+}
+
+func TestCompareEnvNote(t *testing.T) {
+	baseline := reportWith(map[string]int64{"a": 100})
+	current := reportWith(map[string]int64{"a": 100})
+	baseline.Env.CPU = "CPU-A"
+	current.Env.CPU = "CPU-B"
+	cmp := Compare(baseline, current, 10)
+	if cmp.EnvNote == "" || !strings.Contains(cmp.Format(), "warning:") {
+		t.Error("differing CPUs must produce an environment warning")
+	}
+	if cmp.Failed() {
+		t.Error("the environment note alone must not fail the gate")
+	}
+
+	// Cross-machine timing deltas are advisory: a "regression" against a
+	// baseline from different hardware is a noise verdict, not a gate.
+	slow := reportWith(map[string]int64{"a": 300})
+	slow.Env.CPU = "CPU-B"
+	cmp = Compare(baseline, slow, 10)
+	if cmp.Failed() {
+		t.Error("cross-machine slowdowns must not fail the gate")
+	}
+	if len(cmp.Entries) != 1 || !cmp.Entries[0].Regression {
+		t.Error("the delta must still be reported as a regression entry")
+	}
+
+	// Missing benchmarks fail regardless of hardware.
+	empty := reportWith(nil)
+	empty.Env.CPU = "CPU-B"
+	if cmp := Compare(baseline, empty, 10); !cmp.Failed() {
+		t.Error("missing benchmarks must fail even across machines")
+	}
+}
+
+func TestEnvMatches(t *testing.T) {
+	base := reportWith(nil).Env
+	if !envMatches(base, base) {
+		t.Error("an environment must match itself")
+	}
+	// Unknown CPUs (non-Linux hosts) can never be verified equal.
+	unknown := base
+	unknown.CPU = ""
+	if envMatches(unknown, unknown) {
+		t.Error("unknown hardware must not match, even against itself")
+	}
+	// Core counts change parallel-kernel medians several-fold.
+	cores := base
+	cores.NumCPU, cores.GOMAXPROCS = 1, 1
+	if envMatches(base, cores) {
+		t.Error("differing core counts must not match")
+	}
+	// Toolchain codegen changes move timings independently of the code
+	// under test.
+	tc := base
+	tc.GoVersion = "go-other"
+	if envMatches(base, tc) {
+		t.Error("differing Go toolchains must not match")
+	}
+}

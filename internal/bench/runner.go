@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Benchmark is one measurable unit of the suite. All hooks run on the
+// runner's goroutine, strictly sequentially, so closures may share state
+// (e.g. a lazily derived SRS) without locking.
+type Benchmark struct {
+	// Name is the stable identifier the comparator matches on
+	// (e.g. "msm/pippenger/n10/w8/grouped"). Renaming a benchmark orphans
+	// its baseline entry, so treat names as part of the schema.
+	Name string
+	// Kind is KindKernel or KindE2E.
+	Kind string
+	// Params documents the benchmark's knobs in the record.
+	Params map[string]string
+	// Setup runs once, untimed, before any iteration (derive SRSs, build
+	// circuits, prime Engine caches).
+	Setup func() error
+	// Before runs untimed before every iteration (including warmup) —
+	// the hook for cloning tables a consuming kernel will destroy.
+	Before func() error
+	// Iterate is the timed unit of work.
+	Iterate func() error
+	// StartMeasured runs untimed once the warmup iterations are done,
+	// immediately before the first measured iteration — the hook for
+	// resetting accumulators (e.g. per-step timing sums) so they cover
+	// exactly the measured reps.
+	StartMeasured func()
+	// Steps optionally reports a per-protocol-step decomposition after
+	// all iterations (e2e benchmarks aggregate Engine timings here).
+	Steps func() map[string]time.Duration
+}
+
+// Runner executes benchmarks with warmup and repetition.
+type Runner struct {
+	// Warmup iterations run before measurement and are discarded; they
+	// absorb one-time costs (page faults, branch predictors, lazily
+	// derived SRS state) the steady-state number should not include.
+	Warmup int
+	// Reps is the number of measured iterations.
+	Reps int
+	// Log, when non-nil, receives one progress line per benchmark.
+	Log func(format string, args ...any)
+}
+
+// Run executes one benchmark and returns its record.
+func (r *Runner) Run(bm Benchmark) (Record, error) {
+	reps := r.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	warmup := r.Warmup
+	if warmup < 0 {
+		warmup = 0
+	}
+	if bm.Iterate == nil {
+		return Record{}, fmt.Errorf("bench: %s has no Iterate", bm.Name)
+	}
+	if bm.Setup != nil {
+		if err := bm.Setup(); err != nil {
+			return Record{}, fmt.Errorf("bench: %s setup: %w", bm.Name, err)
+		}
+	}
+	samples := make([]time.Duration, 0, reps)
+	for i := 0; i < warmup+reps; i++ {
+		if i == warmup && bm.StartMeasured != nil {
+			bm.StartMeasured()
+		}
+		if bm.Before != nil {
+			if err := bm.Before(); err != nil {
+				return Record{}, fmt.Errorf("bench: %s before: %w", bm.Name, err)
+			}
+		}
+		t0 := time.Now()
+		if err := bm.Iterate(); err != nil {
+			return Record{}, fmt.Errorf("bench: %s: %w", bm.Name, err)
+		}
+		if d := time.Since(t0); i >= warmup {
+			samples = append(samples, d)
+		}
+	}
+	rec := Record{
+		Name:   bm.Name,
+		Kind:   bm.Kind,
+		Params: bm.Params,
+		Reps:   reps,
+		Stats:  Summarize(samples),
+		RawNS:  make([]int64, len(samples)),
+	}
+	for i, d := range samples {
+		rec.RawNS[i] = d.Nanoseconds()
+	}
+	if bm.Steps != nil {
+		if steps := bm.Steps(); len(steps) > 0 {
+			rec.StepsNS = make(map[string]int64, len(steps))
+			for k, v := range steps {
+				rec.StepsNS[k] = v.Nanoseconds()
+			}
+		}
+	}
+	if r.Log != nil {
+		r.Log("%-40s median %12v  p95 %12v  (%d reps)",
+			rec.Name, time.Duration(rec.Stats.MedianNS), time.Duration(rec.Stats.P95NS), reps)
+	}
+	return rec, nil
+}
+
+// RunAll executes the benchmarks in order, appending records to the report.
+func (r *Runner) RunAll(report *Report, bms []Benchmark) error {
+	for _, bm := range bms {
+		rec, err := r.Run(bm)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, rec)
+	}
+	return nil
+}

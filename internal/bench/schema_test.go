@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	r := NewReport("abc123def456", RunConfig{Quick: true, Warmup: 1, Reps: 3}, now)
+	r.Results = []Record{
+		{
+			Name:   "msm/pippenger/n10/w8/grouped",
+			Kind:   KindKernel,
+			Params: map[string]string{"n": "1024", "window": "8", "agg": "grouped"},
+			Reps:   3,
+			Stats:  Stats{MeanNS: 100, MedianNS: 90, P95NS: 130, StddevNS: 20, MinNS: 80, MaxNS: 130},
+			RawNS:  []int64{90, 80, 130},
+		},
+		{
+			Name:  "e2e/prove/mu10",
+			Kind:  KindE2E,
+			Reps:  3,
+			Stats: Stats{MeanNS: 1000, MedianNS: 950, P95NS: 1100, StddevNS: 60, MinNS: 940, MaxNS: 1100},
+			StepsNS: map[string]int64{
+				"witness_commit": 300, "gate_identity": 200, "wire_identity": 250,
+				"batch_evals": 100, "poly_open": 100,
+			},
+		},
+	}
+	return r
+}
+
+// TestReportRoundTrip is the schema contract: encode → decode must be the
+// identity, through both the byte-level and the file-level APIs.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("byte round-trip mismatch:\nwant %+v\ngot  %+v", r, got)
+	}
+
+	dir := t.TempDir()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_abc123def456.json" {
+		t.Fatalf("canonical name: got %s", filepath.Base(path))
+	}
+	got, err = ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatal("file round-trip mismatch")
+	}
+
+	// An explicit .json path is used verbatim (the baseline-refresh flow).
+	exact := filepath.Join(dir, "baseline.json")
+	if path, err = r.WriteFile(exact); err != nil || path != exact {
+		t.Fatalf("exact path write: path=%q err=%v", path, err)
+	}
+
+	// An exact .json path with a missing parent gets the parent created —
+	// the whole suite has already run by write time, so failing on ENOENT
+	// would discard every measurement.
+	nested := filepath.Join(dir, "results", "base.json")
+	if path, err = r.WriteFile(nested); err != nil || path != nested {
+		t.Fatalf("nested exact-path write: path=%q err=%v", path, err)
+	}
+
+	// A non-.json path is a directory, created if missing — `-out` must
+	// never scribble the JSON into a file named after the directory.
+	fresh := filepath.Join(dir, "does", "not", "exist")
+	path, err = r.WriteFile(fresh)
+	if err != nil || path != filepath.Join(fresh, r.FileName()) {
+		t.Fatalf("missing-dir write: path=%q err=%v", path, err)
+	}
+	if _, err := ReadReportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Comparing a report against itself is never a regression.
+	if cmp := Compare(r, got, 10); cmp.Failed() {
+		t.Fatalf("self-comparison failed:\n%s", cmp.Format())
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	r := sampleReport()
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), Schema, "zkspeed-bench/v999", 1)
+	if _, err := Decode([]byte(bad)); err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("want schema-version error, got %v", err)
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("want parse error on malformed input")
+	}
+}
+
+// TestDecodeRejectsTrivialRecords guards the gate against vacuous
+// baselines: a truncated or zeroed record must fail at load time, not
+// silently never gate.
+func TestDecodeRejectsTrivialRecords(t *testing.T) {
+	for name, mutate := range map[string]func(*Record){
+		"empty name":  func(r *Record) { r.Name = "" },
+		"zero median": func(r *Record) { r.Stats.MedianNS = 0 },
+		"zero reps":   func(r *Record) { r.Reps = 0 },
+	} {
+		r := sampleReport()
+		mutate(&r.Results[0])
+		data, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "invalid record") {
+			t.Errorf("%s: want invalid-record error, got %v", name, err)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	s := Summarize([]time.Duration{ms(3), ms(1), ms(2), ms(4), ms(100)})
+	if s.MedianNS != ms(3).Nanoseconds() {
+		t.Errorf("median: got %d", s.MedianNS)
+	}
+	if s.MinNS != ms(1).Nanoseconds() || s.MaxNS != ms(100).Nanoseconds() {
+		t.Errorf("min/max: got %d/%d", s.MinNS, s.MaxNS)
+	}
+	if s.P95NS != ms(100).Nanoseconds() {
+		t.Errorf("p95: got %d", s.P95NS)
+	}
+	if s.MeanNS != ms(22).Nanoseconds() {
+		t.Errorf("mean: got %d", s.MeanNS)
+	}
+	// Even-length median averages the central pair.
+	s = Summarize([]time.Duration{ms(1), ms(2), ms(3), ms(4)})
+	if want := 2500 * time.Microsecond; s.MedianNS != want.Nanoseconds() {
+		t.Errorf("even median: got %d want %d", s.MedianNS, want.Nanoseconds())
+	}
+	if s := Summarize(nil); s != (Stats{}) {
+		t.Errorf("empty input: got %+v", s)
+	}
+}

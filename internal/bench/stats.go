@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summarize computes the Stats of a set of duration samples. The median of
+// an even-length set is the mean of the two central samples; p95 is the
+// nearest-rank percentile (with fewer than 20 samples this is simply the
+// maximum). Stddev is the population standard deviation.
+func Summarize(samples []time.Duration) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	ns := make([]float64, len(samples))
+	for i, d := range samples {
+		ns[i] = float64(d.Nanoseconds())
+	}
+	sort.Float64s(ns)
+	n := len(ns)
+
+	median := ns[n/2]
+	if n%2 == 0 {
+		median = (ns[n/2-1] + ns[n/2]) / 2
+	}
+	rank := int(math.Ceil(0.95*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	mean := 0.0
+	for _, v := range ns {
+		mean += v
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, v := range ns {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(n)
+
+	return Stats{
+		MeanNS:   int64(mean),
+		MedianNS: int64(median),
+		P95NS:    int64(ns[rank]),
+		StddevNS: int64(math.Sqrt(variance)),
+		MinNS:    int64(ns[0]),
+		MaxNS:    int64(ns[n-1]),
+	}
+}

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"zkspeed/internal/ff"
+	"zkspeed/internal/msm"
+	"zkspeed/internal/pcs"
+	"zkspeed/internal/poly"
+	"zkspeed/internal/sumcheck"
+	"zkspeed/internal/transcript"
+)
+
+// SuiteConfig selects the sizes the structured suite runs at. All inputs
+// are derived deterministically from Seed, so two runs of the same config
+// on the same machine measure identical work.
+type SuiteConfig struct {
+	// Quick marks the CI-sized variant of the suite.
+	Quick bool
+	// MSMLogN is log2 of the MSM point count.
+	MSMLogN int
+	// Windows are the Pippenger window widths to sweep (Table 2's MSM
+	// design knob); each runs under both aggregation schedules (Fig. 5).
+	Windows []int
+	// SumcheckMu is the hypercube size of the sumcheck round-loop bench.
+	SumcheckMu int
+	// PCSMu is the MLE size of the PCS commit/open benches.
+	PCSMu int
+	// FoldMu is the table size of the MLE fold (Eq. 2 update) bench.
+	FoldMu int
+	// E2EMus are the problem sizes for end-to-end Engine.Prove runs.
+	E2EMus []int
+	// Warmup/Reps are the default runner parameters for this config.
+	Warmup, Reps int
+	// Seed derives every input (SRS, scalars, witness circuits).
+	Seed int64
+}
+
+// DefaultConfig returns the standard suite shape: quick is sized for a CI
+// gate on every PR (tens of seconds end to end), full for local runs that
+// track the paper's problem-size range (extend E2EMus toward 18 via
+// zkbench's -e2e-mu at the cost of minutes per size).
+func DefaultConfig(quick bool) SuiteConfig {
+	if quick {
+		return SuiteConfig{
+			Quick:      true,
+			MSMLogN:    10,
+			Windows:    []int{4, 8},
+			SumcheckMu: 10,
+			PCSMu:      10,
+			FoldMu:     14,
+			E2EMus:     []int{8, 10},
+			Warmup:     1,
+			Reps:       5,
+			Seed:       1,
+		}
+	}
+	return SuiteConfig{
+		MSMLogN:    12,
+		Windows:    []int{4, 7, 10},
+		SumcheckMu: 14,
+		PCSMu:      12,
+		FoldMu:     18,
+		E2EMus:     []int{12, 14, 16},
+		Warmup:     2,
+		Reps:       5,
+		Seed:       1,
+	}
+}
+
+// seedBytes encodes the suite seed for transcript derivation.
+func seedBytes(seed int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	return b[:]
+}
+
+// challengeFrs derives n deterministic full-range field elements bound to
+// (seed, label) — uniform scalars without math/rand, stable across Go
+// versions because they come from the SHA3 transcript.
+func challengeFrs(seed int64, label string, n int) []ff.Fr {
+	tr := transcript.New("zkspeed.bench")
+	tr.AppendBytes("seed", seedBytes(seed))
+	return tr.ChallengeFrs(label, n)
+}
+
+// sparseScalars maps dense scalars onto the §6.2 witness distribution:
+// 45% zeros, 45% ones, 10% full-width, in a fixed interleaved pattern.
+func sparseScalars(dense []ff.Fr) []ff.Fr {
+	out := make([]ff.Fr, len(dense))
+	for i := range dense {
+		switch m := i % 20; {
+		case m < 9: // zero (the Fr zero value)
+		case m < 18:
+			out[i].SetOne()
+		default:
+			out[i] = dense[i]
+		}
+	}
+	return out
+}
+
+// aggName renders an aggregation schedule for benchmark names.
+func aggName(a msm.Aggregation) string {
+	if a == msm.AggregateGrouped {
+		return "grouped"
+	}
+	return "serial"
+}
+
+// KernelSuite builds the kernel-level benchmarks: Pippenger and Sparse
+// MSM across window widths and both bucket-aggregation schedules, the
+// sumcheck round loop, PCS commit and open, and the MLE fold — the hot
+// kernels of the paper's Table 1 profile. SRSs are derived lazily inside
+// Setup hooks and shared across benchmarks of the same size (the runner is
+// sequential, so the cache needs no locking).
+func KernelSuite(cfg SuiteConfig) []Benchmark {
+	srsCache := map[int]*pcs.SRS{}
+	srsFor := func(mu int) *pcs.SRS {
+		if s, ok := srsCache[mu]; ok {
+			return s
+		}
+		s := pcs.SetupFromSeed(seedBytes(cfg.Seed), mu)
+		srsCache[mu] = s
+		return s
+	}
+
+	var out []Benchmark
+
+	// MSM sweeps: real SRS points (the Lagrange basis commitments run
+	// against in production) with uniform scalars for the dense Pippenger
+	// path and §6.2-distributed scalars for the witness-commit path. The
+	// scalar vectors are identical across (window, aggregation) pairs, so
+	// they are derived once and shared like the SRS cache.
+	n := 1 << cfg.MSMLogN
+	var dense, sparse []ff.Fr
+	msmSetup := func() error {
+		srsFor(cfg.MSMLogN)
+		if dense == nil {
+			dense = challengeFrs(cfg.Seed, "msm.scalars", n)
+			sparse = sparseScalars(dense)
+		}
+		return nil
+	}
+	for _, w := range cfg.Windows {
+		for _, agg := range []msm.Aggregation{msm.AggregateSerial, msm.AggregateGrouped} {
+			w, agg := w, agg
+			params := map[string]string{
+				"n":      strconv.Itoa(n),
+				"window": strconv.Itoa(w),
+				"agg":    aggName(agg),
+			}
+			out = append(out,
+				Benchmark{
+					Name:   fmt.Sprintf("msm/pippenger/n%d/w%d/%s", cfg.MSMLogN, w, aggName(agg)),
+					Kind:   KindKernel,
+					Params: params,
+					Setup:  msmSetup,
+					Iterate: func() error {
+						_ = msm.MSMWithOptions(srsFor(cfg.MSMLogN).Lag[0], dense,
+							msm.Options{Window: w, Aggregation: agg, Parallel: true})
+						return nil
+					},
+				},
+				Benchmark{
+					Name:   fmt.Sprintf("msm/sparse/n%d/w%d/%s", cfg.MSMLogN, w, aggName(agg)),
+					Kind:   KindKernel,
+					Params: params,
+					Setup:  msmSetup,
+					Iterate: func() error {
+						_ = msm.SparseMSM(srsFor(cfg.MSMLogN).Lag[0], sparse,
+							msm.Options{Window: w, Aggregation: agg, Parallel: true})
+						return nil
+					},
+				},
+			)
+		}
+	}
+
+	// Sumcheck round loop: a ZeroCheck-shaped virtual polynomial
+	// (eq · w1 · w2 · w3 plus lower-degree terms, degree 4 like the gate
+	// identity). Prove consumes its tables, so Before rebuilds the
+	// instance from cloned MLEs each iteration.
+	{
+		mu := cfg.SumcheckMu
+		var base []*poly.MLE
+		var coeffs []ff.Fr
+		var vp *sumcheck.VirtualPoly
+		out = append(out, Benchmark{
+			Name:   fmt.Sprintf("sumcheck/rounds/mu%d", mu),
+			Kind:   KindKernel,
+			Params: map[string]string{"mu": strconv.Itoa(mu), "terms": "3", "degree": "4"},
+			Setup: func() error {
+				point := challengeFrs(cfg.Seed, "sumcheck.point", mu)
+				base = []*poly.MLE{poly.EqTable(point)}
+				for k := 0; k < 3; k++ {
+					evals := challengeFrs(cfg.Seed, fmt.Sprintf("sumcheck.w%d", k), 1<<mu)
+					base = append(base, poly.NewMLE(evals))
+				}
+				coeffs = challengeFrs(cfg.Seed, "sumcheck.coeffs", 2)
+				return nil
+			},
+			Before: func() error {
+				vp = sumcheck.NewVirtualPoly(mu)
+				for _, m := range base {
+					vp.AddMLE(m.Clone())
+				}
+				var one ff.Fr
+				one.SetOne()
+				vp.AddTerm(one, 0, 1, 2, 3)
+				vp.AddTerm(coeffs[0], 0, 1, 2)
+				vp.AddTerm(coeffs[1], 0, 3)
+				return nil
+			},
+			Iterate: func() error {
+				tr := transcript.New("zkspeed.bench.sumcheck")
+				_ = sumcheck.Prove(vp, tr)
+				return nil
+			},
+		})
+	}
+
+	// PCS commit and open at PCSMu (neither mutates its MLE, so no Before).
+	{
+		mu := cfg.PCSMu
+		var m *poly.MLE
+		var point []ff.Fr
+		setup := func() error {
+			srsFor(mu)
+			if m == nil {
+				m = poly.NewMLE(challengeFrs(cfg.Seed, "pcs.mle", 1<<mu))
+				point = challengeFrs(cfg.Seed, "pcs.point", mu)
+			}
+			return nil
+		}
+		out = append(out,
+			Benchmark{
+				Name:   fmt.Sprintf("pcs/commit/mu%d", mu),
+				Kind:   KindKernel,
+				Params: map[string]string{"mu": strconv.Itoa(mu)},
+				Setup:  setup,
+				Iterate: func() error {
+					_, err := srsFor(mu).Commit(m)
+					return err
+				},
+			},
+			Benchmark{
+				Name:   fmt.Sprintf("pcs/open/mu%d", mu),
+				Kind:   KindKernel,
+				Params: map[string]string{"mu": strconv.Itoa(mu)},
+				Setup:  setup,
+				Iterate: func() error {
+					_, _, err := srsFor(mu).Open(m, point)
+					return err
+				},
+			},
+		)
+	}
+
+	// MLE fold: the full Eq. 2 update chain (bind all mu variables),
+	// zkSpeed's MLE Update kernel. FixVariable folds in place, so Before
+	// re-clones the table.
+	{
+		mu := cfg.FoldMu
+		var base, work *poly.MLE
+		var point []ff.Fr
+		out = append(out, Benchmark{
+			Name:   fmt.Sprintf("mle/fold/mu%d", mu),
+			Kind:   KindKernel,
+			Params: map[string]string{"mu": strconv.Itoa(mu)},
+			Setup: func() error {
+				base = poly.NewMLE(challengeFrs(cfg.Seed, "fold.mle", 1<<mu))
+				point = challengeFrs(cfg.Seed, "fold.point", mu)
+				return nil
+			},
+			Before: func() error {
+				work = base.Clone()
+				return nil
+			},
+			Iterate: func() error {
+				for k := range point {
+					work.FixVariable(&point[k])
+				}
+				return nil
+			},
+		})
+	}
+
+	return out
+}

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// RunB adapts a suite Benchmark to a standard testing.B loop, so
+// `go test -bench` and zkbench measure the exact same closures instead of
+// maintaining two copies of every experiment driver. Setup runs before the
+// timer starts; Before runs with the timer stopped.
+func RunB(b *testing.B, bm Benchmark) {
+	b.Helper()
+	if bm.Setup != nil {
+		if err := bm.Setup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bm.Before != nil {
+			b.StopTimer()
+			if err := bm.Before(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := bm.Iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,6 +22,23 @@ type StepTimings struct {
 	Total         time.Duration
 }
 
+// Map returns the per-step breakdown keyed by stable step names — the
+// form benchmark records store (steps_ns) so a measured proof decomposes
+// into kernel shares like the paper's Table 1 profile. Total is not a
+// step and is omitted; a nil receiver yields nil.
+func (t *StepTimings) Map() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	return map[string]time.Duration{
+		"witness_commit": t.WitnessCommit,
+		"gate_identity":  t.GateIdentity,
+		"wire_identity":  t.WireIdentity,
+		"batch_evals":    t.BatchEvals,
+		"poly_open":      t.PolyOpen,
+	}
+}
+
 // ProveOptions tunes a single proof generation.
 type ProveOptions struct {
 	// CollectTimings enables the per-step wall-clock breakdown; when

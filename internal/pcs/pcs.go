@@ -88,7 +88,6 @@ func SetupWithTaus(taus []ff.Fr) *SRS {
 		G:   curve.G1Generator(),
 		H:   curve.G2Generator(),
 	}
-	var gj curve.G1Jac
 	srs.Lag[mu] = []curve.G1Affine{srs.G}
 	var gJac curve.G1Jac
 	gJac.FromAffine(&srs.G)
@@ -103,7 +102,6 @@ func SetupWithTaus(taus []ff.Fr) *SRS {
 		ht.ScalarMul(&hJac, &taus[j])
 		srs.HTau[j].FromJacobian(&ht)
 	}
-	_ = gj
 	return srs
 }
 
