@@ -1,0 +1,124 @@
+// Package api defines the JSON wire types of the zkproverd HTTP API,
+// shared by the server (internal/service) and the zkspeed/client package.
+// Binary payloads (circuits, witnesses, proofs) are the versioned
+// hyperplonk wire formats, carried base64-encoded inside JSON ([]byte
+// fields); field elements travel as 32-byte canonical big-endian blobs.
+//
+// The package deliberately imports nothing from the rest of the module,
+// so external clients in other languages can treat this file as the API
+// reference.
+package api
+
+// Job priorities, highest first. The service's queue drains high before
+// normal before low; jobs of equal priority keep arrival order.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
+)
+
+// Job statuses reported by POST /v1/prove and GET /v1/jobs/{id}.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// RegisterCircuitRequest is the body of POST /v1/circuits.
+type RegisterCircuitRequest struct {
+	// Circuit is a ZKSC circuit blob (Circuit.MarshalBinary).
+	Circuit []byte `json:"circuit"`
+}
+
+// CircuitInfo describes a registered circuit; returned by
+// POST /v1/circuits and GET /v1/circuits/{digest}.
+type CircuitInfo struct {
+	// Digest is the hex-encoded 32-byte circuit digest — the handle every
+	// subsequent prove/verify request uses.
+	Digest    string `json:"digest"`
+	Mu        int    `json:"mu"`
+	NumGates  int    `json:"num_gates"`
+	NumPublic int    `json:"num_public"`
+	// Shard is the backend shard this circuit's jobs are routed to.
+	Shard int `json:"shard"`
+	// Proofs counts proofs served for this circuit (cache hits included).
+	Proofs int64 `json:"proofs"`
+}
+
+// ProveRequest is the body of POST /v1/prove. Exactly one of
+// CircuitDigest (for a registered circuit) or Circuit (register-on-use)
+// must be set.
+type ProveRequest struct {
+	CircuitDigest string `json:"circuit_digest,omitempty"`
+	// Circuit optionally carries a ZKSC blob, registering the circuit as
+	// part of the request.
+	Circuit []byte `json:"circuit,omitempty"`
+	// Witness is a ZKSW assignment blob for the circuit.
+	Witness []byte `json:"witness"`
+	// Priority is PriorityHigh/Normal/Low; empty means normal.
+	Priority string `json:"priority,omitempty"`
+	// Wait selects the synchronous mode: the response carries the proof
+	// (or failure) instead of a queued job id to poll.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// ProveResponse is the result of POST /v1/prove and GET /v1/jobs/{id}.
+type ProveResponse struct {
+	JobID         string `json:"job_id"`
+	Status        string `json:"status"`
+	CircuitDigest string `json:"circuit_digest,omitempty"`
+	// Proof is a ZKSP proof blob (Proof.MarshalBinary); set when Status
+	// is "done".
+	Proof []byte `json:"proof,omitempty"`
+	// PublicInputs are the 32-byte big-endian public input values
+	// extracted from the witness, in circuit order.
+	PublicInputs [][]byte `json:"public_inputs,omitempty"`
+	// Cached reports that the proof came from the service's proof cache
+	// without re-proving.
+	Cached bool `json:"cached,omitempty"`
+	// BatchSize is the number of jobs coalesced into the ProveBatch call
+	// that produced this proof (1 = proved alone; 0 for cached results).
+	BatchSize int `json:"batch_size,omitempty"`
+	// ProverNS is the measured proving time in nanoseconds (0 when cached).
+	ProverNS int64 `json:"prover_ns,omitempty"`
+	// StepsNS decomposes the proof into per-protocol-step shares.
+	StepsNS map[string]int64 `json:"steps_ns,omitempty"`
+	// Error describes the failure when Status is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// VerifyRequest is the body of POST /v1/verify.
+type VerifyRequest struct {
+	CircuitDigest string   `json:"circuit_digest"`
+	PublicInputs  [][]byte `json:"public_inputs"`
+	// Proof is a ZKSP proof blob.
+	Proof []byte `json:"proof"`
+}
+
+// VerifyResponse is the result of POST /v1/verify. A well-formed request
+// with an invalid proof is a 200 with Valid=false, not an HTTP error.
+type VerifyResponse struct {
+	Valid bool `json:"valid"`
+	// Error explains the rejection when Valid is false.
+	Error string `json:"error,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string `json:"status"`
+	Shards        int    `json:"shards"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Circuits      int    `json:"circuits"`
+	JobsDone      int64  `json:"jobs_done"`
+	JobsFailed    int64  `json:"jobs_failed"`
+	CacheHits     int64  `json:"cache_hits"`
+}
+
+// Error is the JSON body of every non-2xx response. Overload responses
+// (429) additionally set the Retry-After header to RetryAfterSec.
+type Error struct {
+	Error         string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}

@@ -7,11 +7,16 @@ package zkspeed
 // command) compiles against this surface alone.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"strconv"
 	"time"
 
+	"zkspeed/api"
 	"zkspeed/internal/bench"
 )
 
@@ -124,7 +129,142 @@ func E2EBenchmarks(cfg BenchConfig) []BenchmarkCase {
 	return out
 }
 
-// SuiteBenchmarks is the full structured suite: kernels then end-to-end.
+// ServiceBenchmarks builds the service-level suite: proofs driven through
+// zkproverd's full HTTP path (JSON decode, queue, batch window, Engine,
+// proof serialization) against a loopback server. Two cases per problem
+// size: http_prove measures the uncached end-to-end latency (the proof
+// cache is disabled so every iteration really proves, with steps_ns
+// relayed from the service response), and http_prove_cached repeats one
+// identical request so the measurement isolates the service overhead
+// floor — HTTP + cache lookup, no proving.
+func ServiceBenchmarks(cfg BenchConfig) []BenchmarkCase {
+	var out []BenchmarkCase
+	for _, mu := range cfg.ServiceMus {
+		for _, cached := range []bool{false, true} {
+			mu, cached := mu, cached
+			name := fmt.Sprintf("service/http_prove/mu%d", mu)
+			if cached {
+				name = fmt.Sprintf("service/http_prove_cached/mu%d", mu)
+			}
+			var (
+				svc      *ProverService
+				server   *http.Server
+				baseURL  string
+				reqBlob  []byte
+				hc       *http.Client
+				stepSum  map[string]time.Duration
+				stepReps int
+			)
+			iterate := func() error {
+				resp, err := hc.Post(baseURL+"/v1/prove", "application/json", bytes.NewReader(reqBlob))
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				var proved api.ProveResponse
+				if err := json.NewDecoder(resp.Body).Decode(&proved); err != nil {
+					return err
+				}
+				if resp.StatusCode != http.StatusOK || proved.Status != api.StatusDone {
+					return fmt.Errorf("prove: HTTP %d, status %q (%s)", resp.StatusCode, proved.Status, proved.Error)
+				}
+				if cached != proved.Cached {
+					return fmt.Errorf("prove: cached=%v, want %v", proved.Cached, cached)
+				}
+				for k, v := range proved.StepsNS {
+					stepSum[k] += time.Duration(v)
+				}
+				stepReps++
+				return nil
+			}
+			out = append(out, BenchmarkCase{
+				Name:   name,
+				Kind:   bench.KindService,
+				Params: map[string]string{"mu": strconv.Itoa(mu), "seed": strconv.FormatInt(cfg.Seed, 10), "cached": strconv.FormatBool(cached)},
+				Setup: func() error {
+					cacheSize := -1 // every iteration must prove
+					if cached {
+						cacheSize = 4
+					}
+					var err error
+					svc, err = NewService(ServiceConfig{
+						BatchWindow: time.Millisecond,
+						CacheSize:   cacheSize,
+					}, WithEntropy(SeededEntropy(cfg.Seed)))
+					if err != nil {
+						return err
+					}
+					ln, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						return err
+					}
+					server = &http.Server{Handler: svc.Handler()}
+					go server.Serve(ln)
+					baseURL = "http://" + ln.Addr().String()
+					hc = &http.Client{}
+					circuit, assign, _, err := SyntheticWorkloadSeeded(mu, cfg.Seed)
+					if err != nil {
+						return err
+					}
+					// Preload warms the SRS ceremony and key preprocessing
+					// so iterations measure steady-state service latency.
+					info, err := svc.Preload(context.Background(), circuit)
+					if err != nil {
+						return err
+					}
+					witness, err := assign.MarshalBinary()
+					if err != nil {
+						return err
+					}
+					reqBlob, err = json.Marshal(api.ProveRequest{
+						CircuitDigest: info.Digest, Witness: witness, Wait: true,
+					})
+					if err != nil {
+						return err
+					}
+					stepSum = make(map[string]time.Duration)
+					stepReps = 0
+					if cached {
+						// One priming prove populates the cache; every
+						// timed iteration then hits it.
+						resp, err := hc.Post(baseURL+"/v1/prove", "application/json", bytes.NewReader(reqBlob))
+						if err != nil {
+							return err
+						}
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							return fmt.Errorf("priming prove: HTTP %d", resp.StatusCode)
+						}
+					}
+					return nil
+				},
+				StartMeasured: func() {
+					stepSum = make(map[string]time.Duration)
+					stepReps = 0
+				},
+				Iterate: iterate,
+				Steps: func() map[string]time.Duration {
+					if stepReps == 0 {
+						return nil
+					}
+					mean := make(map[string]time.Duration, len(stepSum))
+					for k, v := range stepSum {
+						mean[k] = v / time.Duration(stepReps)
+					}
+					return mean
+				},
+				Teardown: func() {
+					server.Close()
+					svc.Close()
+				},
+			})
+		}
+	}
+	return out
+}
+
+// SuiteBenchmarks is the full structured suite: kernels, end-to-end, then
+// service-level.
 func SuiteBenchmarks(cfg BenchConfig) []BenchmarkCase {
-	return append(KernelBenchmarks(cfg), E2EBenchmarks(cfg)...)
+	return append(append(KernelBenchmarks(cfg), E2EBenchmarks(cfg)...), ServiceBenchmarks(cfg)...)
 }

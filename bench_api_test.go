@@ -46,7 +46,7 @@ func TestE2EBenchmarkRecordsStepShares(t *testing.T) {
 func TestQuickSuiteShape(t *testing.T) {
 	cfg := zkspeed.DefaultBenchConfig(true)
 	bms := zkspeed.SuiteBenchmarks(cfg)
-	kernels, e2e := 0, 0
+	kernels, e2e, svc := 0, 0, 0
 	names := map[string]bool{}
 	for _, bm := range bms {
 		if names[bm.Name] {
@@ -58,6 +58,8 @@ func TestQuickSuiteShape(t *testing.T) {
 			kernels++
 		case bench.KindE2E:
 			e2e++
+		case bench.KindService:
+			svc++
 		default:
 			t.Errorf("%s: unknown kind %q", bm.Name, bm.Kind)
 		}
@@ -67,6 +69,11 @@ func TestQuickSuiteShape(t *testing.T) {
 	}
 	if e2e < 2 {
 		t.Errorf("quick suite has %d e2e sizes, want >= 2", e2e)
+	}
+	// The service level must cover both the real HTTP prove path and the
+	// cached overhead floor.
+	if svc < 2 || !names["service/http_prove/mu8"] || !names["service/http_prove_cached/mu8"] {
+		t.Errorf("quick suite service coverage wrong: %d service benchmarks", svc)
 	}
 	for _, want := range []string{"msm/pippenger/", "msm/sparse/", "sumcheck/rounds/", "pcs/commit/", "pcs/open/", "mle/fold/"} {
 		found := false

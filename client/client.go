@@ -1,0 +1,366 @@
+// Package client is the Go client for zkproverd, the zkspeed proving
+// service. It speaks the HTTP/JSON API defined in zkspeed/api: circuits
+// and witnesses travel as the versioned hyperplonk wire blobs, proofs
+// come back as ZKSP bytes decoded into *zkspeed.Proof.
+//
+//	cl := client.New("http://localhost:8080")
+//	digest, _ := cl.RegisterCircuit(ctx, circuit)
+//	res, _ := cl.Prove(ctx, digest, assignment)           // sync
+//	err := cl.Verify(ctx, digest, res.PublicInputs, res.Proof)
+//
+// Overload (HTTP 429) surfaces as *client.OverloadedError carrying the
+// server's Retry-After, so callers can implement honest backoff.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"zkspeed"
+	"zkspeed/api"
+)
+
+// Client talks to one zkproverd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	poll time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport, instrumentation).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithPollInterval sets how often WaitJob polls an async job. Default
+// 250ms.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.poll = d
+		}
+	}
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   http.DefaultClient,
+		poll: 250 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// OverloadedError is an HTTP 429 from the service: the queue was full.
+type OverloadedError struct {
+	// RetryAfter is the server's drain estimate.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("client: service overloaded, retry after %s", e.RetryAfter)
+}
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// ProveResult is a completed proving job.
+type ProveResult struct {
+	JobID        string
+	Proof        *zkspeed.Proof
+	PublicInputs []zkspeed.Scalar
+	// Cached reports the proof came from the service's proof cache.
+	Cached bool
+	// BatchSize is how many jobs shared the ProveBatch call (0 if cached).
+	BatchSize int
+	// ProverTime is the server-side proving latency (0 if cached).
+	ProverTime time.Duration
+	// Steps is the per-protocol-step breakdown, when the server timed it.
+	Steps map[string]time.Duration
+}
+
+// do round-trips one JSON request. A nil out discards the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := 1 * time.Second
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			retry = time.Duration(sec) * time.Second
+		}
+		return &OverloadedError{RetryAfter: retry}
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr api.Error
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// RegisterCircuit uploads the circuit and returns its digest — the
+// handle for every subsequent Prove/Verify call. Registration is
+// idempotent.
+func (c *Client) RegisterCircuit(ctx context.Context, circuit *zkspeed.Circuit) (string, error) {
+	blob, err := circuit.MarshalBinary()
+	if err != nil {
+		return "", err
+	}
+	var info api.CircuitInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/circuits", api.RegisterCircuitRequest{Circuit: blob}, &info); err != nil {
+		return "", err
+	}
+	return info.Digest, nil
+}
+
+// Circuit fetches metadata for a registered circuit.
+func (c *Client) Circuit(ctx context.Context, digest string) (*api.CircuitInfo, error) {
+	var info api.CircuitInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/circuits/"+digest, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func proveRequest(digest string, assignment *zkspeed.Assignment, priority string, wait bool) (*api.ProveRequest, error) {
+	witness, err := assignment.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &api.ProveRequest{
+		CircuitDigest: digest,
+		Witness:       witness,
+		Priority:      priority,
+		Wait:          wait,
+	}, nil
+}
+
+// Prove synchronously proves the assignment against a registered circuit
+// and returns the decoded proof. priority is one of the api.Priority*
+// names; empty means normal.
+func (c *Client) Prove(ctx context.Context, digest string, assignment *zkspeed.Assignment, priority ...string) (*ProveResult, error) {
+	req, err := proveRequest(digest, assignment, firstOrEmpty(priority), true)
+	if err != nil {
+		return nil, err
+	}
+	var resp api.ProveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/prove", req, &resp); err != nil {
+		return nil, err
+	}
+	return decodeProveResponse(&resp)
+}
+
+// SubmitProve enqueues an async proving job and returns its id for
+// WaitJob / Job polling.
+func (c *Client) SubmitProve(ctx context.Context, digest string, assignment *zkspeed.Assignment, priority ...string) (string, error) {
+	req, err := proveRequest(digest, assignment, firstOrEmpty(priority), false)
+	if err != nil {
+		return "", err
+	}
+	var resp api.ProveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/prove", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// Job fetches the current state of an async job; the result is non-nil
+// only when the job reached a terminal state (done → result, failed →
+// error).
+func (c *Client) Job(ctx context.Context, id string) (status string, result *ProveResult, err error) {
+	var resp api.ProveResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &resp); err != nil {
+		return "", nil, err
+	}
+	switch resp.Status {
+	case api.StatusDone:
+		res, err := decodeProveResponse(&resp)
+		return resp.Status, res, err
+	case api.StatusFailed:
+		return resp.Status, nil, fmt.Errorf("client: job %s failed: %s", id, resp.Error)
+	}
+	return resp.Status, nil, nil
+}
+
+// WaitJob polls until the job completes (or ctx expires) and returns the
+// decoded result.
+func (c *Client) WaitJob(ctx context.Context, id string) (*ProveResult, error) {
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		status, res, err := c.Job(ctx, id)
+		if err != nil || status == api.StatusDone {
+			return res, err
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Verify asks the service to check a proof. A nil error means valid; an
+// invalid proof returns an error wrapping ErrInvalidProof.
+func (c *Client) Verify(ctx context.Context, digest string, pub []zkspeed.Scalar, proof *zkspeed.Proof) error {
+	blob, err := proof.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	req := api.VerifyRequest{
+		CircuitDigest: digest,
+		PublicInputs:  encodeScalars(pub),
+		Proof:         blob,
+	}
+	var resp api.VerifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/verify", req, &resp); err != nil {
+		return err
+	}
+	if !resp.Valid {
+		return fmt.Errorf("%w: %s", ErrInvalidProof, resp.Error)
+	}
+	return nil
+}
+
+// ErrInvalidProof marks a definitive verification rejection (as opposed
+// to a transport or API failure).
+var ErrInvalidProof = errors.New("client: proof invalid")
+
+// Health fetches the service's liveness summary.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
+	}
+	blob, err := io.ReadAll(resp.Body)
+	return string(blob), err
+}
+
+func firstOrEmpty(s []string) string {
+	if len(s) > 0 {
+		return s[0]
+	}
+	return ""
+}
+
+func decodeProveResponse(resp *api.ProveResponse) (*ProveResult, error) {
+	if resp.Status == api.StatusFailed {
+		return nil, fmt.Errorf("client: proving failed: %s", resp.Error)
+	}
+	if resp.Status != api.StatusDone {
+		return nil, fmt.Errorf("client: unexpected job status %q", resp.Status)
+	}
+	var proof zkspeed.Proof
+	if err := proof.UnmarshalBinary(resp.Proof); err != nil {
+		return nil, fmt.Errorf("client: decoding proof: %w", err)
+	}
+	pub, err := decodeScalars(resp.PublicInputs)
+	if err != nil {
+		return nil, err
+	}
+	res := &ProveResult{
+		JobID:        resp.JobID,
+		Proof:        &proof,
+		PublicInputs: pub,
+		Cached:       resp.Cached,
+		BatchSize:    resp.BatchSize,
+		ProverTime:   time.Duration(resp.ProverNS),
+	}
+	if len(resp.StepsNS) > 0 {
+		res.Steps = make(map[string]time.Duration, len(resp.StepsNS))
+		for k, v := range resp.StepsNS {
+			res.Steps[k] = time.Duration(v)
+		}
+	}
+	return res, nil
+}
+
+func encodeScalars(vs []zkspeed.Scalar) [][]byte {
+	out := make([][]byte, len(vs))
+	for i := range vs {
+		b := vs[i].Bytes()
+		out[i] = b[:]
+	}
+	return out
+}
+
+func decodeScalars(in [][]byte) ([]zkspeed.Scalar, error) {
+	out := make([]zkspeed.Scalar, len(in))
+	for i, b := range in {
+		if len(b) != 32 {
+			return nil, fmt.Errorf("client: public input %d is %d bytes, want 32", i, len(b))
+		}
+		out[i].SetBigInt(new(big.Int).SetBytes(b))
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zkspeed"
+	"zkspeed/client"
+)
+
+func startService(t *testing.T, cfg zkspeed.ServiceConfig) *httptest.Server {
+	t.Helper()
+	svc, err := zkspeed.NewService(cfg, zkspeed.WithEntropy(zkspeed.SeededEntropy(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func buildCircuit(t *testing.T, c, x uint64) (*zkspeed.Circuit, *zkspeed.Assignment) {
+	t.Helper()
+	b := zkspeed.NewBuilder()
+	xv := b.Witness(zkspeed.NewScalar(x))
+	y := b.Add(b.Mul(xv, xv), b.MulConst(zkspeed.NewScalar(c), xv))
+	yPub := b.PublicInput(b.Value(y))
+	b.AssertEqual(y, yPub)
+	circuit, assign, _, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return circuit, assign
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	srv := startService(t, zkspeed.ServiceConfig{BatchWindow: time.Millisecond})
+	cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()), client.WithPollInterval(10*time.Millisecond))
+	ctx := context.Background()
+
+	circuit, assign := buildCircuit(t, 3, 7)
+	digest, err := cl.RegisterCircuit(ctx, circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.Circuit(ctx, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mu != circuit.Mu {
+		t.Fatalf("circuit info %+v", info)
+	}
+
+	res, err := cl.Prove(ctx, digest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.Proof == nil {
+		t.Fatalf("first prove: %+v", res)
+	}
+	if err := cl.Verify(ctx, digest, res.PublicInputs, res.Proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// The identical request is served from the proof cache.
+	again, err := cl.Prove(ctx, digest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("identical request not cached")
+	}
+
+	// Async path on a fresh witness.
+	_, assign2 := buildCircuit(t, 3, 8)
+	jobID, err := cl.SubmitProve(ctx, digest, assign2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncRes, err := cl.WaitJob(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Verify(ctx, digest, asyncRes.PublicInputs, asyncRes.Proof); err != nil {
+		t.Fatalf("async verify: %v", err)
+	}
+
+	// A proof for the wrong witness must be definitively invalid.
+	err = cl.Verify(ctx, digest, res.PublicInputs, asyncRes.Proof)
+	if !errors.Is(err, client.ErrInvalidProof) {
+		t.Fatalf("cross-witness verify: %v", err)
+	}
+
+	h, err := cl.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %v %+v", err, h)
+	}
+	metrics, err := cl.Metrics(ctx)
+	if err != nil || !strings.Contains(metrics, "zkproverd_jobs_total") {
+		t.Fatalf("metrics: %v", err)
+	}
+}
+
+func TestClientUnknownCircuit(t *testing.T) {
+	srv := startService(t, zkspeed.ServiceConfig{})
+	cl := client.New(srv.URL)
+	_, err := cl.Circuit(context.Background(), strings.Repeat("ab", 32))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown circuit: %v", err)
+	}
+}

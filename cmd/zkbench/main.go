@@ -1,10 +1,12 @@
 // Command zkbench runs the repository's structured benchmark suite —
 // kernel-level (Pippenger and Sparse MSM across window widths and both
-// aggregation schedules, sumcheck round loop, PCS commit/open, MLE fold)
-// and end-to-end Engine.Prove — and writes a machine-readable
-// BENCH_<sha>.json performance record. With -compare it gates the fresh
-// run against a committed baseline and exits nonzero on regression, which
-// is how CI decides whether a PR made the prover slower.
+// aggregation schedules, sumcheck round loop, PCS commit/open, MLE fold),
+// end-to-end Engine.Prove, and service-level (proofs driven through
+// zkproverd's HTTP path against a loopback server, plus the cached
+// overhead floor) — and writes a machine-readable BENCH_<sha>.json
+// performance record. With -compare it gates the fresh run against a
+// committed baseline and exits nonzero on regression, which is how CI
+// decides whether a PR made the prover slower.
 //
 // Usage:
 //

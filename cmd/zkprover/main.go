@@ -10,17 +10,64 @@
 //	zkprover -mu 12 -seed 7 -skip-verify
 //	zkprover -mu 12 -batch 4   # prove 4 circuits on one cached SRS
 //	zkprover -mu 10 -timeout 5s
+//	zkprover -mu 10 -json      # machine-readable output (proof included)
+//
+// With -json the command prints a single JSON document on stdout — proof
+// bytes (ZKSP wire format, base64), per-step timings, stats and the
+// hardware estimate — for scripting against the zkproverd service tooling.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"zkspeed"
 )
+
+// jsonProof is one proof in the -json report.
+type jsonProof struct {
+	Job          int              `json:"job,omitempty"`
+	ProofBytes   int              `json:"proof_bytes"`
+	Proof        []byte           `json:"proof"` // ZKSP wire bytes (base64 in JSON)
+	PublicInputs [][]byte         `json:"public_inputs,omitempty"`
+	ProverNS     int64            `json:"prover_ns"`
+	StepsNS      map[string]int64 `json:"steps_ns,omitempty"`
+	SetupCached  bool             `json:"setup_cached"`
+	Verified     *bool            `json:"verified,omitempty"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Mu   int   `json:"mu"`
+	Seed int64 `json:"seed"`
+	// CircuitDigest is the hex handle the zkproverd service would use for
+	// this circuit (register once, then prove by digest). Batch mode
+	// leaves it empty — each job has its own circuit.
+	CircuitDigest string      `json:"circuit_digest,omitempty"`
+	NumGates      int         `json:"num_gates"`
+	Batch         int         `json:"batch"`
+	SetupNS       int64       `json:"setup_ns,omitempty"`
+	SRSSetups     int         `json:"srs_setups"`
+	KeySetups     int         `json:"key_setups"`
+	Proofs        []jsonProof `json:"proofs"`
+	Estimate      *jsonEst    `json:"estimate,omitempty"`
+	TotalNS       int64       `json:"total_ns"`
+	VerifiedNS    int64       `json:"verify_ns,omitempty"`
+}
+
+// jsonEst is the accelerator-model coupling in the -json report.
+type jsonEst struct {
+	PredictedMS       float64 `json:"predicted_ms"`
+	MeasuredMS        float64 `json:"measured_ms"`
+	CPUBaselineMS     float64 `json:"cpu_baseline_ms"`
+	SpeedupVsCPU      float64 `json:"speedup_vs_cpu"`
+	SpeedupVsMeasured float64 `json:"speedup_vs_measured"`
+}
 
 func main() {
 	mu := flag.Int("mu", 10, "log2 of the gate count")
@@ -29,6 +76,7 @@ func main() {
 	batch := flag.Int("batch", 1, "number of circuits to prove on one shared SRS")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort proving after this long (0 = no limit)")
+	jsonOut := flag.Bool("json", false, "print one machine-readable JSON document instead of text")
 	flag.Parse()
 
 	if *mu < 2 || *mu > 20 {
@@ -52,55 +100,112 @@ func main() {
 		defer cancel()
 	}
 
-	if *batch > 1 {
-		runBatch(ctx, eng, *mu, *seed, *batch, *skipVerify)
-		return
+	// say prints progress in text mode and stays quiet under -json, where
+	// stdout must carry exactly one JSON document.
+	say := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
 	}
 
-	fmt.Printf("building synthetic 2^%d-gate circuit...\n", *mu)
-	circuit, assignment, pub, err := zkspeed.SyntheticWorkloadSeeded(*mu, *seed)
+	report := &jsonReport{Mu: *mu, Seed: *seed, Batch: *batch}
+	start := time.Now()
+	if *batch > 1 {
+		runBatch(ctx, eng, *mu, *seed, *batch, *skipVerify, say, report)
+	} else {
+		runSingle(ctx, eng, *mu, *seed, *skipVerify, say, report)
+	}
+	report.TotalNS = time.Since(start).Nanoseconds()
+	st := eng.Stats()
+	report.SRSSetups = st.SRSSetups
+	report.KeySetups = st.KeySetups
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+	}
+}
+
+func toJSONProof(res *zkspeed.ProofResult, job int) jsonProof {
+	blob, err := res.Proof.MarshalBinary()
+	if err != nil {
+		log.Fatalf("serializing proof: %v", err)
+	}
+	steps := make(map[string]int64)
+	for k, v := range res.StepBreakdown() {
+		steps[k] = v.Nanoseconds()
+	}
+	pub := make([][]byte, len(res.PublicInputs))
+	for i := range res.PublicInputs {
+		b := res.PublicInputs[i].Bytes()
+		pub[i] = b[:]
+	}
+	return jsonProof{
+		Job:          job,
+		ProofBytes:   res.Stats.ProofBytes,
+		Proof:        blob,
+		PublicInputs: pub,
+		ProverNS:     res.Stats.ProverTime.Nanoseconds(),
+		StepsNS:      steps,
+		SetupCached:  res.Stats.SetupCached,
+	}
+}
+
+func runSingle(ctx context.Context, eng *zkspeed.Engine, mu int, seed int64, skipVerify bool, say func(string, ...any), report *jsonReport) {
+	say("building synthetic 2^%d-gate circuit...\n", mu)
+	circuit, assignment, pub, err := zkspeed.SyntheticWorkloadSeeded(mu, seed)
 	if err != nil {
 		log.Fatalf("workload: %v", err)
 	}
+	report.NumGates = circuit.NumGates()
+	report.CircuitDigest = fmt.Sprintf("%x", eng.CircuitDigest(circuit))
 
-	fmt.Printf("running universal setup (SRS for mu=%d)...\n", circuit.Mu)
+	say("running universal setup (SRS for mu=%d)...\n", circuit.Mu)
 	t0 := time.Now()
 	if _, _, err := eng.Setup(ctx, circuit); err != nil {
 		log.Fatalf("setup: %v", err)
 	}
-	fmt.Printf("  setup: %v\n", time.Since(t0).Round(time.Millisecond))
+	report.SetupNS = time.Since(t0).Nanoseconds()
+	say("  setup: %v\n", time.Since(t0).Round(time.Millisecond))
 
-	fmt.Println("proving...")
+	say("proving...\n")
 	res, err := eng.Prove(ctx, circuit, assignment)
 	if err != nil {
 		log.Fatalf("prove: %v", err)
 	}
 	tm := res.Timings
-	fmt.Printf("  step 1  witness commits:       %v\n", tm.WitnessCommit.Round(time.Microsecond))
-	fmt.Printf("  step 2  gate identity:         %v\n", tm.GateIdentity.Round(time.Microsecond))
-	fmt.Printf("  step 3  wiring identity:       %v\n", tm.WireIdentity.Round(time.Microsecond))
-	fmt.Printf("  step 4  batch evaluations:     %v\n", tm.BatchEvals.Round(time.Microsecond))
-	fmt.Printf("  step 5  polynomial opening:    %v\n", tm.PolyOpen.Round(time.Microsecond))
-	fmt.Printf("  total prover time:             %v\n", tm.Total.Round(time.Microsecond))
-	fmt.Printf("  proof size: %d bytes (%.2f KB)\n", res.Stats.ProofBytes, float64(res.Stats.ProofBytes)/1024)
+	say("  step 1  witness commits:       %v\n", tm.WitnessCommit.Round(time.Microsecond))
+	say("  step 2  gate identity:         %v\n", tm.GateIdentity.Round(time.Microsecond))
+	say("  step 3  wiring identity:       %v\n", tm.WireIdentity.Round(time.Microsecond))
+	say("  step 4  batch evaluations:     %v\n", tm.BatchEvals.Round(time.Microsecond))
+	say("  step 5  polynomial opening:    %v\n", tm.PolyOpen.Round(time.Microsecond))
+	say("  total prover time:             %v\n", tm.Total.Round(time.Microsecond))
+	say("  proof size: %d bytes (%.2f KB)\n", res.Stats.ProofBytes, float64(res.Stats.ProofBytes)/1024)
 
-	printEstimate(eng, res.Stats)
+	jp := toJSONProof(res, 0)
+	printEstimate(eng, res.Stats, say, report)
 
-	if *skipVerify {
-		return
+	if !skipVerify {
+		say("verifying...\n")
+		t0 = time.Now()
+		if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
+			log.Fatalf("VERIFICATION FAILED: %v", err)
+		}
+		report.VerifiedNS = time.Since(t0).Nanoseconds()
+		ok := true
+		jp.Verified = &ok
+		say("  proof verified in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Println("verifying...")
-	t0 = time.Now()
-	if err := eng.Verify(ctx, circuit, pub, res.Proof); err != nil {
-		log.Fatalf("VERIFICATION FAILED: %v", err)
-	}
-	fmt.Printf("  proof verified in %v\n", time.Since(t0).Round(time.Millisecond))
+	report.Proofs = append(report.Proofs, jp)
 }
 
 // runBatch proves `count` distinct circuits of the same size on the
 // Engine's worker pool; the universal SRS ceremony runs exactly once.
-func runBatch(ctx context.Context, eng *zkspeed.Engine, mu int, seed int64, count int, skipVerify bool) {
-	fmt.Printf("building %d synthetic 2^%d-gate circuits...\n", count, mu)
+func runBatch(ctx context.Context, eng *zkspeed.Engine, mu int, seed int64, count int, skipVerify bool, say func(string, ...any), report *jsonReport) {
+	say("building %d synthetic 2^%d-gate circuits...\n", count, mu)
 	jobs := make([]zkspeed.ProofJob, count)
 	for i := range jobs {
 		circuit, assignment, _, err := zkspeed.SyntheticWorkloadSeeded(mu, seed+int64(i))
@@ -109,6 +214,7 @@ func runBatch(ctx context.Context, eng *zkspeed.Engine, mu int, seed int64, coun
 		}
 		jobs[i] = zkspeed.ProofJob{Circuit: circuit, Assignment: assignment}
 	}
+	report.NumGates = jobs[0].Circuit.NumGates()
 	t0 := time.Now()
 	results, err := eng.ProveBatch(ctx, jobs)
 	if err != nil {
@@ -118,33 +224,44 @@ func runBatch(ctx context.Context, eng *zkspeed.Engine, mu int, seed int64, coun
 		if r.Err != nil {
 			log.Fatalf("job %d: %v", r.Job, r.Err)
 		}
-		fmt.Printf("  job %d: proved in %v (%d-byte proof, cached setup: %v)\n",
+		say("  job %d: proved in %v (%d-byte proof, cached setup: %v)\n",
 			r.Job, r.Result.Stats.ProverTime.Round(time.Microsecond),
 			r.Result.Stats.ProofBytes, r.Result.Stats.SetupCached)
+		report.Proofs = append(report.Proofs, toJSONProof(r.Result, r.Job))
 	}
 	st := eng.Stats()
-	fmt.Printf("batch of %d done in %v — SRS ceremonies: %d, key setups: %d\n",
+	say("batch of %d done in %v — SRS ceremonies: %d, key setups: %d\n",
 		count, time.Since(t0).Round(time.Millisecond), st.SRSSetups, st.KeySetups)
 	if !skipVerify {
-		fmt.Println("verifying...")
+		say("verifying...\n")
 		t0 = time.Now()
 		for i, r := range results {
 			if err := eng.Verify(ctx, jobs[i].Circuit, r.Result.PublicInputs, r.Result.Proof); err != nil {
 				log.Fatalf("job %d: VERIFICATION FAILED: %v", i, err)
 			}
+			ok := true
+			report.Proofs[i].Verified = &ok
 		}
-		fmt.Printf("  all %d proofs verified in %v\n", count, time.Since(t0).Round(time.Millisecond))
+		report.VerifiedNS = time.Since(t0).Nanoseconds()
+		say("  all %d proofs verified in %v\n", count, time.Since(t0).Round(time.Millisecond))
 	}
-	printEstimate(eng, results[0].Result.Stats)
+	printEstimate(eng, results[0].Result.Stats, say, report)
 }
 
 // printEstimate couples the measured proof with the accelerator model.
-func printEstimate(eng *zkspeed.Engine, stats zkspeed.ProofStats) {
+func printEstimate(eng *zkspeed.Engine, stats zkspeed.ProofStats, say func(string, ...any), report *jsonReport) {
 	est := eng.Estimate(stats, zkspeed.PaperDesign())
-	fmt.Printf("zkSpeed estimate (paper design, 2^%d gates):\n", stats.Mu)
-	fmt.Printf("  predicted accelerator latency: %.3f ms\n", est.PredictedMS)
-	fmt.Printf("  measured CPU time:             %.1f ms (%.0f× slower)\n",
+	report.Estimate = &jsonEst{
+		PredictedMS:       est.PredictedMS,
+		MeasuredMS:        est.MeasuredMS,
+		CPUBaselineMS:     est.CPUBaselineMS,
+		SpeedupVsCPU:      est.SpeedupVsCPU,
+		SpeedupVsMeasured: est.SpeedupVsMeasured,
+	}
+	say("zkSpeed estimate (paper design, 2^%d gates):\n", stats.Mu)
+	say("  predicted accelerator latency: %.3f ms\n", est.PredictedMS)
+	say("  measured CPU time:             %.1f ms (%.0f× slower)\n",
 		est.MeasuredMS, est.SpeedupVsMeasured)
-	fmt.Printf("  paper CPU baseline:            %.0f ms (%.0f× slower)\n",
+	say("  paper CPU baseline:            %.0f ms (%.0f× slower)\n",
 		est.CPUBaselineMS, est.SpeedupVsCPU)
 }

@@ -1,0 +1,149 @@
+// Command zkproverd runs the zkspeed proving service: a pool of sharded
+// prover engines behind a bounded priority job queue with backpressure,
+// a batch-accumulation window that coalesces same-circuit jobs into one
+// ProveBatch call (amortizing SRS/key setup across tenants), an LRU
+// proof cache, and an HTTP/JSON API with Prometheus-style /metrics.
+//
+// Usage:
+//
+//	zkproverd                                   # serve on :8080, 1 shard
+//	zkproverd -addr :9090 -shards 4 -batch-window 10ms
+//	zkproverd -queue-cap 128 -max-batch 32 -cache 1024
+//	zkproverd -preload-mu 10,12 -seed 7         # pre-derive SRS ceremonies
+//
+// See the README's "Running the proving service" section for the API
+// walkthrough and wire formats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"zkspeed"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	shards := flag.Int("shards", 1, "number of prover engine shards")
+	queueCap := flag.Int("queue-cap", 64, "queued jobs per shard before 429")
+	batchWindow := flag.Duration("batch-window", 5*time.Millisecond, "batch accumulation window (0 disables coalescing)")
+	maxBatch := flag.Int("max-batch", 16, "max jobs per ProveBatch call")
+	cacheSize := flag.Int("cache", 256, "proof-cache entries (negative disables)")
+	retention := flag.Int("retention", 1024, "finished jobs kept pollable")
+	maxCircuits := flag.Int("max-circuits", 4096, "registered circuits before registrations are rejected")
+	seed := flag.Int64("seed", 0, "deterministic setup entropy seed (0 = crypto/rand)")
+	preload := flag.String("preload-mu", "", "comma-separated problem sizes whose SRS to pre-derive at startup, e.g. 10,12")
+	workers := flag.Int("workers", 0, "per-shard ProveBatch worker pool size (0 = one per CPU)")
+	verbose := flag.Bool("v", false, "log every completed proof")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("zkproverd: ")
+
+	opts := []zkspeed.Option{}
+	if *seed != 0 {
+		opts = append(opts, zkspeed.WithEntropy(zkspeed.SeededEntropy(*seed)))
+	}
+	if *workers > 0 {
+		opts = append(opts, zkspeed.WithParallelism(*workers))
+	}
+	if *verbose {
+		opts = append(opts, zkspeed.WithProveHook(func(st zkspeed.ProofStats) {
+			log.Printf("proved mu=%d (%d gates) in %v, %d-byte proof, cached setup: %v",
+				st.Mu, st.NumGates, st.ProverTime.Round(time.Microsecond), st.ProofBytes, st.SetupCached)
+		}))
+	}
+
+	// The flag contract is "0 disables"; the config encodes disabled as
+	// negative (its 0 selects the default).
+	window := *batchWindow
+	if window == 0 {
+		window = -1
+	}
+	svc, err := zkspeed.NewService(zkspeed.ServiceConfig{
+		Shards:        *shards,
+		QueueCapacity: *queueCap,
+		BatchWindow:   window,
+		MaxBatch:      *maxBatch,
+		CacheSize:     *cacheSize,
+		JobRetention:  *retention,
+		MaxCircuits:   *maxCircuits,
+	}, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	if *preload != "" {
+		if err := preloadCircuits(svc, *preload, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (%d shard(s), queue %d/shard, batch window %v, cache %d)",
+			*addr, *shards, *queueCap, *batchWindow, *cacheSize)
+		errCh <- server.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+// preloadCircuits registers synthetic workloads for the listed sizes so
+// the SRS ceremonies and key setups run before the first request arrives.
+func preloadCircuits(svc *zkspeed.ProverService, list string, seed int64) error {
+	if seed == 0 {
+		seed = 1
+	}
+	for _, f := range strings.Split(list, ",") {
+		mu, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -preload-mu entry %q: %v", f, err)
+		}
+		if mu < 2 || mu > 20 {
+			return fmt.Errorf("-preload-mu %d out of the supported functional range [2,20]", mu)
+		}
+		circuit, _, _, err := zkspeed.SyntheticWorkloadSeeded(mu, seed)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		info, err := svc.Preload(context.Background(), circuit)
+		if err != nil {
+			return fmt.Errorf("preloading mu=%d: %w", mu, err)
+		}
+		log.Printf("preloaded synthetic mu=%d circuit %s (shard %d) in %v",
+			mu, info.Digest[:12], info.Shard, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -235,20 +235,8 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 		return &circuitKeys{pk: pk, vk: vk}, false, nil
 	}
 
-	// Memoize circuit.Digest() per circuit pointer — it is an O(2^mu)
-	// SHA3 pass, so the first computation happens outside the lock (it is
-	// pure, so a concurrent duplicate is merely redundant). The memo pins
-	// the circuit in memory, which is why uncached mode skips it.
+	digest := e.CircuitDigest(circuit)
 	e.mu.Lock()
-	digest, haveDigest := e.digests[circuit]
-	e.mu.Unlock()
-	if !haveDigest {
-		digest = circuit.Digest()
-	}
-	e.mu.Lock()
-	if !haveDigest {
-		e.digests[circuit] = digest
-	}
 	for {
 		if entry, ok := e.keys[digest]; ok {
 			e.mu.Unlock()
@@ -372,7 +360,7 @@ func (e *Engine) Prove(ctx context.Context, circuit *Circuit, assignment *Assign
 	e.mu.Lock()
 	e.st.Proofs++
 	e.mu.Unlock()
-	return &ProofResult{
+	res := &ProofResult{
 		Proof:        proof,
 		Timings:      tm,
 		PublicInputs: circuit.PublicInputs(assignment),
@@ -384,7 +372,34 @@ func (e *Engine) Prove(ctx context.Context, circuit *Circuit, assignment *Assign
 			ProverTime:  time.Since(start),
 			SetupCached: cached,
 		},
-	}, nil
+	}
+	if e.cfg.proveHook != nil {
+		e.cfg.proveHook(res.Stats)
+	}
+	return res, nil
+}
+
+// CircuitDigest returns the Engine's memoized digest for the circuit —
+// the key its SRS/key caches (keysFor goes through here) and the proving
+// service's registry and routing all share. Computing it is an O(2^mu)
+// SHA3 pass, so the first computation happens outside the lock (it is
+// pure, so a concurrent duplicate is merely redundant); callers that need
+// it repeatedly should go through here rather than Circuit.Digest. The
+// memo pins the circuit in memory, which is why uncached mode skips it.
+func (e *Engine) CircuitDigest(circuit *Circuit) [32]byte {
+	e.mu.Lock()
+	d, ok := e.digests[circuit]
+	e.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = circuit.Digest()
+	if e.cfg.cache {
+		e.mu.Lock()
+		e.digests[circuit] = d
+		e.mu.Unlock()
+	}
+	return d
 }
 
 // StepBreakdown returns the proof's per-protocol-step wall-clock times

@@ -1,0 +1,123 @@
+package zkspeed_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"zkspeed"
+)
+
+// TestEngineCircuitDigest pins the digest accessor the service tooling
+// keys on: it must agree with Circuit.Digest and be stable across calls
+// (the Engine memoizes the O(2^mu) hash).
+func TestEngineCircuitDigest(t *testing.T) {
+	b := zkspeed.NewBuilder()
+	x := b.Witness(zkspeed.NewScalar(4))
+	y := b.PublicInput(zkspeed.NewScalar(16))
+	b.AssertEqual(b.Mul(x, x), y)
+	circuit, _, _, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := zkspeed.New()
+	d1 := eng.CircuitDigest(circuit)
+	if d1 != circuit.Digest() {
+		t.Fatal("Engine.CircuitDigest disagrees with Circuit.Digest")
+	}
+	if d2 := eng.CircuitDigest(circuit); d2 != d1 {
+		t.Fatal("memoized digest changed between calls")
+	}
+}
+
+// TestEngineConcurrentProvers exercises the proving service's exact
+// access pattern under the race detector: many goroutines proving and
+// verifying different circuits (plus duplicates of the same circuit)
+// through one shared Engine. The singleflight caches must produce exactly
+// one SRS ceremony per problem size and one key setup per distinct
+// circuit, with every proof valid.
+func TestEngineConcurrentProvers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	eng := zkspeed.New(zkspeed.WithEntropy(zkspeed.SeededEntropy(17)), zkspeed.WithTimings())
+
+	// 4 distinct relations × 3 goroutines each = 12 concurrent provers,
+	// all size mu (one shared SRS), each relation proved with 3 distinct
+	// witnesses.
+	const (
+		relations  = 4
+		perCircuit = 3
+	)
+	type fixture struct {
+		circuit *zkspeed.Circuit
+		assigns []*zkspeed.Assignment
+	}
+	fixtures := make([]fixture, relations)
+	var mu int
+	for c := 0; c < relations; c++ {
+		var f fixture
+		for w := 0; w < perCircuit; w++ {
+			b := zkspeed.NewBuilder()
+			x := b.Witness(zkspeed.NewScalar(uint64(7 + w)))
+			y := b.Add(b.Mul(x, x), b.MulConst(zkspeed.NewScalar(uint64(3+c)), x))
+			yPub := b.PublicInput(b.Value(y))
+			b.AssertEqual(y, yPub)
+			circuit, assign, _, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.circuit == nil {
+				f.circuit = circuit
+				mu = circuit.Mu
+			} else if circuit.Digest() != f.circuit.Digest() {
+				t.Fatal("witness variation changed the relation")
+			}
+			f.assigns = append(f.assigns, assign)
+		}
+		fixtures[c] = f
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, relations*perCircuit)
+	for c := 0; c < relations; c++ {
+		for w := 0; w < perCircuit; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f := fixtures[c]
+				res, err := eng.Prove(ctx, f.circuit, f.assigns[w])
+				if err != nil {
+					errs <- fmt.Errorf("circuit %d witness %d: prove: %w", c, w, err)
+					return
+				}
+				if err := eng.Verify(ctx, f.circuit, res.PublicInputs, res.Proof); err != nil {
+					errs <- fmt.Errorf("circuit %d witness %d: verify: %w", c, w, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := eng.Stats()
+	if st.SRSSetups != 1 {
+		t.Errorf("SRS ceremonies = %d, want 1 (all circuits are 2^%d gates)", st.SRSSetups, mu)
+	}
+	if st.KeySetups != relations {
+		t.Errorf("key setups = %d, want %d (one per distinct circuit)", st.KeySetups, relations)
+	}
+	if st.Proofs != relations*perCircuit {
+		t.Errorf("proofs = %d, want %d", st.Proofs, relations*perCircuit)
+	}
+	// Every goroutine after the first per circuit must have hit the key
+	// cache (concurrent duplicates singleflight on one setup).
+	if want := relations*(perCircuit-1) + relations*perCircuit; st.KeyCacheHits < relations*(perCircuit-1) {
+		t.Errorf("key cache hits = %d, want ≥ %d (of ~%d lookups)", st.KeyCacheHits, relations*(perCircuit-1), want)
+	}
+}

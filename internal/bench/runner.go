@@ -33,6 +33,10 @@ type Benchmark struct {
 	// Steps optionally reports a per-protocol-step decomposition after
 	// all iterations (e2e benchmarks aggregate Engine timings here).
 	Steps func() map[string]time.Duration
+	// Teardown runs once after the last iteration (service benchmarks
+	// release their HTTP server and prover engines here). It runs even
+	// when an iteration failed, provided Setup succeeded.
+	Teardown func()
 }
 
 // Runner executes benchmarks with warmup and repetition.
@@ -64,6 +68,9 @@ func (r *Runner) Run(bm Benchmark) (Record, error) {
 		if err := bm.Setup(); err != nil {
 			return Record{}, fmt.Errorf("bench: %s setup: %w", bm.Name, err)
 		}
+	}
+	if bm.Teardown != nil {
+		defer bm.Teardown()
 	}
 	samples := make([]time.Duration, 0, reps)
 	for i := 0; i < warmup+reps; i++ {

@@ -27,8 +27,9 @@ const Schema = "zkspeed-bench/v1"
 
 // Record kinds.
 const (
-	KindKernel = "kernel" // one prover kernel in isolation (MSM, sumcheck, …)
-	KindE2E    = "e2e"    // a full Engine.Prove invocation
+	KindKernel  = "kernel"  // one prover kernel in isolation (MSM, sumcheck, …)
+	KindE2E     = "e2e"     // a full Engine.Prove invocation
+	KindService = "service" // a prove driven through zkproverd's HTTP path
 )
 
 // Report is one benchmark run: environment, run parameters and results.

@@ -32,6 +32,9 @@ type SuiteConfig struct {
 	FoldMu int
 	// E2EMus are the problem sizes for end-to-end Engine.Prove runs.
 	E2EMus []int
+	// ServiceMus are the problem sizes for proving through the zkproverd
+	// HTTP path (service-level latency: HTTP + queue + batch + prove).
+	ServiceMus []int
 	// Warmup/Reps are the default runner parameters for this config.
 	Warmup, Reps int
 	// Seed derives every input (SRS, scalars, witness circuits).
@@ -52,6 +55,7 @@ func DefaultConfig(quick bool) SuiteConfig {
 			PCSMu:      10,
 			FoldMu:     14,
 			E2EMus:     []int{8, 10},
+			ServiceMus: []int{8},
 			Warmup:     1,
 			Reps:       5,
 			Seed:       1,
@@ -64,6 +68,7 @@ func DefaultConfig(quick bool) SuiteConfig {
 		PCSMu:      12,
 		FoldMu:     18,
 		E2EMus:     []int{12, 14, 16},
+		ServiceMus: []int{10, 12},
 		Warmup:     2,
 		Reps:       5,
 		Seed:       1,

@@ -13,6 +13,9 @@ func RunB(b *testing.B, bm Benchmark) {
 			b.Fatal(err)
 		}
 	}
+	if bm.Teardown != nil {
+		b.Cleanup(bm.Teardown)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if bm.Before != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 
 	"zkspeed/internal/curve"
@@ -38,7 +39,10 @@ func writePoint(w *bytes.Buffer, p *curve.G1Affine) {
 
 func readPoint(r *bytes.Reader, p *curve.G1Affine) error {
 	var buf [96]byte
-	if _, err := r.Read(buf[:]); err != nil {
+	// io.ReadFull, not Read: a bytes.Reader may return n < 96 with a nil
+	// error on truncated input, which would silently parse a zero-padded
+	// partial point instead of failing with ErrUnexpectedEOF.
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return err
 	}
 	allZero := true
@@ -68,7 +72,7 @@ func writeFr(w *bytes.Buffer, v *ff.Fr) {
 
 func readFr(r *bytes.Reader, v *ff.Fr) error {
 	var buf [32]byte
-	if _, err := r.Read(buf[:]); err != nil {
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return err
 	}
 	// Enforce canonical encoding.
@@ -128,7 +132,7 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 func (p *Proof) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
 	var hdr [6]byte
-	if _, err := r.Read(hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
 	if binary.BigEndian.Uint32(hdr[:4]) != proofMagic {

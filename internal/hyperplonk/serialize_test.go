@@ -62,6 +62,40 @@ func TestProofDeserializationRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestProofDeserializationRejectsAllTruncations is the regression test for
+// the readPoint short-read bug: bytes.Reader.Read may return n < len(buf)
+// with a nil error at the end of the input, so a truncated proof could
+// zero-pad its final point or scalar instead of failing. Every strict
+// prefix of a valid proof must be rejected.
+func TestProofDeserializationRejectsAllTruncations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a real proof")
+	}
+	circuit, assignment, _, err := buildQuadratic(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(204))
+	pk, _, err := Setup(circuit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := Prove(pk, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		var back Proof
+		if err := back.UnmarshalBinary(blob[:n]); err == nil {
+			t.Fatalf("accepted proof truncated to %d of %d bytes", n, len(blob))
+		}
+	}
+}
+
 func TestProofDeserializationRejectsOffCurvePoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("needs a real proof")

@@ -1,0 +1,172 @@
+package hyperplonk
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCircuitWireRoundTrip(t *testing.T) {
+	circuit, assignment, _, err := buildQuadratic(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := circuit.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Circuit
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != circuit.Digest() {
+		t.Fatal("round-tripped circuit has a different digest")
+	}
+	if back.Mu != circuit.Mu || back.NumPublic != circuit.NumPublic {
+		t.Fatalf("header fields changed: mu %d→%d, npub %d→%d",
+			circuit.Mu, back.Mu, circuit.NumPublic, back.NumPublic)
+	}
+	// The deserialized circuit must accept the original witness.
+	if err := back.CheckAssignment(assignment); err != nil {
+		t.Fatalf("round-tripped circuit rejects the witness: %v", err)
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("circuit serialization not canonical")
+	}
+}
+
+func TestAssignmentWireRoundTrip(t *testing.T) {
+	_, assignment, _, err := buildQuadratic(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := assignment.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Assignment
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != assignment.Digest() {
+		t.Fatal("round-tripped assignment has a different digest")
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("assignment serialization not canonical")
+	}
+}
+
+func TestCircuitWireRejectsCorruption(t *testing.T) {
+	circuit, _, _, err := buildQuadratic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := circuit.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Circuit
+	for n := 0; n < len(blob); n += 37 { // stride keeps the test fast
+		if err := c.UnmarshalBinary(blob[:n]); err == nil {
+			t.Fatalf("accepted circuit truncated to %d bytes", n)
+		}
+	}
+	if err := c.UnmarshalBinary(append(append([]byte{}, blob...), 0)); err == nil {
+		t.Fatal("accepted trailing byte")
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] ^= 0xff
+	if err := c.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	bad = append([]byte{}, blob...)
+	bad[4] = 99
+	if err := c.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+	// Non-canonical field element in the first selector table.
+	bad = append([]byte{}, blob...)
+	for i := 10; i < 42; i++ {
+		bad[i] = 0xff
+	}
+	if err := c.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted non-canonical field element")
+	}
+	// Break the permutation: duplicate a sigma entry. The sigma tables are
+	// the last 3 of the 8 tables.
+	bad = append([]byte{}, blob...)
+	n := 1 << circuit.Mu
+	sigmaOff := 10 + 5*n*32
+	copy(bad[sigmaOff:sigmaOff+32], bad[sigmaOff+32:sigmaOff+64])
+	if err := c.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted non-permutation sigma")
+	}
+}
+
+func TestAssignmentWireRejectsCorruption(t *testing.T) {
+	_, assignment, _, err := buildQuadratic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := assignment.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Assignment
+	for n := 0; n < len(blob); n += 19 {
+		if err := a.UnmarshalBinary(blob[:n]); err == nil {
+			t.Fatalf("accepted witness truncated to %d bytes", n)
+		}
+	}
+	bad := append([]byte{}, blob...)
+	bad[3] ^= 0x01
+	if err := a.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	bad = append([]byte{}, blob...)
+	for i := 6; i < 38; i++ {
+		bad[i] = 0xff
+	}
+	if err := a.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted non-canonical field element")
+	}
+}
+
+func TestAssignmentDigestDistinguishesWitnesses(t *testing.T) {
+	_, a1, _, err := buildQuadratic(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a2, _, err := buildQuadratic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Digest() == a2.Digest() {
+		t.Fatal("distinct witnesses share a digest")
+	}
+	if a1.Digest() != a1.Digest() {
+		t.Fatal("witness digest not deterministic")
+	}
+}
+
+func TestCircuitWireLengthMismatchRejectedBeforeDecode(t *testing.T) {
+	// A header demanding a huge mu with a short body must fail on the
+	// length check, not attempt an allocation-and-decode of 2^24 entries.
+	hdr := []byte{0x5a, 0x4b, 0x53, 0x43, 1, 24, 0, 0, 0, 1, 0, 0}
+	var c Circuit
+	if err := c.UnmarshalBinary(hdr); err == nil {
+		t.Fatal("accepted huge-mu header with empty body")
+	}
+	var a Assignment
+	whdr := []byte{0x5a, 0x4b, 0x53, 0x57, 1, 24, 0, 0}
+	if err := a.UnmarshalBinary(whdr); err == nil {
+		t.Fatal("accepted huge-mu witness header with empty body")
+	}
+}

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"net/http"
+
+	"zkspeed/api"
+	"zkspeed/internal/ff"
+	"zkspeed/internal/hyperplonk"
+)
+
+// Handler returns the service's HTTP/JSON API:
+//
+//	POST /v1/circuits           register a circuit (ZKSC blob)
+//	GET  /v1/circuits/{digest}  registered-circuit metadata
+//	POST /v1/prove              prove (sync with wait=true, else async)
+//	GET  /v1/jobs/{id}          poll an async job
+//	POST /v1/verify             verify a proof
+//	GET  /healthz               liveness + queue/shard summary
+//	GET  /metrics               Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/circuits", s.handleRegister)
+	mux.HandleFunc("GET /v1/circuits/{digest}", s.handleCircuit)
+	mux.HandleFunc("POST /v1/prove", s.handleProve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// instrument counts every served request by route pattern and status.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		s.met.observeHTTP(pattern, cw.code)
+	})
+}
+
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeOverloaded maps an OverloadedError to 429 + Retry-After.
+func writeOverloaded(w http.ResponseWriter, over *OverloadedError) {
+	sec := int(math.Ceil(over.RetryAfter.Seconds()))
+	w.Header().Set("Retry-After", fmt.Sprint(sec))
+	writeJSON(w, http.StatusTooManyRequests, api.Error{
+		Error:         "queue full — retry later",
+		RetryAfterSec: sec,
+	})
+}
+
+// decodeBody JSON-decodes a size-capped request body. An oversized body
+// is 413 (shrink and retry), not 400 (malformed, don't retry).
+func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterCircuitRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var c hyperplonk.Circuit
+	if err := c.UnmarshalBinary(req.Circuit); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid circuit: %v", err)
+		return
+	}
+	entry, err := s.RegisterCircuit(&c)
+	if err != nil {
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.info())
+}
+
+// parseDigest decodes a 64-char hex circuit digest.
+func parseDigest(s string) ([32]byte, error) {
+	var d [32]byte
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 32 {
+		return d, errors.New("digest must be 64 hex characters")
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+func (s *Service) handleCircuit(w http.ResponseWriter, r *http.Request) {
+	digest, err := parseDigest(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.Circuit(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "circuit not registered")
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.info())
+}
+
+func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
+	var req api.ProveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	// Witness and priority are validated before any register-on-use side
+	// effect, so a malformed request cannot grow the circuit registry.
+	var assign hyperplonk.Assignment
+	if err := assign.UnmarshalBinary(req.Witness); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid witness: %v", err)
+		return
+	}
+	priority, err := parsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var entry *circuitEntry
+	switch {
+	case req.CircuitDigest != "" && len(req.Circuit) > 0:
+		writeError(w, http.StatusBadRequest, "set either circuit_digest or circuit, not both")
+		return
+	case req.CircuitDigest != "":
+		digest, err := parseDigest(req.CircuitDigest)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var ok bool
+		if entry, ok = s.Circuit(digest); !ok {
+			writeError(w, http.StatusNotFound, "circuit %s not registered", req.CircuitDigest)
+			return
+		}
+	case len(req.Circuit) > 0:
+		var c hyperplonk.Circuit
+		if err := c.UnmarshalBinary(req.Circuit); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid circuit: %v", err)
+			return
+		}
+		if entry, err = s.RegisterCircuit(&c); err != nil {
+			writeError(w, http.StatusInsufficientStorage, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "missing circuit_digest or circuit")
+		return
+	}
+
+	j, err := s.Submit(entry, &assign, priority)
+	if !s.writeSubmitErr(w, err) {
+		return
+	}
+	if req.Wait {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			// Client gone; the job keeps running and stays pollable.
+			return
+		}
+		resp := j.response()
+		code := http.StatusOK
+		if resp.Status == api.StatusFailed {
+			if j.failedRetryable() {
+				// Shutdown or cancellation cut the job short — the same
+				// request succeeds against a healthy instance.
+				code = http.StatusServiceUnavailable
+			} else {
+				// The prover rejected the witness: unprocessable, not a
+				// server error.
+				code = http.StatusUnprocessableEntity
+			}
+		}
+		writeJSON(w, code, resp)
+		return
+	}
+	resp := j.response()
+	code := http.StatusAccepted
+	if resp.Status == api.StatusDone {
+		code = http.StatusOK // proof-cache hit: done before queued
+	}
+	writeJSON(w, code, resp)
+}
+
+// writeSubmitErr handles the submit error, reporting whether the caller
+// may proceed.
+func (s *Service) writeSubmitErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errWitnessSize):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		var over *OverloadedError
+		if errors.As(err, &over) {
+			writeOverloaded(w, over)
+			return false
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	}
+	return false
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job (finished jobs are retained for %d submissions)", s.cfg.JobRetention)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.response())
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req api.VerifyRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	digest, err := parseDigest(req.CircuitDigest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.Circuit(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "circuit %s not registered", req.CircuitDigest)
+		return
+	}
+	pub, err := decodeFrs(req.PublicInputs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var proof hyperplonk.Proof
+	if err := proof.UnmarshalBinary(req.Proof); err != nil {
+		// Malformed wire bytes are a verification failure, not a bad
+		// request: the caller's question ("is this a valid proof?") has a
+		// definitive answer.
+		writeJSON(w, http.StatusOK, api.VerifyResponse{Valid: false, Error: err.Error()})
+		s.met.mu.Lock()
+		s.met.verifies++
+		s.met.verifyFailed++
+		s.met.mu.Unlock()
+		return
+	}
+	if err := s.Verify(r.Context(), entry, pub, &proof); err != nil {
+		writeJSON(w, http.StatusOK, api.VerifyResponse{Valid: false, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.VerifyResponse{Valid: true})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.Snapshot()
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		Shards:        len(s.shards),
+		QueueDepth:    s.QueueDepth(),
+		QueueCapacity: s.cfg.QueueCapacity * len(s.shards),
+		Circuits:      s.circuitCount(),
+		JobsDone:      snap.JobsDone,
+		JobsFailed:    snap.JobsFailed,
+		CacheHits:     snap.CacheHits,
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gauges := []gauge{
+		{name: "zkproverd_circuits_registered", help: "Registered circuits.", value: float64(s.circuitCount())},
+		{name: "zkproverd_proof_cache_entries", help: "Proofs in the LRU cache.", value: float64(s.cache.Len())},
+	}
+	for _, sh := range s.shards {
+		gauges = append(gauges, gauge{
+			name: "zkproverd_queue_depth", help: "Queued jobs per shard.",
+			labels: fmt.Sprintf(`shard="%d"`, sh.idx), value: float64(sh.queue.Depth()),
+		})
+	}
+	// One consistent Stats snapshot per shard feeds all three cumulative
+	// series; they are monotonic, so they render as counters.
+	snaps := make([]BackendStats, len(s.shards))
+	for i, sh := range s.shards {
+		snaps[i] = sh.backend.Stats()
+	}
+	stats := func(name, help string, pick func(BackendStats) int) {
+		for i := range s.shards {
+			gauges = append(gauges, gauge{
+				name: name, help: help, counter: true,
+				labels: fmt.Sprintf(`shard="%d"`, i),
+				value:  float64(pick(snaps[i])),
+			})
+		}
+	}
+	stats("zkproverd_srs_setups_total", "SRS ceremonies run per shard engine.",
+		func(st BackendStats) int { return st.SRSSetups })
+	stats("zkproverd_key_setups_total", "Circuit preprocessings per shard engine.",
+		func(st BackendStats) int { return st.KeySetups })
+	stats("zkproverd_key_cache_hits_total", "Key-cache hits per shard engine.",
+		func(st BackendStats) int { return st.KeyCacheHits })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.WritePrometheus(w, gauges)
+}
+
+// decodeFrs parses 32-byte big-endian field elements, enforcing canonical
+// encodings.
+func decodeFrs(in [][]byte) ([]ff.Fr, error) {
+	out := make([]ff.Fr, len(in))
+	mod := ff.FrModulusBig()
+	for i, b := range in {
+		if len(b) != 32 {
+			return nil, fmt.Errorf("public input %d is %d bytes, want 32", i, len(b))
+		}
+		enc := new(big.Int).SetBytes(b)
+		if enc.Cmp(mod) >= 0 {
+			return nil, fmt.Errorf("public input %d is non-canonical", i)
+		}
+		out[i].SetBigInt(enc)
+	}
+	return out, nil
+}

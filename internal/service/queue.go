@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OverloadedError is returned by Submit when the target shard's queue is
+// full. The HTTP layer maps it to 429 with a Retry-After header; the
+// estimate is derived from the queue depth and the recent per-proof
+// latency, so a client that honors it lands after the backlog drains.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: queue full, retry after %s", e.RetryAfter)
+}
+
+// errQueueFull is the queue's internal full signal; Submit converts it to
+// an OverloadedError with a drain estimate (computed only on rejection —
+// the estimate costs two lock acquisitions the happy path should not pay).
+var errQueueFull = errors.New("service: queue full")
+
+// jobQueue is a bounded three-lane priority queue owned by one shard.
+// Push is called by any submitter; Pop/PopMatching only by the shard's
+// loop goroutine (single consumer). Bounding happens here — a full queue
+// rejects instead of growing, which is the service's backpressure point.
+type jobQueue struct {
+	mu     sync.Mutex
+	lanes  [numPriorities][]*job // FIFO per lane, high to low
+	size   int
+	cap    int
+	closed bool
+	// notify carries at most one pending wake-up for the consumer; Push
+	// tops it up, Pop and the batch collector drain it.
+	notify chan struct{}
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{cap: capacity, notify: make(chan struct{}, 1)}
+}
+
+// Push enqueues the job; errQueueFull signals a full queue.
+func (q *jobQueue) Push(j *job) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return errors.New("service: shutting down")
+	}
+	if q.size >= q.cap {
+		q.mu.Unlock()
+		return errQueueFull
+	}
+	q.lanes[j.priority] = append(q.lanes[j.priority], j)
+	q.size++
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Depth returns the number of queued (not yet dispatched) jobs.
+func (q *jobQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// tryPop removes the highest-priority oldest job, or nil.
+func (q *jobQueue) tryPop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for p := range q.lanes {
+		if len(q.lanes[p]) > 0 {
+			j := q.lanes[p][0]
+			q.lanes[p] = q.lanes[p][1:]
+			q.size--
+			return j
+		}
+	}
+	return nil
+}
+
+// Pop blocks until a job is available or the context is cancelled.
+func (q *jobQueue) Pop(ctx context.Context) (*job, error) {
+	for {
+		if j := q.tryPop(); j != nil {
+			return j, nil
+		}
+		select {
+		case <-q.notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// PopMatching removes the oldest queued job for the given circuit digest
+// regardless of its queue position — the coalescing primitive of the
+// batch window. Priority inversion is deliberate: joining an in-flight
+// batch of the same circuit is strictly faster than waiting a turn.
+func (q *jobQueue) PopMatching(digest [32]byte) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for p := range q.lanes {
+		for i, j := range q.lanes[p] {
+			if j.digest == digest {
+				q.lanes[p] = append(q.lanes[p][:i], q.lanes[p][i+1:]...)
+				q.size--
+				return j
+			}
+		}
+	}
+	return nil
+}
+
+// wake exposes the consumer-side wait channel for the batch collector.
+func (q *jobQueue) wake() <-chan struct{} { return q.notify }
+
+// Close marks the queue rejecting and drains every queued job so the
+// caller can fail them.
+func (q *jobQueue) Close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var drained []*job
+	for p := range q.lanes {
+		drained = append(drained, q.lanes[p]...)
+		q.lanes[p] = nil
+	}
+	q.size = 0
+	return drained
+}

@@ -1,0 +1,652 @@
+// Package service implements zkproverd's proving service: a pool of
+// sharded prover backends behind bounded priority queues with
+// backpressure, a batch-accumulation window that coalesces same-circuit
+// jobs into one ProveBatch call, an LRU proof cache keyed by (circuit
+// digest, witness digest), a circuit registry, and the HTTP/JSON API that
+// exposes all of it (see http.go and the zkspeed/api package).
+//
+// The deployment shape follows the paper's framing of HyperPlonk proving
+// as a datacenter workload: throughput is won by keeping expensive shared
+// state (SRS, per-circuit keys) resident and by amortizing setup across
+// tenants. Each circuit is routed deterministically to one shard by its
+// digest, so a shard's Engine accumulates exactly the keys for its slice
+// of the circuit population, and same-circuit jobs that arrive within one
+// batch window share a single setup and one ProveBatch invocation.
+//
+// The package is deliberately unaware of the root zkspeed package (which
+// wraps it): backends implement the small Backend interface, and the root
+// package adapts *zkspeed.Engine to it.
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zkspeed/api"
+	"zkspeed/internal/ff"
+	"zkspeed/internal/hyperplonk"
+)
+
+// Priorities, ordered: lane 0 drains first.
+const (
+	prioHigh = iota
+	prioNormal
+	prioLow
+	numPriorities
+)
+
+// parsePriority maps the wire names onto queue lanes.
+func parsePriority(s string) (int, error) {
+	switch s {
+	case api.PriorityHigh:
+		return prioHigh, nil
+	case "", api.PriorityNormal:
+		return prioNormal, nil
+	case api.PriorityLow:
+		return prioLow, nil
+	}
+	return 0, fmt.Errorf("service: unknown priority %q", s)
+}
+
+// BackendJob is one proving work item handed to a backend shard.
+type BackendJob struct {
+	Circuit    *hyperplonk.Circuit
+	Assignment *hyperplonk.Assignment
+}
+
+// BackendResult is the outcome of one BackendJob, in job order.
+type BackendResult struct {
+	Proof        *hyperplonk.Proof
+	PublicInputs []ff.Fr
+	ProverTime   time.Duration
+	Steps        map[string]time.Duration
+	Err          error
+}
+
+// BackendStats are the setup/work counters of one shard's engine.
+type BackendStats struct {
+	SRSSetups    int
+	KeySetups    int
+	KeyCacheHits int
+	Proofs       int
+	Verifies     int
+}
+
+// Backend is the prover a shard drives — in production a *zkspeed.Engine
+// (adapted by the root package), in tests a stub.
+type Backend interface {
+	// ProveBatch proves the jobs, amortizing setup; len(results) ==
+	// len(jobs) and per-job failures land in BackendResult.Err.
+	ProveBatch(ctx context.Context, jobs []BackendJob) []BackendResult
+	// Verify checks a proof for a circuit this backend owns.
+	Verify(ctx context.Context, c *hyperplonk.Circuit, pub []ff.Fr, proof *hyperplonk.Proof) error
+	// Setup warms the backend's SRS and key caches for the circuit
+	// without proving anything.
+	Setup(ctx context.Context, c *hyperplonk.Circuit) error
+	// Stats reports the backend's cumulative work counters.
+	Stats() BackendStats
+}
+
+// Config tunes the service. Zero values select the documented defaults;
+// CacheSize < 0 disables the proof cache.
+type Config struct {
+	// QueueCapacity bounds each shard's queue; a full queue rejects with
+	// OverloadedError (HTTP 429). Default 64.
+	QueueCapacity int
+	// BatchWindow is how long a shard holds the first job of a batch while
+	// same-circuit jobs accumulate behind it. 0 selects the 5ms default;
+	// negative disables coalescing.
+	BatchWindow time.Duration
+	// MaxBatch caps jobs per ProveBatch call. Default 16.
+	MaxBatch int
+	// CacheSize is the LRU proof-cache capacity in entries. Default 256;
+	// negative disables caching.
+	CacheSize int
+	// JobRetention is how many finished jobs stay pollable via
+	// GET /v1/jobs/{id}. Default 1024.
+	JobRetention int
+	// MaxBodyBytes bounds HTTP request bodies. Default 512 MiB (a mu=20
+	// circuit blob is 256 MiB).
+	MaxBodyBytes int64
+	// MaxCircuits bounds the registry — the decoded tables of a mu=20
+	// circuit hold ~256 MiB, so like every other service resource the
+	// registry must reject rather than grow without limit. Default 4096.
+	MaxCircuits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 64
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 5 * time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0 // coalescing disabled; shardLoop skips the collector
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0 // proofCache treats 0 as disabled
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 1024
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 512 << 20
+	}
+	if c.MaxCircuits == 0 {
+		c.MaxCircuits = 4096
+	}
+	return c
+}
+
+// errShutdown fails jobs cut short by Close; unlike a prover rejection it
+// is retryable against a healthy instance, so the HTTP layer must answer
+// 503, not 422.
+var errShutdown = errors.New("service: shutting down")
+
+// job is one proving request flowing through the service.
+type job struct {
+	id       string
+	digest   [32]byte
+	entry    *circuitEntry
+	assign   *hyperplonk.Assignment
+	witness  cacheKey
+	priority int
+
+	mu     sync.Mutex
+	status string
+	resp   api.ProveResponse
+	// retryable marks a failure as transient (shutdown, cancellation)
+	// rather than a prover rejection of the statement.
+	retryable bool
+	done      chan struct{}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	if j.status == api.StatusQueued {
+		j.status = api.StatusRunning
+	}
+	j.mu.Unlock()
+}
+
+// finish publishes the terminal response exactly once.
+func (j *job) finish(resp api.ProveResponse) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == api.StatusDone || j.status == api.StatusFailed {
+		return
+	}
+	resp.JobID = j.id
+	resp.CircuitDigest = hex.EncodeToString(j.digest[:])
+	j.status = resp.Status
+	j.resp = resp
+	close(j.done)
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.retryable = errors.Is(err, errShutdown) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	j.mu.Unlock()
+	j.finish(api.ProveResponse{Status: api.StatusFailed, Error: err.Error()})
+}
+
+// failedRetryable reports whether the job failed for a transient reason.
+func (j *job) failedRetryable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == api.StatusFailed && j.retryable
+}
+
+// response snapshots the job's current public state.
+func (j *job) response() api.ProveResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == api.StatusDone || j.status == api.StatusFailed {
+		return j.resp
+	}
+	return api.ProveResponse{
+		JobID:         j.id,
+		Status:        j.status,
+		CircuitDigest: hex.EncodeToString(j.digest[:]),
+	}
+}
+
+// circuitEntry is one registered relation.
+type circuitEntry struct {
+	digest  [32]byte
+	circuit *hyperplonk.Circuit
+	shard   int
+
+	mu     sync.Mutex
+	proofs int64
+}
+
+func (e *circuitEntry) info() api.CircuitInfo {
+	e.mu.Lock()
+	proofs := e.proofs
+	e.mu.Unlock()
+	return api.CircuitInfo{
+		Digest:    hex.EncodeToString(e.digest[:]),
+		Mu:        e.circuit.Mu,
+		NumGates:  e.circuit.NumGates(),
+		NumPublic: e.circuit.NumPublic,
+		Shard:     e.shard,
+		Proofs:    proofs,
+	}
+}
+
+// shard couples one backend with its queue and loop.
+type shard struct {
+	idx     int
+	queue   *jobQueue
+	backend Backend
+}
+
+// Service is the proving service. Construct with New, serve its Handler,
+// Close on shutdown.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	met    *Metrics
+	cache  *proofCache
+
+	regMu    sync.RWMutex
+	circuits map[[32]byte]*circuitEntry
+
+	jobsMu sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for retention eviction
+	seq    int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New assembles a service over the given backend shards and starts their
+// loops. The backend slice must be non-empty; its order fixes the
+// digest→shard routing, so keep it stable across restarts when cached
+// state outlives the process.
+func New(cfg Config, backends []Backend) (*Service, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("service: need at least one backend shard")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		met:      newMetrics(),
+		cache:    newProofCache(cfg.CacheSize),
+		circuits: make(map[[32]byte]*circuitEntry),
+		jobs:     make(map[string]*job),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	for i, b := range backends {
+		sh := &shard{idx: i, queue: newJobQueue(cfg.QueueCapacity), backend: b}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.shardLoop(sh)
+	}
+	return s, nil
+}
+
+// Close stops the shard loops, failing queued and in-flight jobs with a
+// shutdown error. Safe to call more than once.
+func (s *Service) Close() {
+	s.cancel()
+	for _, sh := range s.shards {
+		for _, j := range sh.queue.Close() {
+			j.fail(errShutdown)
+		}
+	}
+	s.wg.Wait()
+}
+
+// Metrics exposes the instrumentation (the HTTP layer and tests read it).
+func (s *Service) Metrics() *Metrics { return s.met }
+
+// shardFor routes a circuit digest to a shard. The first four digest
+// bytes are uniform, so the population spreads evenly.
+func (s *Service) shardFor(digest [32]byte) int {
+	return int(binary.BigEndian.Uint32(digest[:4]) % uint32(len(s.shards)))
+}
+
+// ErrRegistryFull is returned by RegisterCircuit at the MaxCircuits
+// bound; the HTTP layer renders it as 507 Insufficient Storage.
+var ErrRegistryFull = errors.New("service: circuit registry full")
+
+// RegisterCircuit adds the circuit to the registry (idempotent) and
+// returns its entry, or ErrRegistryFull at the MaxCircuits bound. The
+// circuit must already be validated — both wire deserialization and the
+// builder guarantee that.
+func (s *Service) RegisterCircuit(c *hyperplonk.Circuit) (*circuitEntry, error) {
+	digest := c.Digest()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if e, ok := s.circuits[digest]; ok {
+		return e, nil
+	}
+	if len(s.circuits) >= s.cfg.MaxCircuits {
+		return nil, ErrRegistryFull
+	}
+	e := &circuitEntry{digest: digest, circuit: c, shard: s.shardFor(digest)}
+	s.circuits[digest] = e
+	return e, nil
+}
+
+// RegisterCircuitInfo registers the circuit and returns its wire
+// metadata — the in-process analogue of POST /v1/circuits, used by
+// daemons that preload circuits at startup.
+func (s *Service) RegisterCircuitInfo(c *hyperplonk.Circuit) (api.CircuitInfo, error) {
+	entry, err := s.RegisterCircuit(c)
+	if err != nil {
+		return api.CircuitInfo{}, err
+	}
+	return entry.info(), nil
+}
+
+// Preload registers the circuit and warms its shard's SRS and key caches
+// so the first real request pays no one-time setup.
+func (s *Service) Preload(ctx context.Context, c *hyperplonk.Circuit) (api.CircuitInfo, error) {
+	entry, err := s.RegisterCircuit(c)
+	if err != nil {
+		return api.CircuitInfo{}, err
+	}
+	if err := s.shards[entry.shard].backend.Setup(ctx, c); err != nil {
+		return api.CircuitInfo{}, err
+	}
+	return entry.info(), nil
+}
+
+// Circuit looks up a registered circuit by digest.
+func (s *Service) Circuit(digest [32]byte) (*circuitEntry, bool) {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	e, ok := s.circuits[digest]
+	return e, ok
+}
+
+func (s *Service) circuitCount() int {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return len(s.circuits)
+}
+
+// QueueDepth is the total number of queued jobs across shards.
+func (s *Service) QueueDepth() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.queue.Depth()
+	}
+	return n
+}
+
+// BackendStats sums the per-shard engine counters — the visibility hook
+// the end-to-end tests assert setup amortization on.
+func (s *Service) BackendStats() BackendStats {
+	var t BackendStats
+	for _, sh := range s.shards {
+		st := sh.backend.Stats()
+		t.SRSSetups += st.SRSSetups
+		t.KeySetups += st.KeySetups
+		t.KeyCacheHits += st.KeyCacheHits
+		t.Proofs += st.Proofs
+		t.Verifies += st.Verifies
+	}
+	return t
+}
+
+var errWitnessSize = errors.New("service: witness size does not match circuit")
+
+// Submit enqueues one proving job (or serves it from the proof cache).
+// The returned job's done channel closes when a terminal response is
+// available. An *OverloadedError means the shard queue was full.
+func (s *Service) Submit(entry *circuitEntry, assign *hyperplonk.Assignment, priority int) (*job, error) {
+	if assign.W1.Len() != entry.circuit.NumGates() ||
+		assign.W2.Len() != entry.circuit.NumGates() ||
+		assign.W3.Len() != entry.circuit.NumGates() {
+		return nil, errWitnessSize
+	}
+	key := cacheKey{circuit: entry.digest, witness: assign.Digest()}
+	j := &job{
+		id:       s.nextJobID(),
+		digest:   entry.digest,
+		entry:    entry,
+		assign:   assign,
+		witness:  key,
+		priority: priority,
+		status:   api.StatusQueued,
+		done:     make(chan struct{}),
+	}
+	if hit := s.cache.Get(key); hit != nil {
+		s.met.add(&s.met.cacheHits, 1)
+		entry.mu.Lock()
+		entry.proofs++
+		entry.mu.Unlock()
+		j.finish(api.ProveResponse{
+			Status:       api.StatusDone,
+			Proof:        hit.proof,
+			PublicInputs: encodeFrs(hit.public),
+			Cached:       true,
+		})
+		s.trackJob(j)
+		return j, nil
+	}
+	sh := s.shards[entry.shard]
+	if err := sh.queue.Push(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.met.add(&s.met.jobsRejected, 1)
+			return nil, &OverloadedError{RetryAfter: s.met.retryAfter(sh.queue.Depth())}
+		}
+		return nil, err
+	}
+	s.trackJob(j)
+	return j, nil
+}
+
+// SubmitWait is Submit plus waiting for the terminal response — the
+// synchronous prove path.
+func (s *Service) SubmitWait(ctx context.Context, entry *circuitEntry, assign *hyperplonk.Assignment, priority int) (api.ProveResponse, error) {
+	j, err := s.Submit(entry, assign, priority)
+	if err != nil {
+		return api.ProveResponse{}, err
+	}
+	select {
+	case <-j.done:
+		return j.response(), nil
+	case <-ctx.Done():
+		return api.ProveResponse{}, ctx.Err()
+	}
+}
+
+// Job returns a tracked job by id.
+func (s *Service) Job(id string) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Service) nextJobID() string {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.seq++
+	return fmt.Sprintf("job-%06x", s.seq)
+}
+
+// trackJob records the job for polling, evicting the oldest finished jobs
+// beyond the retention bound. Unfinished jobs are never evicted — they
+// are bounded by queue capacity plus in-flight batches. Compaction waits
+// for a slack of excess jobs and then trims back to the bound, so its
+// O(retention) scan amortizes to O(1) per submission instead of running
+// on every request at steady state.
+func (s *Service) trackJob(j *job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	slack := s.cfg.JobRetention / 4
+	if slack < 32 {
+		slack = 32
+	}
+	if len(s.jobs) <= s.cfg.JobRetention+slack {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.jobs) - s.cfg.JobRetention
+	for _, id := range s.order {
+		old := s.jobs[id]
+		if excess > 0 && old != nil {
+			old.mu.Lock()
+			finished := old.status == api.StatusDone || old.status == api.StatusFailed
+			old.mu.Unlock()
+			if finished {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Verify checks a proof against a registered circuit on the shard that
+// owns it (whose engine holds — or derives — the matching keys and SRS).
+func (s *Service) Verify(ctx context.Context, entry *circuitEntry, pub []ff.Fr, proof *hyperplonk.Proof) error {
+	err := s.shards[entry.shard].backend.Verify(ctx, entry.circuit, pub, proof)
+	s.met.mu.Lock()
+	s.met.verifies++
+	if err != nil {
+		s.met.verifyFailed++
+	}
+	s.met.mu.Unlock()
+	return err
+}
+
+// shardLoop is a shard's single consumer: pop a job, hold it for the
+// batch window while same-circuit jobs coalesce behind it, prove the
+// batch, publish results. Proving runs inside the loop, so a shard works
+// one batch at a time while its queue absorbs (and coalesces) arrivals.
+func (s *Service) shardLoop(sh *shard) {
+	defer s.wg.Done()
+	for {
+		j, err := sh.queue.Pop(s.ctx)
+		if err != nil {
+			return
+		}
+		batch := []*job{j}
+		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(s.cfg.BatchWindow)
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				if j2 := sh.queue.PopMatching(j.digest); j2 != nil {
+					batch = append(batch, j2)
+					continue
+				}
+				select {
+				case <-timer.C:
+					break collect
+				case <-sh.queue.wake():
+					// Arrival — re-try PopMatching; a non-matching job
+					// stays queued for the next batch.
+				case <-s.ctx.Done():
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		s.runBatch(sh, batch)
+	}
+}
+
+// runBatch drives one ProveBatch call and publishes per-job outcomes.
+// Byte-identical statements (same circuit and witness digests) within the
+// batch are proved once and share the result — the in-flight analogue of
+// the proof cache, which they all missed because none had finished yet.
+func (s *Service) runBatch(sh *shard, batch []*job) {
+	uniqueOf := make(map[cacheKey]int, len(batch))
+	var jobs []BackendJob
+	for _, j := range batch {
+		j.setRunning()
+		if _, ok := uniqueOf[j.witness]; !ok {
+			uniqueOf[j.witness] = len(jobs)
+			jobs = append(jobs, BackendJob{Circuit: j.entry.circuit, Assignment: j.assign})
+		}
+	}
+	results := sh.backend.ProveBatch(s.ctx, jobs)
+	s.met.mu.Lock()
+	s.met.batches++
+	s.met.batchJobs += int64(len(batch))
+	s.met.mu.Unlock()
+	// Metrics and cache update before finish(): closing a job's done
+	// channel publishes it, so everything observable about the job must
+	// already be in place. The prove-latency histogram sees each unique
+	// proof once; per-job counters see every job.
+	observed := make(map[cacheKey]bool, len(jobs))
+	for _, j := range batch {
+		i := uniqueOf[j.witness]
+		if i >= len(results) {
+			s.met.add(&s.met.jobsFailed, 1)
+			j.fail(errors.New("service: backend returned short results"))
+			continue
+		}
+		r := results[i]
+		if r.Err != nil {
+			s.met.add(&s.met.jobsFailed, 1)
+			j.fail(r.Err)
+			continue
+		}
+		blob, err := r.Proof.MarshalBinary()
+		if err != nil {
+			s.met.add(&s.met.jobsFailed, 1)
+			j.fail(fmt.Errorf("service: serializing proof: %w", err))
+			continue
+		}
+		steps := make(map[string]int64, len(r.Steps))
+		for k, v := range r.Steps {
+			steps[k] = v.Nanoseconds()
+		}
+		s.cache.Put(j.witness, &cacheEntry{proof: blob, public: r.PublicInputs})
+		j.entry.mu.Lock()
+		j.entry.proofs++
+		j.entry.mu.Unlock()
+		s.met.add(&s.met.jobsDone, 1)
+		if !observed[j.witness] {
+			observed[j.witness] = true
+			s.met.observeProve(r.ProverTime, r.Steps)
+		}
+		j.finish(api.ProveResponse{
+			Status:       api.StatusDone,
+			Proof:        blob,
+			PublicInputs: encodeFrs(r.PublicInputs),
+			BatchSize:    len(batch),
+			ProverNS:     r.ProverTime.Nanoseconds(),
+			StepsNS:      steps,
+		})
+	}
+}
+
+// encodeFrs renders field elements as 32-byte big-endian blobs for JSON.
+func encodeFrs(vs []ff.Fr) [][]byte {
+	out := make([][]byte, len(vs))
+	for i := range vs {
+		b := vs[i].Bytes()
+		out[i] = b[:]
+	}
+	return out
+}

@@ -14,6 +14,7 @@ type engineConfig struct {
 	cache       bool
 	timings     bool
 	preloadSRS  *SRS
+	proveHook   func(ProofStats)
 }
 
 func defaultEngineConfig() engineConfig {
@@ -77,6 +78,15 @@ func WithTimings() Option {
 // from the Engine's entropy as usual.
 func WithSRS(srs *SRS) Option {
 	return func(c *engineConfig) { c.preloadSRS = srs }
+}
+
+// WithProveHook installs a callback invoked (synchronously, on the
+// proving goroutine) with the measured stats of every successful proof —
+// the queue/observability hook the proving service and daemons use to
+// meter throughput without wrapping every call site. The hook must be
+// safe for concurrent use; ProveBatch workers fire it in parallel.
+func WithProveHook(fn func(ProofStats)) Option {
+	return func(c *engineConfig) { c.proveHook = fn }
 }
 
 // SeededEntropy returns a deterministic entropy stream derived from seed,

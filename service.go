@@ -1,0 +1,154 @@
+package zkspeed
+
+// Public surface of the proving service. The service itself lives in
+// internal/service (queue, batch windows, proof cache, HTTP handlers);
+// this file re-exports it and contributes the Engine-backed shard
+// construction, which must be built here because internal/service cannot
+// import the root package. cmd/zkproverd and the zkspeed/client package
+// compile against this surface (plus the zkspeed/api wire types) alone.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"zkspeed/internal/service"
+)
+
+// ProverService is a sharded proving service: a pool of Engine workers
+// behind bounded priority queues with backpressure, a batch-accumulation
+// window coalescing same-circuit jobs into ProveBatch calls, an LRU proof
+// cache keyed by (circuit digest, witness digest), and an HTTP/JSON API
+// (Handler). Construct with NewService; Close releases the shard loops.
+type ProverService = service.Service
+
+// ServiceBackendStats aggregates the per-shard Engine counters
+// (ProverService.BackendStats) — how many SRS ceremonies, key setups and
+// proofs the service's engines actually ran, the observable half of the
+// amortization story.
+type ServiceBackendStats = service.BackendStats
+
+// ServiceOverloadedError is returned (wrapped) by the submit paths when a
+// shard queue is full; the HTTP layer renders it as 429 + Retry-After.
+type ServiceOverloadedError = service.OverloadedError
+
+// ServiceConfig tunes a ProverService. The zero value selects the
+// documented defaults.
+type ServiceConfig struct {
+	// Shards is the number of independent Engine workers. Each circuit is
+	// routed to one shard by digest, so a shard accumulates exactly the
+	// keys for its slice of the circuit population. Default 1.
+	Shards int
+	// QueueCapacity bounds each shard's job queue; a full queue rejects
+	// with 429 + Retry-After instead of growing. Default 64.
+	QueueCapacity int
+	// BatchWindow is how long a shard holds the first job of a batch
+	// while same-circuit jobs accumulate behind it, sharing one setup and
+	// one ProveBatch call. 0 selects the 5ms default; negative disables
+	// coalescing.
+	BatchWindow time.Duration
+	// MaxBatch caps jobs per ProveBatch call. Default 16.
+	MaxBatch int
+	// CacheSize is the LRU proof-cache capacity in entries; negative
+	// disables caching. Default 256.
+	CacheSize int
+	// JobRetention is how many finished jobs stay pollable via
+	// GET /v1/jobs/{id}. Default 1024.
+	JobRetention int
+	// MaxBodyBytes bounds HTTP request bodies. Default 512 MiB.
+	MaxBodyBytes int64
+	// MaxCircuits bounds the circuit registry (decoded circuit tables are
+	// large, so registrations must reject rather than grow without
+	// limit). Default 4096.
+	MaxCircuits int
+}
+
+// NewService builds a ProverService over cfg.Shards Engines constructed
+// with the given options (WithTimings is always added — the service's
+// /metrics decomposes proving time by protocol step). Each shard reads a
+// distinct 64-byte master seed from the configured entropy source up
+// front, so shards never contend on a shared reader and a seeded service
+// is reproducible shard by shard.
+func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	// Resolve the caller's entropy choice once, then hand each shard its
+	// own pre-read seed: rand.Rand (SeededEntropy) is not safe for the
+	// concurrent lazy reads the shard engines would otherwise do.
+	probe := defaultEngineConfig()
+	for _, o := range opts {
+		o(&probe)
+	}
+	backends := make([]service.Backend, shards)
+	for i := range backends {
+		seed := make([]byte, 64)
+		if _, err := io.ReadFull(probe.entropy, seed); err != nil {
+			return nil, fmt.Errorf("zkspeed: reading shard %d setup entropy: %w", i, err)
+		}
+		engOpts := append(append([]Option{}, opts...),
+			WithEntropy(bytes.NewReader(seed)), WithTimings())
+		backends[i] = &engineShard{eng: New(engOpts...)}
+	}
+	return service.New(service.Config{
+		QueueCapacity: cfg.QueueCapacity,
+		BatchWindow:   cfg.BatchWindow,
+		MaxBatch:      cfg.MaxBatch,
+		CacheSize:     cfg.CacheSize,
+		JobRetention:  cfg.JobRetention,
+		MaxBodyBytes:  cfg.MaxBodyBytes,
+		MaxCircuits:   cfg.MaxCircuits,
+	}, backends)
+}
+
+// engineShard adapts one *Engine to the service's Backend interface.
+type engineShard struct {
+	eng *Engine
+}
+
+func (sh *engineShard) ProveBatch(ctx context.Context, jobs []service.BackendJob) []service.BackendResult {
+	pjobs := make([]ProofJob, len(jobs))
+	for i, j := range jobs {
+		pjobs[i] = ProofJob{Circuit: j.Circuit, Assignment: j.Assignment}
+	}
+	// The batch-level context error, if any, is already reflected in the
+	// per-job errors the service reports individually.
+	results, _ := sh.eng.ProveBatch(ctx, pjobs)
+	out := make([]service.BackendResult, len(jobs))
+	for i, r := range results {
+		if r.Err != nil {
+			out[i] = service.BackendResult{Err: r.Err}
+			continue
+		}
+		out[i] = service.BackendResult{
+			Proof:        r.Result.Proof,
+			PublicInputs: r.Result.PublicInputs,
+			ProverTime:   r.Result.Stats.ProverTime,
+			Steps:        r.Result.StepBreakdown(),
+		}
+	}
+	return out
+}
+
+func (sh *engineShard) Verify(ctx context.Context, c *Circuit, pub []Scalar, proof *Proof) error {
+	return sh.eng.Verify(ctx, c, pub, proof)
+}
+
+func (sh *engineShard) Setup(ctx context.Context, c *Circuit) error {
+	_, _, err := sh.eng.Setup(ctx, c)
+	return err
+}
+
+func (sh *engineShard) Stats() service.BackendStats {
+	st := sh.eng.Stats()
+	return service.BackendStats{
+		SRSSetups:    st.SRSSetups,
+		KeySetups:    st.KeySetups,
+		KeyCacheHits: st.KeyCacheHits,
+		Proofs:       st.Proofs,
+		Verifies:     st.Verifies,
+	}
+}

@@ -1,0 +1,244 @@
+package zkspeed_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"zkspeed"
+	"zkspeed/api"
+)
+
+// TestServiceSharesOneSetupAcrossBatchWindow is the tentpole acceptance
+// test: two concurrent clients proving the same circuit inside one batch
+// window must share a single key setup (1 setup, 2 proofs, 1 ProveBatch
+// call), an identical repeat request must be served from the proof cache
+// without re-proving, and both proofs must verify.
+func TestServiceSharesOneSetupAcrossBatchWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	svc, err := zkspeed.NewService(zkspeed.ServiceConfig{
+		BatchWindow: 500 * time.Millisecond,
+		MaxBatch:    8,
+	}, zkspeed.WithEntropy(zkspeed.SeededEntropy(41)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Same circuit (same seed ⇒ same tables), two distinct witnesses:
+	// SyntheticWorkloadSeeded couples them, so build two instances of the
+	// same relation with different assignments via the builder.
+	circuit1, assign1 := buildServiceCircuit(t, 3)
+	circuit2, assign2 := buildServiceCircuit(t, 5)
+	if circuit1.Digest() != circuit2.Digest() {
+		t.Fatal("fixture circuits should share a digest (same relation)")
+	}
+	if assign1.Digest() == assign2.Digest() {
+		t.Fatal("fixture witnesses should differ")
+	}
+	circuitBlob, err := circuit1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info api.CircuitInfo
+	postServiceJSON(t, srv, "/v1/circuits", api.RegisterCircuitRequest{Circuit: circuitBlob}, &info, http.StatusOK)
+
+	// Two concurrent clients inside one batch window. (No t.Fatal inside
+	// the goroutines — errors are collected and checked afterwards.)
+	var wg sync.WaitGroup
+	responses := make([]api.ProveResponse, 2)
+	errs := make([]error, 2)
+	for i, a := range []*zkspeed.Assignment{assign1, assign2} {
+		blob, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := json.Marshal(api.ProveRequest{
+				CircuitDigest: info.Digest, Witness: blob, Wait: true,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := srv.Client().Post(srv.URL+"/v1/prove", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("prove status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&responses[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i, resp := range responses {
+		if resp.Status != api.StatusDone || len(resp.Proof) == 0 {
+			t.Fatalf("client %d: %+v", i, resp)
+		}
+		if resp.BatchSize != 2 {
+			t.Fatalf("client %d proved in batch of %d, want 2 (window did not coalesce)", i, resp.BatchSize)
+		}
+		var verified api.VerifyResponse
+		postServiceJSON(t, srv, "/v1/verify", api.VerifyRequest{
+			CircuitDigest: info.Digest, PublicInputs: resp.PublicInputs, Proof: resp.Proof,
+		}, &verified, http.StatusOK)
+		if !verified.Valid {
+			t.Fatalf("client %d proof rejected: %+v", i, verified)
+		}
+	}
+
+	st := svc.BackendStats()
+	if st.KeySetups != 1 {
+		t.Fatalf("key setups = %d, want 1 (shared across the batch window)", st.KeySetups)
+	}
+	if st.SRSSetups != 1 {
+		t.Fatalf("SRS ceremonies = %d, want 1", st.SRSSetups)
+	}
+	if st.Proofs != 2 {
+		t.Fatalf("proofs = %d, want 2", st.Proofs)
+	}
+	if snap := svc.Metrics().Snapshot(); snap.Batches != 1 || snap.BatchJobs != 2 {
+		t.Fatalf("batches %+v, want one ProveBatch carrying both jobs", snap)
+	}
+
+	// A byte-identical repeat request is served from the proof cache.
+	blob1, _ := assign1.MarshalBinary()
+	var cached api.ProveResponse
+	postServiceJSON(t, srv, "/v1/prove", api.ProveRequest{
+		CircuitDigest: info.Digest, Witness: blob1, Wait: true,
+	}, &cached, http.StatusOK)
+	if !cached.Cached {
+		t.Fatal("identical request was not served from the proof cache")
+	}
+	if !bytes.Equal(cached.Proof, responses[0].Proof) {
+		t.Fatal("cache returned different proof bytes")
+	}
+	if st := svc.BackendStats(); st.Proofs != 2 {
+		t.Fatalf("cache hit re-proved: %d proofs", st.Proofs)
+	}
+}
+
+// TestServiceOverloadBackpressure asserts the service sheds load instead
+// of queueing unboundedly: with a single-slot queue and a long batch
+// window, the third submission gets 429 with an actionable Retry-After.
+func TestServiceOverloadBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	svc, err := zkspeed.NewService(zkspeed.ServiceConfig{
+		QueueCapacity: 1,
+		BatchWindow:   10 * time.Second, // parks the first job in the collector
+		MaxBatch:      8,
+	}, zkspeed.WithEntropy(zkspeed.SeededEntropy(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Three distinct relations so nothing coalesces with the parked job.
+	submit := func(gap uint64, wantCode int) *http.Response {
+		circuit, assign := buildServiceCircuitGap(t, gap, 3)
+		cb, err := circuit.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := assign.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return postServiceJSON(t, srv, "/v1/prove",
+			api.ProveRequest{Circuit: cb, Witness: wb}, nil, wantCode)
+	}
+	submit(1, http.StatusAccepted)
+	// Wait for the shard to move job 1 into its batch collector so the
+	// single queue slot is free again.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.QueueDepth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never dequeued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	submit(2, http.StatusAccepted)
+	resp := submit(3, http.StatusTooManyRequests)
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After header %q not a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if depth := svc.QueueDepth(); depth > 1 {
+		t.Fatalf("queue grew to %d despite capacity 1", depth)
+	}
+}
+
+// buildServiceCircuit compiles x²+3x+5 == y (y public) for the given x:
+// one relation, witness varies with x.
+func buildServiceCircuit(t *testing.T, x uint64) (*zkspeed.Circuit, *zkspeed.Assignment) {
+	t.Helper()
+	return buildServiceCircuitGap(t, 3, x)
+}
+
+// buildServiceCircuitGap varies the linear coefficient, yielding circuits
+// with distinct digests.
+func buildServiceCircuitGap(t *testing.T, c, x uint64) (*zkspeed.Circuit, *zkspeed.Assignment) {
+	t.Helper()
+	b := zkspeed.NewBuilder()
+	xv := b.Witness(zkspeed.NewScalar(x))
+	x2 := b.Mul(xv, xv)
+	cx := b.MulConst(zkspeed.NewScalar(c), xv)
+	s := b.Add(x2, cx)
+	y := b.AddConst(s, zkspeed.NewScalar(5))
+	yPub := b.PublicInput(b.Value(y))
+	b.AssertEqual(y, yPub)
+	circuit, assignment, _, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return circuit, assignment
+}
+
+// postServiceJSON posts a JSON body and decodes the response, asserting
+// the status code.
+func postServiceJSON(t *testing.T, srv *httptest.Server, path string, body, out any, wantCode int) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp
+}
