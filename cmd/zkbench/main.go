@@ -50,6 +50,10 @@ func main() {
 	var compares compareList
 	flag.Var(&compares, "compare", "baseline BENCH_*.json to gate against (repeatable: one run can gate against several baselines)")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent over the baseline median")
+	var asserts assertList
+	flag.Var(&asserts, "assert-faster",
+		"within-run speed assertion 'A<B' or 'A*1.4<B' on benchmark medians (repeatable); "+
+			"exits 1 unless median(A)·factor < median(B) — how CI proves the fast MSM path beats the retained pippenger baseline on the same runner")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -126,6 +130,14 @@ func main() {
 	log.Printf("wrote %s (%d results)", path, len(report.Results))
 
 	failed := false
+	for _, a := range asserts {
+		if err := a.check(report); err != nil {
+			log.Printf("FAIL assertion %s: %v", a, err)
+			failed = true
+		} else {
+			log.Printf("ok: assertion %s holds", a)
+		}
+	}
 	for _, baselinePath := range compares {
 		baseline, err := zkspeed.ReadBenchReport(baselinePath)
 		if err != nil {
@@ -194,6 +206,73 @@ type compareList []string
 func (c *compareList) String() string { return strings.Join(*c, ",") }
 func (c *compareList) Set(v string) error {
 	*c = append(*c, v)
+	return nil
+}
+
+// fasterAssertion is one parsed -assert-faster flag: median(left)·factor
+// must be strictly below median(right) within the fresh report.
+type fasterAssertion struct {
+	left, right string
+	factor      float64
+}
+
+func (a fasterAssertion) String() string {
+	if a.factor != 1 {
+		return fmt.Sprintf("%s*%g<%s", a.left, a.factor, a.right)
+	}
+	return fmt.Sprintf("%s<%s", a.left, a.right)
+}
+
+func (a fasterAssertion) check(r *zkspeed.BenchReport) error {
+	find := func(name string) (int64, error) {
+		for _, rec := range r.Results {
+			if rec.Name == name {
+				return rec.Stats.MedianNS, nil
+			}
+		}
+		return 0, fmt.Errorf("benchmark %q not in this run", name)
+	}
+	l, err := find(a.left)
+	if err != nil {
+		return err
+	}
+	rr, err := find(a.right)
+	if err != nil {
+		return err
+	}
+	scaled := float64(l) * a.factor
+	if scaled >= float64(rr) {
+		return fmt.Errorf("median(%s)=%dns ×%g = %.0fns is not below median(%s)=%dns",
+			a.left, l, a.factor, scaled, a.right, rr)
+	}
+	return nil
+}
+
+// assertList collects repeated -assert-faster flags.
+type assertList []fasterAssertion
+
+func (c *assertList) String() string {
+	parts := make([]string, len(*c))
+	for i, a := range *c {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *assertList) Set(v string) error {
+	lr := strings.SplitN(v, "<", 2)
+	if len(lr) != 2 || lr[0] == "" || lr[1] == "" {
+		return fmt.Errorf("bad -assert-faster %q: want 'A<B' or 'A*1.4<B'", v)
+	}
+	a := fasterAssertion{left: lr[0], right: lr[1], factor: 1}
+	if i := strings.LastIndex(lr[0], "*"); i >= 0 {
+		f, err := strconv.ParseFloat(lr[0][i+1:], 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("bad -assert-faster factor in %q", v)
+		}
+		a.left, a.factor = lr[0][:i], f
+	}
+	*c = append(*c, a)
 	return nil
 }
 

@@ -353,7 +353,7 @@ func (e *Engine) Prove(ctx context.Context, circuit *Circuit, assignment *Assign
 	}
 	start := time.Now()
 	proof, tm, err := hyperplonk.ProveWithContext(ctx, k.pk, assignment,
-		&hyperplonk.ProveOptions{CollectTimings: e.cfg.timings})
+		&hyperplonk.ProveOptions{CollectTimings: e.cfg.timings, Parallelism: e.cfg.parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -85,10 +85,11 @@ func TestKernelSuiteRuns(t *testing.T) {
 		Seed:       7,
 	}
 	bms := KernelSuite(cfg)
-	// 1 window × 2 schedules × {pippenger, sparse} + sumcheck + commit +
-	// open + fold.
-	if len(bms) != 8 {
-		t.Fatalf("want 8 kernel benchmarks, got %d", len(bms))
+	// 1 window × 2 schedules × {pippenger, sparse} + 1 window ×
+	// {signed, glv, batchaffine} + {fast, sparse-fast} + sumcheck +
+	// commit + open + fold.
+	if len(bms) != 13 {
+		t.Fatalf("want 13 kernel benchmarks, got %d", len(bms))
 	}
 	report := NewReport("test", RunConfig{Reps: 1}, time.Unix(0, 0))
 	r := Runner{Warmup: cfg.Warmup, Reps: cfg.Reps}

@@ -157,6 +157,10 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 				"window": strconv.Itoa(w),
 				"agg":    aggName(agg),
 			}
+			// KernelPippenger pins these records to the pre-optimization
+			// reference path, so their trajectory stays comparable across
+			// the fast-path work (and the msm/fast assertion below gates
+			// against a baseline measured in the same run).
 			out = append(out,
 				Benchmark{
 					Name:   fmt.Sprintf("msm/pippenger/n%d/w%d/%s", cfg.MSMLogN, w, aggName(agg)),
@@ -165,7 +169,7 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 					Setup:  msmSetup,
 					Iterate: func() error {
 						_ = msm.MSMWithOptions(srsFor(cfg.MSMLogN).Lag[0], dense,
-							msm.Options{Window: w, Aggregation: agg, Parallel: true})
+							msm.Options{Window: w, Aggregation: agg, Parallel: true, Kernel: msm.KernelPippenger})
 						return nil
 					},
 				},
@@ -176,13 +180,70 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 					Setup:  msmSetup,
 					Iterate: func() error {
 						_ = msm.SparseMSM(srsFor(cfg.MSMLogN).Lag[0], sparse,
-							msm.Options{Window: w, Aggregation: agg, Parallel: true})
+							msm.Options{Window: w, Aggregation: agg, Parallel: true, Kernel: msm.KernelPippenger})
 						return nil
 					},
 				},
 			)
 		}
 	}
+
+	// Fast-path variants: each algorithmic layer in isolation across the
+	// window sweep (grouped aggregation, the production schedule), so
+	// BENCH_<sha>.json records where each technique's win comes from.
+	for _, v := range []struct {
+		label  string
+		kernel msm.Kernel
+	}{
+		{"signed", msm.KernelSigned},
+		{"glv", msm.KernelSignedGLV},
+		{"batchaffine", msm.KernelBatchAffine},
+	} {
+		for _, w := range cfg.Windows {
+			v, w := v, w
+			out = append(out, Benchmark{
+				Name: fmt.Sprintf("msm/%s/n%d/w%d", v.label, cfg.MSMLogN, w),
+				Kind: KindKernel,
+				Params: map[string]string{
+					"n":      strconv.Itoa(n),
+					"window": strconv.Itoa(w),
+					"kernel": v.label,
+				},
+				Setup: msmSetup,
+				Iterate: func() error {
+					_ = msm.MSMWithOptions(srsFor(cfg.MSMLogN).Lag[0], dense,
+						msm.Options{Window: w, Aggregation: msm.AggregateGrouped, Parallel: true, Kernel: v.kernel})
+					return nil
+				},
+			})
+		}
+	}
+
+	// The combined default path (signed + GLV + batch-affine, auto
+	// window) — what pcs.Commit actually runs — plus its sparse twin.
+	out = append(out,
+		Benchmark{
+			Name:   fmt.Sprintf("msm/fast/n%d", cfg.MSMLogN),
+			Kind:   KindKernel,
+			Params: map[string]string{"n": strconv.Itoa(n), "kernel": "fast"},
+			Setup:  msmSetup,
+			Iterate: func() error {
+				_ = msm.MSM(srsFor(cfg.MSMLogN).Lag[0], dense)
+				return nil
+			},
+		},
+		Benchmark{
+			Name:   fmt.Sprintf("msm/sparse-fast/n%d", cfg.MSMLogN),
+			Kind:   KindKernel,
+			Params: map[string]string{"n": strconv.Itoa(n), "kernel": "fast"},
+			Setup:  msmSetup,
+			Iterate: func() error {
+				_ = msm.SparseMSM(srsFor(cfg.MSMLogN).Lag[0], sparse,
+					msm.Options{Parallel: true, Aggregation: msm.AggregateGrouped})
+				return nil
+			},
+		},
+	)
 
 	// Sumcheck round loop: a ZeroCheck-shaped virtual polynomial
 	// (eq · w1 · w2 · w3 plus lower-degree terms, degree 4 like the gate

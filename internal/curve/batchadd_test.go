@@ -1,0 +1,173 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkspeed/internal/ff"
+)
+
+// testPoints returns n distinct non-infinity multiples of the generator.
+func testPoints(rng *rand.Rand, n int) []G1Affine {
+	out := make([]G1Affine, n)
+	var g, p G1Jac
+	ga := G1Generator()
+	g.FromAffine(&ga)
+	p.Set(&g)
+	for i := 0; i < n; i++ {
+		out[i].FromJacobian(&p)
+		p.Double(&p)
+		if rng.Intn(2) == 1 {
+			p.Add(&p, &g)
+		}
+	}
+	return out
+}
+
+// TestPhiIsLambda: φ(P) = [λ]P on random points, φ preserves the curve
+// and infinity.
+func TestPhiIsLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	lambda := ff.GLVLambda()
+	pts := testPoints(rng, 8)
+	for i := range pts {
+		var phi G1Affine
+		phi.Phi(&pts[i])
+		if !phi.IsOnCurve() {
+			t.Fatal("φ(P) left the curve")
+		}
+		var pj, want, got G1Jac
+		pj.FromAffine(&pts[i])
+		want.ScalarMulBig(&pj, lambda)
+		got.FromAffine(&phi)
+		if !got.Equal(&want) {
+			t.Fatalf("φ(P) != [λ]P at i=%d", i)
+		}
+	}
+	inf := G1Infinity()
+	var phiInf G1Affine
+	phiInf.Phi(&inf)
+	if !phiInf.Inf {
+		t.Fatal("φ(∞) != ∞")
+	}
+}
+
+// TestBatchAddMixed drives every special case through the batch kernel
+// and checks against Jacobian arithmetic: fresh buckets, chained adds,
+// doubling (equal points), cancellation (opposite points), infinity
+// addends, and revival of an emptied bucket.
+func TestBatchAddMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	pts := testPoints(rng, 16)
+
+	// Reference accumulator in Jacobian coordinates.
+	apply := func(rounds [][2][]int) []G1Affine { // [idx, ptIdx] pairs per round
+		n := 8
+		ref := make([]G1Jac, n)
+		buckets := make([]G1Affine, n)
+		for i := range buckets {
+			buckets[i] = G1Infinity()
+		}
+		denoms := make([]ff.Fp, 16)
+		scratch := make([]ff.Fp, 16)
+		for _, r := range rounds {
+			idx := make([]int32, len(r[0]))
+			adds := make([]G1Affine, len(r[0]))
+			for k := range r[0] {
+				idx[k] = int32(r[0][k])
+				adds[k] = pts[r[1][k]]
+				ref[idx[k]].AddMixed(&adds[k])
+			}
+			BatchAddMixed(buckets, idx, adds, denoms, scratch)
+		}
+		for i := range buckets {
+			var want G1Affine
+			want.FromJacobian(&ref[i])
+			if !buckets[i].Equal(&want) {
+				t.Fatalf("bucket %d diverged from Jacobian reference", i)
+			}
+		}
+		return buckets
+	}
+
+	// Round 1: fresh buckets (infinity targets).
+	// Round 2: chained adds into occupied buckets.
+	// Round 3: doubling — same point into the same bucket content.
+	apply([][2][]int{
+		{{0, 1, 2, 3}, {0, 1, 2, 3}},
+		{{0, 1, 4}, {4, 5, 6}},
+		{{2}, {2}}, // bucket 2 holds pts[2]; adding pts[2] again doubles
+	})
+
+	// Cancellation: P then −P empties the bucket; then revive it.
+	var neg G1Affine
+	neg.Neg(&pts[0])
+	buckets := make([]G1Affine, 2)
+	buckets[0], buckets[1] = G1Infinity(), G1Infinity()
+	denoms := make([]ff.Fp, 4)
+	scratch := make([]ff.Fp, 4)
+	BatchAddMixed(buckets, []int32{0}, []G1Affine{pts[0]}, denoms, scratch)
+	BatchAddMixed(buckets, []int32{0}, []G1Affine{neg}, denoms, scratch)
+	if !buckets[0].Inf {
+		t.Fatal("P + (−P) should empty the bucket")
+	}
+	BatchAddMixed(buckets, []int32{0}, []G1Affine{pts[5]}, denoms, scratch)
+	if !buckets[0].Equal(&pts[5]) {
+		t.Fatal("revived bucket should hold the new point")
+	}
+
+	// Infinity addend is a no-op.
+	before := buckets[0]
+	BatchAddMixed(buckets, []int32{0}, []G1Affine{G1Infinity()}, denoms, scratch)
+	if !buckets[0].Equal(&before) {
+		t.Fatal("adding ∞ changed the bucket")
+	}
+}
+
+// TestBatchAddMixedRandom: a long random schedule with distinct indices
+// per call stays equal to the Jacobian reference.
+func TestBatchAddMixedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	pts := testPoints(rng, 64)
+	const nb = 16
+	buckets := make([]G1Affine, nb)
+	for i := range buckets {
+		buckets[i] = G1Infinity()
+	}
+	ref := make([]G1Jac, nb)
+	denoms := make([]ff.Fp, nb)
+	scratch := make([]ff.Fp, nb)
+	for round := 0; round < 50; round++ {
+		perm := rng.Perm(nb)
+		k := 1 + rng.Intn(nb)
+		idx := make([]int32, 0, k)
+		adds := make([]G1Affine, 0, k)
+		for _, b := range perm[:k] {
+			p := pts[rng.Intn(len(pts))]
+			if rng.Intn(8) == 0 {
+				p.Neg(&p) // occasionally a negated point → cancellations
+			}
+			idx = append(idx, int32(b))
+			adds = append(adds, p)
+			ref[b].AddMixed(&p)
+		}
+		BatchAddMixed(buckets, idx, adds, denoms, scratch)
+	}
+	for i := range buckets {
+		var want G1Affine
+		want.FromJacobian(&ref[i])
+		if !buckets[i].Equal(&want) {
+			t.Fatalf("bucket %d diverged after random schedule", i)
+		}
+	}
+}
+
+// TestPhiBetaNontrivial: φ is not the identity (β ≠ 1 was selected).
+func TestPhiBetaNontrivial(t *testing.T) {
+	g := G1Generator()
+	var phi G1Affine
+	phi.Phi(&g)
+	if phi.Equal(&g) {
+		t.Fatal("φ must not be the identity map")
+	}
+}

@@ -7,6 +7,7 @@ package curve
 
 import (
 	"math/big"
+	"sync"
 
 	"zkspeed/internal/ff"
 )
@@ -59,6 +60,51 @@ func (p *G1Affine) IsOnCurve() bool {
 func (p *G1Affine) Neg(q *G1Affine) *G1Affine {
 	p.X = q.X
 	p.Y.Neg(&q.Y)
+	p.Inf = q.Inf
+	return p
+}
+
+var (
+	g1Beta     ff.Fp // cube root of unity in Fp with φ(P) = [λ]P
+	g1BetaOnce sync.Once
+)
+
+// g1BetaInit derives β. The two primitive cube roots of unity in Fp are
+// (−1 ± √−3)/2; exactly one of them makes (βx, y) act as multiplication
+// by λ = x²−1 (the other acts as λ² = −λ−1). Deriving both and testing
+// against [λ]G avoids a hand-transcribed 48-byte constant.
+func g1BetaInit() {
+	var m3, s ff.Fp
+	m3.SetUint64(3)
+	m3.Neg(&m3)
+	if !s.Sqrt(&m3) {
+		panic("curve: -3 is not a square in Fp")
+	}
+	var one, two, halfInv, beta ff.Fp
+	one.SetOne()
+	two.SetUint64(2)
+	halfInv.Inverse(&two)
+	beta.Sub(&s, &one)
+	beta.Mul(&beta, &halfInv) // (−1+√−3)/2
+	var lG, phiG G1Jac
+	var gJac G1Jac
+	gJac.FromAffine(&g1Gen)
+	lG.ScalarMulBig(&gJac, ff.GLVLambda())
+	cand := g1Gen
+	cand.X.Mul(&cand.X, &beta)
+	phiG.FromAffine(&cand)
+	if !phiG.Equal(&lG) {
+		beta.Square(&beta) // the other root, β² = (−1−√−3)/2
+	}
+	g1Beta = beta
+}
+
+// Phi sets p = φ(q) = (β·x, y), the GLV endomorphism satisfying
+// φ(P) = [λ]P for λ = ff.GLVLambda(). Infinity maps to infinity.
+func (p *G1Affine) Phi(q *G1Affine) *G1Affine {
+	g1BetaOnce.Do(g1BetaInit)
+	p.X.Mul(&q.X, &g1Beta)
+	p.Y = q.Y
 	p.Inf = q.Inf
 	return p
 }

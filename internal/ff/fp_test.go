@@ -129,3 +129,51 @@ func BenchmarkFpMul(b *testing.B) {
 		x.Mul(&x, &y)
 	}
 }
+
+// TestFpBatchInverse: matches per-element Inverse on mixed inputs (zeros
+// included), in the aliasing, non-aliasing and scratch-provided shapes.
+func TestFpBatchInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, n := range []int{0, 1, 2, 3, 17, 64, 100} {
+		in := make([]Fp, n)
+		for i := range in {
+			switch i % 5 {
+			case 3:
+				// leave zero
+			case 4:
+				in[i].SetOne()
+			default:
+				in[i] = randFp(rng)
+			}
+		}
+		want := make([]Fp, n)
+		for i := range in {
+			want[i].Inverse(&in[i])
+		}
+		out := make([]Fp, n)
+		BatchInverse(out, in, nil)
+		for i := range out {
+			if !out[i].Equal(&want[i]) {
+				t.Fatalf("n=%d i=%d: batch inverse mismatch", n, i)
+			}
+		}
+		// with caller scratch
+		scratch := make([]Fp, n)
+		out2 := make([]Fp, n)
+		BatchInverse(out2, in, scratch)
+		for i := range out2 {
+			if !out2[i].Equal(&want[i]) {
+				t.Fatalf("n=%d i=%d: scratch batch inverse mismatch", n, i)
+			}
+		}
+		// aliased in-place
+		work := make([]Fp, n)
+		copy(work, in)
+		BatchInverse(work, work, scratch)
+		for i := range work {
+			if !work[i].Equal(&want[i]) {
+				t.Fatalf("n=%d i=%d: aliased batch inverse mismatch", n, i)
+			}
+		}
+	}
+}

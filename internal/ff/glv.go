@@ -1,0 +1,129 @@
+package ff
+
+import (
+	"encoding/binary"
+	"math/big"
+)
+
+// GLV scalar decomposition for BLS12-381.
+//
+// G1 carries the curve endomorphism φ(x,y) = (β·x, y) (β a primitive cube
+// root of unity in Fp), which acts on the r-torsion as multiplication by
+// λ = x² − 1 mod r, where x = -0xd201000000010000 is the BLS parameter
+// (λ² + λ + 1 ≡ 0 mod r). Splitting a scalar k as k = k₁ + k₂·λ with
+// |k₁|, |k₂| ≲ √r ≈ 2¹²⁸ lets the MSM window loop run over half the bit
+// length (§4.2's bit-serial PMULT cost, halved).
+//
+// The split is Babai rounding against the lattice of vectors (a, b) with
+// a + b·λ ≡ 0 (mod r), using the short basis
+//
+//	v₁ = (λ, −1)      (λ − λ = 0)
+//	v₂ = (1, x²)      (1 + x²·λ = x⁴ − x² + 1 = r)
+//
+// whose determinant is λ·x² + 1 = r. Solving (k, 0) = c₁v₁ + c₂v₂ over ℚ
+// gives c₁ = k·x²/r and c₂ = k/r; rounding to integers and subtracting
+// leaves (k₁, k₂) = (k − ĉ₁λ − ĉ₂, ĉ₁ − ĉ₂x²) with ∞-norm at most
+// (‖v₁‖ + ‖v₂‖)/2 < 2¹²⁶.
+
+// GLVBits bounds the bit length of each half-scalar magnitude.
+const GLVBits = 128
+
+var (
+	glvX2     *big.Int // x², x the BLS parameter (sign irrelevant: even power)
+	glvLambda *big.Int // λ = x² − 1
+	bigOne    = big.NewInt(1)
+)
+
+func init() {
+	x := new(big.Int).SetUint64(0xd201000000010000)
+	glvX2 = new(big.Int).Mul(x, x)
+	glvLambda = new(big.Int).Sub(glvX2, big.NewInt(1))
+}
+
+// GLVLambda returns λ, the eigenvalue of the G1 endomorphism on the
+// r-torsion (the curve package uses it to select the matching β).
+func GLVLambda() *big.Int { return new(big.Int).Set(glvLambda) }
+
+// HalfScalar is one signed component of a GLV decomposition: a ≤128-bit
+// magnitude in two little-endian 64-bit words plus a sign.
+type HalfScalar struct {
+	W   [2]uint64
+	Neg bool
+}
+
+// IsZero reports whether the half-scalar is zero.
+func (h *HalfScalar) IsZero() bool { return h.W[0] == 0 && h.W[1] == 0 }
+
+// GLVSplitter decomposes scalars against the fixed lattice basis. The
+// zero value is ready to use; it exists (rather than a free function) so
+// per-scalar big.Int temporaries are reused across the millions of splits
+// a large MSM performs. Not safe for concurrent use — give each goroutine
+// its own.
+type GLVSplitter struct {
+	k, c1, c2, t big.Int
+}
+
+// roundDiv sets z = round(a/b) for a ≥ 0, b > 0 (round half up).
+func roundDiv(z, a, b, t *big.Int) *big.Int {
+	t.Rsh(b, 1)
+	z.Add(a, t)
+	return z.Div(z, b)
+}
+
+// Split decomposes k into (k₁, k₂) with k ≡ k₁ + k₂·λ (mod r) and both
+// magnitudes under 2¹²⁸.
+func (s *GLVSplitter) Split(k *Fr) (k1, k2 HalfScalar) {
+	kb := k.intoBig(&s.k)
+	// ĉ₁ = round(k·x²/r), ĉ₂ = round(k/r) ∈ {0, 1} since 0 ≤ k < r.
+	s.t.Mul(kb, glvX2)
+	roundDiv(&s.c1, &s.t, frModulus, &s.c2)
+	c2 := int64(0)
+	s.t.Lsh(kb, 1)
+	if s.t.Cmp(frModulus) >= 0 { // k > r/2
+		c2 = 1
+	}
+	// k₁ = k − ĉ₁λ − ĉ₂ ; k₂ = ĉ₁ − ĉ₂x².
+	s.t.Mul(&s.c1, glvLambda)
+	s.t.Sub(kb, &s.t)
+	if c2 == 1 {
+		s.t.Sub(&s.t, bigOne)
+	}
+	k1 = halfFromBig(&s.t)
+	if c2 == 1 {
+		s.t.Sub(&s.c1, glvX2)
+	} else {
+		s.t.Set(&s.c1)
+	}
+	k2 = halfFromBig(&s.t)
+	return k1, k2
+}
+
+// intoBig writes the canonical value of z into dst without allocating a
+// fresh big.Int per call.
+func (z *Fr) intoBig(dst *big.Int) *big.Int {
+	c := *z
+	c.fromMont()
+	var buf [FrBytes]byte
+	for i := 0; i < 4; i++ {
+		for b := 0; b < 8; b++ {
+			buf[FrBytes-1-(i*8+b)] = byte(c[i] >> (8 * b))
+		}
+	}
+	return dst.SetBytes(buf[:])
+}
+
+// halfFromBig converts a signed big integer into sign+magnitude form,
+// checking the GLV norm bound.
+func halfFromBig(v *big.Int) HalfScalar {
+	var h HalfScalar
+	h.Neg = v.Sign() < 0
+	if v.BitLen() > GLVBits {
+		panic("ff: GLV half-scalar exceeds 128 bits")
+	}
+	var buf [16]byte
+	var t big.Int
+	t.Abs(v).FillBytes(buf[:])
+	h.W[0] = binary.BigEndian.Uint64(buf[8:])
+	h.W[1] = binary.BigEndian.Uint64(buf[:8])
+	return h
+}

@@ -1,0 +1,90 @@
+package ff
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// halfToBig reconstructs the signed integer of a half-scalar.
+func halfToBig(h HalfScalar) *big.Int {
+	v := new(big.Int).SetUint64(h.W[1])
+	v.Lsh(v, 64)
+	v.Or(v, new(big.Int).SetUint64(h.W[0]))
+	if h.Neg {
+		v.Neg(v)
+	}
+	return v
+}
+
+// TestGLVLambdaIsEigenvalue: λ² + λ + 1 ≡ 0 (mod r), the defining
+// equation of the endomorphism eigenvalue.
+func TestGLVLambdaIsEigenvalue(t *testing.T) {
+	l := GLVLambda()
+	v := new(big.Int).Mul(l, l)
+	v.Add(v, l)
+	v.Add(v, big.NewInt(1))
+	v.Mod(v, FrModulusBig())
+	if v.Sign() != 0 {
+		t.Fatalf("λ²+λ+1 != 0 mod r (got %s)", v)
+	}
+}
+
+// TestGLVSplit: k₁ + k₂λ ≡ k (mod r) and both halves stay within the
+// 128-bit norm bound, across random and adversarial scalars.
+func TestGLVSplit(t *testing.T) {
+	rMod := FrModulusBig()
+	lambda := GLVLambda()
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(rMod, big.NewInt(1)), // -1
+		new(big.Int).Sub(rMod, big.NewInt(2)),
+		new(big.Int).Rsh(rMod, 1), // ~r/2, the ĉ₂ rounding boundary
+		new(big.Int).Add(new(big.Int).Rsh(rMod, 1), big.NewInt(1)),
+		new(big.Int).Set(lambda),             // splits to (0, 1)
+		new(big.Int).Sub(rMod, lambda),       // -λ
+		new(big.Int).Lsh(big.NewInt(1), 128), // just past one half-width
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 254), big.NewInt(1)),
+	}
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 200; i++ {
+		cases = append(cases, new(big.Int).Rand(rng, rMod))
+	}
+	var s GLVSplitter
+	for _, kb := range cases {
+		var k Fr
+		k.SetBigInt(kb)
+		k1, k2 := s.Split(&k)
+		b1, b2 := halfToBig(k1), halfToBig(k2)
+		if b1.BitLen() > GLVBits || b2.BitLen() > GLVBits {
+			t.Fatalf("k=%s: half-scalar too wide (%d, %d bits)", kb, b1.BitLen(), b2.BitLen())
+		}
+		got := new(big.Int).Mul(b2, lambda)
+		got.Add(got, b1)
+		got.Mod(got, rMod)
+		want := new(big.Int).Mod(kb, rMod)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("k=%s: k1+k2·λ = %s != k", kb, got)
+		}
+	}
+}
+
+// TestGLVSplitterReuse: a splitter gives the same answers when reused
+// (its temporaries carry no state across calls).
+func TestGLVSplitterReuse(t *testing.T) {
+	var s1, s2 GLVSplitter
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 20; i++ {
+		var k Fr
+		k.SetBigInt(new(big.Int).Rand(rng, FrModulusBig()))
+		a1, a2 := s1.Split(&k)
+		// s1 has been used i times already; s2 freshly per loop.
+		b1, b2 := s2.Split(&k)
+		if a1 != b1 || a2 != b2 {
+			t.Fatalf("splitter state leaked across calls at i=%d", i)
+		}
+		s2 = GLVSplitter{}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"zkspeed/internal/ff"
+	"zkspeed/internal/msm"
 	"zkspeed/internal/poly"
 	"zkspeed/internal/sumcheck"
 	"zkspeed/internal/transcript"
@@ -44,6 +45,16 @@ type ProveOptions struct {
 	// CollectTimings enables the per-step wall-clock breakdown; when
 	// false, ProveWithContext returns nil timings.
 	CollectTimings bool
+	// Parallelism bounds the goroutines each MSM kernel may use
+	// (0 = one per CPU) — the engine's WithParallelism reaching the
+	// bucket loops.
+	Parallelism int
+}
+
+// msmOptions resolves the MSM configuration every commitment and opening
+// of this proof runs under.
+func (o *ProveOptions) msmOptions() msm.Options {
+	return msm.Options{Parallel: true, Procs: o.Parallelism, Aggregation: msm.AggregateGrouped}
 }
 
 // Prove generates a HyperPlonk proof for the assignment under pk with
@@ -69,6 +80,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	}
 	proof := &Proof{}
 	tm := &StepTimings{}
+	mopt := opts.msmOptions()
 	start := time.Now()
 
 	tr := transcript.New("zkspeed.hyperplonk.v1")
@@ -83,7 +95,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	t0 := time.Now()
 	var err error
 	for j, w := range []*poly.MLE{a.W1, a.W2, a.W3} {
-		if proof.WitnessComms[j], err = pk.SRS.CommitSparse(w); err != nil {
+		if proof.WitnessComms[j], err = pk.SRS.CommitSparseWith(w, mopt); err != nil {
 			return nil, nil, err
 		}
 		tr.AppendG1("witness", &proof.WitnessComms[j].P)
@@ -113,10 +125,10 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	nd := constructNAndD(c, a, &beta, &gamma)
 	phi := poly.FractionMLE(nd.N, nd.D) // FracMLE unit (batched inversion)
 	pi := poly.ProductMLE(phi)          // Multifunction Tree Unit
-	if proof.PhiComm, err = pk.SRS.Commit(phi); err != nil {
+	if proof.PhiComm, err = pk.SRS.CommitWith(phi, mopt); err != nil {
 		return nil, nil, err
 	}
-	if proof.PiComm, err = pk.SRS.Commit(pi); err != nil {
+	if proof.PiComm, err = pk.SRS.CommitWith(pi, mopt); err != nil {
 		return nil, nil, err
 	}
 	tr.AppendG1("phi", &proof.PhiComm.P)
@@ -193,7 +205,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 		kAtR[j] = poly.EvalEq(ksEval[j], rOpen)
 	}
 	gPrime := poly.LinearCombine(ys, kAtR)
-	opening, gVal, err := pk.SRS.Open(gPrime, rOpen)
+	opening, gVal, err := pk.SRS.OpenWith(gPrime, rOpen, mopt)
 	if err != nil {
 		return nil, nil, err
 	}

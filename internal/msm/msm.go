@@ -1,8 +1,22 @@
-// Package msm implements multi-scalar multiplication over BLS12-381 G1:
-// Pippenger's bucket method with a configurable window (the paper's MSM
-// unit design knob, Table 2), the Sparse MSM scheme used for witness
+// Package msm implements multi-scalar multiplication over BLS12-381 G1.
+//
+// Two generations of the kernel coexist:
+//
+//   - KernelPippenger is the classic software shape — unsigned windows,
+//     Jacobian mixed adds per bucket insert, parallelism across windows —
+//     kept intact as the benchmark baseline and as the §4.2 reference
+//     (the paper's MSM unit design knob, Table 2).
+//   - The fast path (the default) layers the three standard algorithmic
+//     upgrades on top: signed-digit windows (halving the bucket count to
+//     2^(c-1)), GLV endomorphism splitting (halving the window-loop bit
+//     length), and batch-affine bucket accumulation (Montgomery batch
+//     inversion turning ~11-mul Jacobian mixed adds into ~6-mul affine
+//     adds), plus point-chunked parallelism so large MSMs scale past the
+//     window count. See fast.go.
+//
+// The package also provides the Sparse MSM scheme used for witness
 // commitments (§3.3.1/§4.2: tree-reduce the 1-valued scalars, skip zeros,
-// Pippenger on the ~10% dense remainder), and both bucket-aggregation
+// fast MSM on the ~10% dense remainder) and both bucket-aggregation
 // schedules compared in Fig. 5 (SZKP's serial running sum vs. zkSpeed's
 // grouped aggregation).
 package msm
@@ -30,24 +44,92 @@ func scalarWords(s *ff.Fr) [4]uint64 {
 
 // windowDigit extracts bits [lo, lo+c) of w.
 func windowDigit(w [4]uint64, lo, c int) uint64 {
+	return digitAt(w[:], lo, c)
+}
+
+// digitAt extracts bits [lo, lo+c) of a little-endian word slice.
+func digitAt(w []uint64, lo, c int) uint64 {
 	idx := lo / 64
+	if idx >= len(w) {
+		return 0
+	}
 	shift := lo % 64
 	v := w[idx] >> shift
-	if shift+c > 64 && idx+1 < 4 {
+	if shift+c > 64 && idx+1 < len(w) {
 		v |= w[idx+1] << (64 - shift)
 	}
 	return v & ((1 << c) - 1)
 }
 
+// Kernel selects the MSM bucket-accumulation algorithm.
+type Kernel int
+
+const (
+	// KernelAuto (the zero value) resolves to KernelFast — callers get
+	// the full fast path unless they ask for a specific regime.
+	KernelAuto Kernel = iota
+	// KernelPippenger is the pre-optimization reference: unsigned
+	// windows, Jacobian mixed adds, window-level parallelism only.
+	KernelPippenger
+	// KernelSigned uses signed-digit (wNAF-style) windows with Jacobian
+	// buckets: 2^(c-1) buckets instead of 2^c-1.
+	KernelSigned
+	// KernelSignedGLV adds GLV endomorphism splitting to KernelSigned:
+	// 2n half-length scalars, halving the window-loop bit length.
+	KernelSignedGLV
+	// KernelBatchAffine uses signed windows with batch-affine bucket
+	// accumulation (Montgomery batch inversion), without GLV.
+	KernelBatchAffine
+	// KernelFast combines signed windows, GLV splitting and batch-affine
+	// buckets — the default production path.
+	KernelFast
+)
+
+// String names the kernel for benchmark labels.
+func (k Kernel) String() string {
+	switch k {
+	case KernelPippenger:
+		return "pippenger"
+	case KernelSigned:
+		return "signed"
+	case KernelSignedGLV:
+		return "glv"
+	case KernelBatchAffine:
+		return "batchaffine"
+	case KernelFast, KernelAuto:
+		return "fast"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
 // Options configures an MSM computation.
 type Options struct {
-	// Window is the Pippenger window width in bits; 0 selects a size-based
-	// heuristic.
+	// Window is the Pippenger window width in bits; 0 selects a size- and
+	// kernel-aware heuristic (DefaultWindow / DefaultWindowFast).
 	Window int
 	// Aggregation selects the bucket aggregation schedule.
 	Aggregation Aggregation
-	// Parallel enables goroutine parallelism across windows.
+	// Parallel enables goroutine parallelism (across windows, and for the
+	// fast path also across point chunks).
 	Parallel bool
+	// Procs bounds the number of goroutines a parallel MSM may use;
+	// 0 means GOMAXPROCS. This is the knob zkspeed.WithParallelism
+	// reaches down to.
+	Procs int
+	// Kernel selects the bucket-accumulation algorithm; the zero value
+	// (KernelAuto) is the combined fast path.
+	Kernel Kernel
+}
+
+// procs resolves the goroutine budget.
+func (o *Options) procs() int {
+	if !o.Parallel {
+		return 1
+	}
+	if o.Procs > 0 {
+		return o.Procs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Aggregation identifies a bucket-aggregation schedule.
@@ -65,7 +147,8 @@ const (
 // GroupSize is the bucket-aggregation group size selected in §4.2.2.
 const GroupSize = 16
 
-// DefaultWindow returns the heuristic window size for an n-point MSM.
+// DefaultWindow returns the heuristic window size for an n-point MSM on
+// the unsigned KernelPippenger path (the pre-optimization regime).
 func DefaultWindow(n int) int {
 	c := 1
 	for 1<<uint(c+1) < n && c < 16 {
@@ -81,7 +164,9 @@ func DefaultWindow(n int) int {
 	return c
 }
 
-// MSM computes Σ scalars[i]·points[i] with default options.
+// MSM computes Σ scalars[i]·points[i] with default options: the combined
+// fast path (signed windows + GLV + batch-affine buckets), grouped
+// aggregation, full parallelism.
 func MSM(points []curve.G1Affine, scalars []ff.Fr) curve.G1Jac {
 	return MSMWithOptions(points, scalars, Options{Parallel: true, Aggregation: AggregateGrouped})
 }
@@ -95,6 +180,25 @@ func MSMWithOptions(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve
 	if len(points) == 0 {
 		return out
 	}
+	switch opt.Kernel {
+	case KernelPippenger:
+		return msmPippenger(points, scalars, opt)
+	case KernelSigned:
+		return msmFast(points, scalars, opt, false, false)
+	case KernelSignedGLV:
+		return msmFast(points, scalars, opt, true, false)
+	case KernelBatchAffine:
+		return msmFast(points, scalars, opt, false, true)
+	default: // KernelAuto, KernelFast
+		return msmFast(points, scalars, opt, true, true)
+	}
+}
+
+// msmPippenger is the retained pre-optimization reference path: unsigned
+// window digits, one Jacobian bucket set of 2^c-1 per window, parallel
+// across windows only.
+func msmPippenger(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve.G1Jac {
+	var out curve.G1Jac
 	c := opt.Window
 	if c <= 0 {
 		c = DefaultWindow(len(points))
@@ -119,7 +223,7 @@ func MSMWithOptions(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve
 
 	if opt.Parallel && numWindows > 1 {
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		sem := make(chan struct{}, opt.procs())
 		for w := 0; w < numWindows; w++ {
 			wg.Add(1)
 			sem <- struct{}{}
@@ -136,16 +240,21 @@ func MSMWithOptions(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve
 		}
 	}
 
-	// Horner combine: out = Σ windowSums[w]·2^{cw}.
+	return hornerCombine(windowSums, c, &out)
+}
+
+// hornerCombine folds per-window sums: out = Σ windowSums[w]·2^{cw}.
+func hornerCombine(windowSums []curve.G1Jac, c int, out *curve.G1Jac) curve.G1Jac {
+	numWindows := len(windowSums)
 	for w := numWindows - 1; w >= 0; w-- {
 		if w != numWindows-1 {
 			for k := 0; k < c; k++ {
-				out.Double(&out)
+				out.Double(out)
 			}
 		}
-		out.Add(&out, &windowSums[w])
+		out.Add(out, &windowSums[w])
 	}
-	return out
+	return *out
 }
 
 // aggregateBuckets computes Σ (i+1)·buckets[i] (buckets[0] holds digit 1).
@@ -248,7 +357,8 @@ func ClassifyScalars(scalars []ff.Fr) SparseStats {
 // SparseMSM computes Σ scalars[i]·points[i] exploiting sparsity as zkSpeed
 // does for witness commitments: zeros are skipped, the points with scalar 1
 // are summed with a pairwise reduction tree, and the dense remainder goes
-// through Pippenger.
+// through the bucket MSM selected by opt (the fast path by default — the
+// dense-remainder Pippenger of §4.2 inherits every kernel upgrade).
 func SparseMSM(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve.G1Jac {
 	if len(points) != len(scalars) {
 		panic("msm: mismatched sparse MSM input")

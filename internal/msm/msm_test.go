@@ -225,3 +225,168 @@ func BenchmarkSparseMSM1024(b *testing.B) {
 		SparseMSM(pts, scalars, Options{Window: 8, Parallel: true})
 	}
 }
+
+// allKernels enumerates every bucket-accumulation algorithm.
+var allKernels = []Kernel{KernelPippenger, KernelSigned, KernelSignedGLV, KernelBatchAffine, KernelFast}
+
+// TestSignedDigitsRoundTrip: the carry-corrected recoder reconstructs the
+// value for adversarial bit patterns across window widths.
+func TestSignedDigitsRoundTrip(t *testing.T) {
+	max := new(big.Int)
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		max.Sub(new(big.Int).Lsh(big.NewInt(1), 255), big.NewInt(1)), // all ones
+		new(big.Int).Lsh(big.NewInt(1), 254),
+		new(big.Int).Sub(ff.FrModulusBig(), big.NewInt(1)),
+	}
+	rng := rand.New(rand.NewSource(58))
+	for i := 0; i < 50; i++ {
+		cases = append(cases, new(big.Int).Rand(rng, ff.FrModulusBig()))
+	}
+	for _, v := range cases {
+		var buf [32]byte
+		v.FillBytes(buf[:])
+		var words [4]uint64
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 8; j++ {
+				words[i] |= uint64(buf[31-(i*8+j)]) << (8 * j)
+			}
+		}
+		for _, c := range []int{2, 3, 5, 8, 13, 15} {
+			for _, neg := range []bool{false, true} {
+				nw := signedWindows(255, c)
+				digits := make([]int16, nw)
+				signedDigits(words[:], c, nw, neg, digits)
+				got := new(big.Int)
+				for i := nw - 1; i >= 0; i-- {
+					got.Lsh(got, uint(c))
+					got.Add(got, big.NewInt(int64(digits[i])))
+				}
+				want := new(big.Int).Set(v)
+				if neg {
+					want.Neg(want)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("c=%d neg=%v v=%s: recoded to %s", c, neg, v, got)
+				}
+				// Raw digits lie in [-2^(c-1), 2^(c-1)); the neg flip can
+				// map the bottom end to +2^(c-1). Buckets only need
+				// |d| ≤ 2^(c-1) (index |d|-1 into 2^(c-1) buckets).
+				half := int64(1) << (c - 1)
+				for _, d := range digits {
+					if int64(d) < -half || int64(d) > half {
+						t.Fatalf("c=%d: digit %d out of range", c, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMSMCrossValidation is the property test over the full configuration
+// space: every kernel × window width × aggregation schedule × parallel
+// mode against the naive scalar-mul oracle, on inputs seeded with the
+// edge cases every regime must survive — zeros, ones, -1 (max scalar),
+// λ and -λ (degenerate GLV splits), tiny and full-width scalars, points
+// at infinity, and repeated points (forcing bucket doublings).
+func TestMSMCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	sizes := []int{1, 2, 3, 30}
+	if !testing.Short() {
+		sizes = append(sizes, 130)
+	}
+	for _, n := range sizes {
+		pts := randPoints(rng, n)
+		scalars := make([]ff.Fr, n)
+		for i := range scalars {
+			scalars[i] = randFr(rng)
+		}
+		// Edge-case injections, cycling through the hostile values.
+		rMinus1 := new(big.Int).Sub(ff.FrModulusBig(), big.NewInt(1))
+		lambda := ff.GLVLambda()
+		negLambda := new(big.Int).Sub(ff.FrModulusBig(), lambda)
+		for i := 0; i < n; i++ {
+			switch i % 9 {
+			case 1:
+				scalars[i].SetZero()
+			case 2:
+				scalars[i].SetOne()
+			case 3:
+				scalars[i].SetBigInt(rMinus1)
+			case 4:
+				scalars[i].SetBigInt(lambda)
+			case 5:
+				scalars[i].SetBigInt(negLambda)
+			case 6:
+				scalars[i].SetUint64(uint64(i) + 2)
+			case 7:
+				if i > 0 {
+					pts[i] = pts[i-1] // repeated point → bucket doubling
+				}
+			case 8:
+				pts[i] = curve.G1Infinity()
+			}
+		}
+		want := Naive(pts, scalars)
+		for _, kernel := range allKernels {
+			for _, w := range []int{0, 2, 5, 9} {
+				for _, agg := range []Aggregation{AggregateSerial, AggregateGrouped} {
+					for _, par := range []bool{false, true} {
+						if testing.Short() && (w == 2 || (par && agg == AggregateSerial)) {
+							continue
+						}
+						got := MSMWithOptions(pts, scalars, Options{
+							Window: w, Aggregation: agg, Parallel: par, Kernel: kernel,
+						})
+						if !got.Equal(&want) {
+							t.Fatalf("n=%d kernel=%v w=%d agg=%d par=%v: MSM mismatch",
+								n, kernel, w, agg, par)
+						}
+					}
+				}
+			}
+		}
+		// Sparse path across kernels (dense remainder inherits the kernel).
+		for _, kernel := range allKernels {
+			got := SparseMSM(pts, scalars, Options{Kernel: kernel, Parallel: true})
+			if !got.Equal(&want) {
+				t.Fatalf("n=%d kernel=%v: sparse MSM mismatch", n, kernel)
+			}
+		}
+	}
+}
+
+// TestMSMProcsBound: explicit Procs values give identical results (the
+// chunked schedule must be deterministic under any goroutine budget).
+func TestMSMProcsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	n := 64
+	pts := randPoints(rng, n)
+	scalars := make([]ff.Fr, n)
+	for i := range scalars {
+		scalars[i] = randFr(rng)
+	}
+	want := Naive(pts, scalars)
+	for _, procs := range []int{1, 2, 3, 16} {
+		got := MSMWithOptions(pts, scalars, Options{Parallel: true, Procs: procs})
+		if !got.Equal(&want) {
+			t.Fatalf("procs=%d: MSM mismatch", procs)
+		}
+	}
+}
+
+// TestDefaultWindowFast: monotone in size and within the clamp range.
+func TestDefaultWindowFast(t *testing.T) {
+	prev := 0
+	for _, n := range []int{1, 100, 1000, 1 << 13, 1 << 16, 1 << 19, 1 << 22} {
+		w := DefaultWindowFast(n)
+		if w < 2 || w > 15 {
+			t.Fatalf("window %d out of range at n=%d", w, n)
+		}
+		if w < prev {
+			t.Fatalf("window shrank with size at n=%d", n)
+		}
+		prev = w
+	}
+}

@@ -139,12 +139,25 @@ func batchScalarMulG1(base *curve.G1Jac, scalars []ff.Fr) []curve.G1Affine {
 // MaxVars returns the largest MLE size this SRS supports.
 func (s *SRS) MaxVars() int { return s.Mu }
 
+// defaultMSMOptions is the MSM configuration commitments use when the
+// caller does not thread one through: the fast kernel, grouped
+// aggregation, parallel across all CPUs.
+func defaultMSMOptions() msm.Options {
+	return msm.Options{Parallel: true, Aggregation: msm.AggregateGrouped}
+}
+
 // Commit commits to an MLE of exactly Mu variables (dense MSM).
 func (s *SRS) Commit(m *poly.MLE) (Commitment, error) {
+	return s.CommitWith(m, defaultMSMOptions())
+}
+
+// CommitWith is Commit with an explicit MSM configuration — the hook the
+// engine uses to bound kernel parallelism (zkspeed.WithParallelism).
+func (s *SRS) CommitWith(m *poly.MLE, opt msm.Options) (Commitment, error) {
 	if m.NumVars != s.Mu {
 		return Commitment{}, fmt.Errorf("pcs: MLE has %d vars, SRS supports %d", m.NumVars, s.Mu)
 	}
-	sum := msm.MSM(s.Lag[0], m.Evals)
+	sum := msm.MSMWithOptions(s.Lag[0], m.Evals, opt)
 	var c Commitment
 	c.P.FromJacobian(&sum)
 	return c, nil
@@ -152,10 +165,16 @@ func (s *SRS) Commit(m *poly.MLE) (Commitment, error) {
 
 // CommitSparse commits using the Sparse MSM path (witness commitments).
 func (s *SRS) CommitSparse(m *poly.MLE) (Commitment, error) {
+	return s.CommitSparseWith(m, defaultMSMOptions())
+}
+
+// CommitSparseWith is CommitSparse with an explicit MSM configuration for
+// the dense-remainder path.
+func (s *SRS) CommitSparseWith(m *poly.MLE, opt msm.Options) (Commitment, error) {
 	if m.NumVars != s.Mu {
 		return Commitment{}, fmt.Errorf("pcs: MLE has %d vars, SRS supports %d", m.NumVars, s.Mu)
 	}
-	sum := msm.SparseMSM(s.Lag[0], m.Evals, msm.Options{Parallel: true})
+	sum := msm.SparseMSM(s.Lag[0], m.Evals, opt)
 	var c Commitment
 	c.P.FromJacobian(&sum)
 	return c, nil
@@ -164,6 +183,12 @@ func (s *SRS) CommitSparse(m *poly.MLE) (Commitment, error) {
 // Open produces an opening proof and the evaluation of m at point.
 // m is not modified.
 func (s *SRS) Open(m *poly.MLE, point []ff.Fr) (OpeningProof, ff.Fr, error) {
+	return s.OpenWith(m, point, defaultMSMOptions())
+}
+
+// OpenWith is Open with an explicit MSM configuration for the halving
+// quotient-commitment chain.
+func (s *SRS) OpenWith(m *poly.MLE, point []ff.Fr, opt msm.Options) (OpeningProof, ff.Fr, error) {
 	if m.NumVars != s.Mu || len(point) != s.Mu {
 		return OpeningProof{}, ff.Fr{}, errors.New("pcs: open dimension mismatch")
 	}
@@ -176,7 +201,7 @@ func (s *SRS) Open(m *poly.MLE, point []ff.Fr) (OpeningProof, ff.Fr, error) {
 		for i := 0; i < half; i++ {
 			q[i].Sub(&work.Evals[2*i+1], &work.Evals[2*i])
 		}
-		sum := msm.MSM(s.Lag[k+1], q)
+		sum := msm.MSMWithOptions(s.Lag[k+1], q, opt)
 		proof.Quotients[k].FromJacobian(&sum)
 		work.FixVariable(&point[k])
 	}

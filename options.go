@@ -45,8 +45,13 @@ func WithoutSRSCache() Option {
 	return func(c *engineConfig) { c.cache = false }
 }
 
-// WithParallelism bounds the ProveBatch worker pool to n concurrent
-// proofs. Values below 1 fall back to the default (one worker per CPU).
+// WithParallelism bounds each level of the Engine's parallelism to n:
+// the ProveBatch worker pool runs at most n concurrent proofs, and every
+// MSM kernel inside a proof (witness commits, φ/π commits, the opening
+// chain) caps its window/chunk parallelism at n goroutines. The caps
+// compose — a batch of proofs can occupy up to n×n goroutines; callers
+// sharing a box with other work should size n for that product. Values
+// below 1 fall back to the default (one worker per CPU).
 func WithParallelism(n int) Option {
 	return func(c *engineConfig) {
 		if n >= 1 {
