@@ -93,15 +93,13 @@ func main() {
 		}
 		benchmarks = kept
 	}
+	if *list {
+		listAll(filter, cfg.Seed)
+		return
+	}
 	if len(benchmarks) == 0 {
 		log.Print("no benchmarks selected")
 		os.Exit(2)
-	}
-	if *list {
-		for _, bm := range benchmarks {
-			fmt.Println(bm.Name)
-		}
-		return
 	}
 
 	report := zkspeed.NewBenchReport(resolveSHA(*sha), zkspeed.BenchRunConfig{
@@ -197,6 +195,55 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// listAll prints every registered benchmark name across both suite
+// shapes, tagged with the suites that contain it — so gate expressions
+// (-assert-faster, -compare scopes) can be authored without reading
+// suite.go. An optional -run regexp narrows the listing.
+func listAll(filter *regexp.Regexp, seed int64) {
+	type entry struct {
+		name  string
+		quick bool
+		full  bool
+	}
+	var order []string
+	index := map[string]*entry{}
+	collect := func(quick bool) {
+		cfg := zkspeed.DefaultBenchConfig(quick)
+		cfg.Seed = seed
+		for _, bm := range zkspeed.SuiteBenchmarks(cfg) {
+			e, ok := index[bm.Name]
+			if !ok {
+				e = &entry{name: bm.Name}
+				index[bm.Name] = e
+				order = append(order, bm.Name)
+			}
+			if quick {
+				e.quick = true
+			} else {
+				e.full = true
+			}
+		}
+	}
+	collect(true)
+	collect(false)
+	for _, name := range order {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		e := index[name]
+		tags := ""
+		switch {
+		case e.quick && e.full:
+			tags = "[quick full]"
+		case e.quick:
+			tags = "[quick]"
+		default:
+			tags = "[full]"
+		}
+		fmt.Printf("%-44s %s\n", name, tags)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"zkspeed/internal/hyperplonk"
 	"zkspeed/internal/pcs"
+	"zkspeed/internal/poly"
 	"zkspeed/internal/sim"
 )
 
@@ -27,6 +28,11 @@ import (
 // cancelled.
 type Engine struct {
 	cfg engineConfig
+	// arena is the Engine's scratch pool for the SumCheck/MLE kernels:
+	// per-proof fold buffers and worker scratch stay warm across proofs
+	// instead of hitting the allocator (poly.Scratch is concurrency-safe,
+	// so batch workers share it).
+	arena *poly.Scratch
 
 	mu      sync.Mutex
 	seed    []byte                 // master ceremony seed, read lazily from cfg.entropy
@@ -82,6 +88,7 @@ type EngineStats struct {
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		cfg:     defaultEngineConfig(),
+		arena:   poly.NewScratch(),
 		srs:     make(map[int]*srsEntry),
 		keys:    make(map[[32]byte]*keyEntry),
 		digests: make(map[*Circuit][32]byte),
@@ -353,7 +360,7 @@ func (e *Engine) Prove(ctx context.Context, circuit *Circuit, assignment *Assign
 	}
 	start := time.Now()
 	proof, tm, err := hyperplonk.ProveWithContext(ctx, k.pk, assignment,
-		&hyperplonk.ProveOptions{CollectTimings: e.cfg.timings, Parallelism: e.cfg.parallelism})
+		&hyperplonk.ProveOptions{CollectTimings: e.cfg.timings, Parallelism: e.cfg.parallelism, Scratch: e.arena})
 	if err != nil {
 		return nil, err
 	}
@@ -496,7 +503,8 @@ func (e *Engine) VerifyWithKey(ctx context.Context, vk *VerifyingKey, pub []Scal
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := hyperplonk.VerifyWithContext(ctx, vk, pub, proof, nil); err != nil {
+	if err := hyperplonk.VerifyWithContext(ctx, vk, pub, proof,
+		&hyperplonk.VerifyOptions{Parallelism: e.cfg.parallelism}); err != nil {
 		return err
 	}
 	e.mu.Lock()

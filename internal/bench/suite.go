@@ -24,12 +24,22 @@ type SuiteConfig struct {
 	// Windows are the Pippenger window widths to sweep (Table 2's MSM
 	// design knob); each runs under both aggregation schedules (Fig. 5).
 	Windows []int
-	// SumcheckMu is the hypercube size of the sumcheck round-loop bench.
+	// SumcheckMu is the hypercube size of the legacy sumcheck
+	// round-loop bench (pinned to the baseline kernel for trajectory
+	// comparability).
 	SumcheckMu int
+	// SumcheckMus are the hypercube sizes of the serial-vs-parallel
+	// sumcheck records (sumcheck/round/muN/{serial,parallel}) — the
+	// within-run pair the CI gate's -assert-faster expression holds
+	// over.
+	SumcheckMus []int
 	// PCSMu is the MLE size of the PCS commit/open benches.
 	PCSMu int
 	// FoldMu is the table size of the MLE fold (Eq. 2 update) bench.
 	FoldMu int
+	// MLEMu is the table size of the serial-vs-parallel MTU kernel
+	// records (mle/{update,eval,build,product,frac}/muN/*).
+	MLEMu int
 	// E2EMus are the problem sizes for end-to-end Engine.Prove runs.
 	E2EMus []int
 	// ServiceMus are the problem sizes for proving through the zkproverd
@@ -48,30 +58,34 @@ type SuiteConfig struct {
 func DefaultConfig(quick bool) SuiteConfig {
 	if quick {
 		return SuiteConfig{
-			Quick:      true,
-			MSMLogN:    10,
-			Windows:    []int{4, 8},
-			SumcheckMu: 10,
-			PCSMu:      10,
-			FoldMu:     14,
-			E2EMus:     []int{8, 10},
-			ServiceMus: []int{8},
-			Warmup:     1,
-			Reps:       5,
-			Seed:       1,
+			Quick:       true,
+			MSMLogN:     10,
+			Windows:     []int{4, 8},
+			SumcheckMu:  10,
+			SumcheckMus: []int{10, 12},
+			PCSMu:       10,
+			FoldMu:      14,
+			MLEMu:       14,
+			E2EMus:      []int{8, 10},
+			ServiceMus:  []int{8},
+			Warmup:      1,
+			Reps:        5,
+			Seed:        1,
 		}
 	}
 	return SuiteConfig{
-		MSMLogN:    12,
-		Windows:    []int{4, 7, 10},
-		SumcheckMu: 14,
-		PCSMu:      12,
-		FoldMu:     18,
-		E2EMus:     []int{12, 14, 16},
-		ServiceMus: []int{10, 12},
-		Warmup:     2,
-		Reps:       5,
-		Seed:       1,
+		MSMLogN:     12,
+		Windows:     []int{4, 7, 10},
+		SumcheckMu:  14,
+		SumcheckMus: []int{12, 14},
+		PCSMu:       12,
+		FoldMu:      18,
+		MLEMu:       16,
+		E2EMus:      []int{12, 14, 16},
+		ServiceMus:  []int{10, 12},
+		Warmup:      2,
+		Reps:        5,
+		Seed:        1,
 	}
 }
 
@@ -247,8 +261,11 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 
 	// Sumcheck round loop: a ZeroCheck-shaped virtual polynomial
 	// (eq · w1 · w2 · w3 plus lower-degree terms, degree 4 like the gate
-	// identity). Prove consumes its tables, so Before rebuilds the
-	// instance from cloned MLEs each iteration.
+	// identity). The legacy record stays pinned to KernelBaseline — the
+	// retained pre-refactor prover — so its trajectory remains
+	// comparable across the MTU fast-path work, exactly like the
+	// msm/pippenger records. The baseline kernel consumes its tables,
+	// so Before rebuilds the instance from cloned MLEs each iteration.
 	{
 		mu := cfg.SumcheckMu
 		var base []*poly.MLE
@@ -257,7 +274,7 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 		out = append(out, Benchmark{
 			Name:   fmt.Sprintf("sumcheck/rounds/mu%d", mu),
 			Kind:   KindKernel,
-			Params: map[string]string{"mu": strconv.Itoa(mu), "terms": "3", "degree": "4"},
+			Params: map[string]string{"mu": strconv.Itoa(mu), "terms": "3", "degree": "4", "kernel": "baseline"},
 			Setup: func() error {
 				point := challengeFrs(cfg.Seed, "sumcheck.point", mu)
 				base = []*poly.MLE{poly.EqTable(point)}
@@ -282,10 +299,202 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 			},
 			Iterate: func() error {
 				tr := transcript.New("zkspeed.bench.sumcheck")
-				_ = sumcheck.Prove(vp, tr)
+				_ = sumcheck.ProveWith(vp, tr, &sumcheck.Options{Kernel: sumcheck.KernelBaseline})
 				return nil
 			},
 		})
+	}
+
+	// Serial-vs-parallel sumcheck records: the same ZeroCheck shape at
+	// each configured size, proved by (serial) the pre-refactor kernel
+	// on one worker — clones consumed per iteration, eq table
+	// materialized, exactly the pre-refactor cost — and by (parallel)
+	// the fused kernel with its worker pool, analytic eq factor and
+	// arena scratch. The CI bench gate asserts parallel beats serial by
+	// ≥1.3× within the same run; transcripts are bit-identical, which
+	// TestProofDigestsAcrossKernels enforces at the prover level.
+	for _, mu := range cfg.SumcheckMus {
+		mu := mu
+		var ws []*poly.MLE
+		var eqTab *poly.MLE
+		var point, coeffs []ff.Fr
+		var vp *sumcheck.VirtualPoly
+		scSetup := func() error {
+			if point != nil {
+				return nil
+			}
+			point = challengeFrs(cfg.Seed, fmt.Sprintf("sumcheck.round.point.mu%d", mu), mu)
+			eqTab = poly.EqTable(point)
+			ws = nil
+			for k := 0; k < 3; k++ {
+				evals := challengeFrs(cfg.Seed, fmt.Sprintf("sumcheck.round.w%d.mu%d", k, mu), 1<<mu)
+				ws = append(ws, poly.NewMLE(evals))
+			}
+			coeffs = challengeFrs(cfg.Seed, fmt.Sprintf("sumcheck.round.coeffs.mu%d", mu), 2)
+			return nil
+		}
+		addTerms := func(vp *sumcheck.VirtualPoly) {
+			var one ff.Fr
+			one.SetOne()
+			vp.AddTerm(one, 0, 1, 2, 3)
+			vp.AddTerm(coeffs[0], 0, 1, 2)
+			vp.AddTerm(coeffs[1], 0, 3)
+		}
+		params := map[string]string{"mu": strconv.Itoa(mu), "terms": "3", "degree": "4"}
+		out = append(out,
+			Benchmark{
+				Name:   fmt.Sprintf("sumcheck/round/mu%d/serial", mu),
+				Kind:   KindKernel,
+				Params: params,
+				Setup:  scSetup,
+				Before: func() error {
+					vp = sumcheck.NewVirtualPoly(mu)
+					vp.AddMLE(eqTab.Clone())
+					for _, m := range ws {
+						vp.AddMLE(m.Clone())
+					}
+					addTerms(vp)
+					return nil
+				},
+				Iterate: func() error {
+					tr := transcript.New("zkspeed.bench.sumcheck")
+					_ = sumcheck.ProveWith(vp, tr, &sumcheck.Options{Kernel: sumcheck.KernelBaseline, Procs: 1})
+					return nil
+				},
+			},
+			Benchmark{
+				Name:   fmt.Sprintf("sumcheck/round/mu%d/parallel", mu),
+				Kind:   KindKernel,
+				Params: params,
+				Setup:  scSetup,
+				Before: func() error {
+					vp = sumcheck.NewVirtualPoly(mu)
+					vp.AddEqMLE(point)
+					for _, m := range ws {
+						vp.AddMLE(m) // the fused kernel preserves tables
+					}
+					addTerms(vp)
+					return nil
+				},
+				Iterate: func() error {
+					tr := transcript.New("zkspeed.bench.sumcheck")
+					_ = sumcheck.ProveWith(vp, tr, &sumcheck.Options{Kernel: sumcheck.KernelFused})
+					return nil
+				},
+			},
+		)
+	}
+
+	// Serial-vs-parallel MTU kernel records: each kernel of the
+	// Multifunction Tree Unit (§4.3-4.5) measured through its retained
+	// serial entry point and its chunked/arena-backed *With variant.
+	if cfg.MLEMu > 0 {
+		mu := cfg.MLEMu
+		var tab, num, den *poly.MLE
+		var point []ff.Fr
+		var work *poly.MLE
+		mleSetup := func() error {
+			if tab != nil {
+				return nil
+			}
+			tab = poly.NewMLE(challengeFrs(cfg.Seed, "mlek.table", 1<<mu))
+			num = poly.NewMLE(challengeFrs(cfg.Seed, "mlek.num", 1<<mu))
+			den = poly.NewMLE(challengeFrs(cfg.Seed, "mlek.den", 1<<mu))
+			point = challengeFrs(cfg.Seed, "mlek.point", mu)
+			return nil
+		}
+		params := map[string]string{"mu": strconv.Itoa(mu)}
+		popt := poly.Options{}
+		cloneBefore := func() error {
+			work = tab.Clone()
+			return nil
+		}
+		out = append(out,
+			Benchmark{
+				Name: fmt.Sprintf("mle/update/mu%d/serial", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup, Before: cloneBefore,
+				Iterate: func() error {
+					for k := range point {
+						work.FixVariable(&point[k])
+					}
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/update/mu%d/parallel", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup, Before: cloneBefore,
+				Iterate: func() error {
+					for k := range point {
+						work.FixVariableWith(&point[k], popt)
+					}
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/eval/mu%d/serial", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = tab.Evaluate(point)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/eval/mu%d/parallel", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = tab.EvaluateWith(point, popt)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/build/mu%d/serial", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = poly.EqTable(point)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/build/mu%d/parallel", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = poly.EqTableWith(point, popt)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/product/mu%d/serial", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = poly.ProductMLE(den)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/product/mu%d/parallel", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = poly.ProductMLEWith(den, popt)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/frac/mu%d/serial", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = poly.FractionMLE(num, den)
+					return nil
+				},
+			},
+			Benchmark{
+				Name: fmt.Sprintf("mle/frac/mu%d/parallel", mu), Kind: KindKernel, Params: params,
+				Setup: mleSetup,
+				Iterate: func() error {
+					_ = poly.FractionMLEWith(num, den, popt)
+					return nil
+				},
+			},
+		)
 	}
 
 	// PCS commit and open at PCSMu (neither mutates its MLE, so no Before).

@@ -162,6 +162,30 @@ func (z *Fr) SetBytes(b []byte) *Fr {
 	return z.SetBigInt(new(big.Int).SetBytes(b))
 }
 
+// Set256BE sets z to the 256-bit big-endian value in b, reduced mod q,
+// without touching math/big — the allocation-free reduction the
+// Fiat–Shamir transcript squeezes every challenge through. Identical
+// output to SetBytes(b[:]): 2^256/q < 3, so at most two conditional
+// subtractions fully reduce before the Montgomery conversion.
+func (z *Fr) Set256BE(b *[32]byte) *Fr {
+	for i := 0; i < 4; i++ {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(b[31-(i*8+j)]) << (8 * j)
+		}
+		z[i] = w
+	}
+	for !z.smallerThanQ() {
+		var bo uint64
+		z[0], bo = bits.Sub64(z[0], frQ[0], 0)
+		z[1], bo = bits.Sub64(z[1], frQ[1], bo)
+		z[2], bo = bits.Sub64(z[2], frQ[2], bo)
+		z[3], _ = bits.Sub64(z[3], frQ[3], bo)
+	}
+	z.toMont()
+	return z
+}
+
 // Equal reports whether z == x.
 func (z *Fr) Equal(x *Fr) bool { return *z == *x }
 

@@ -270,3 +270,50 @@ func BenchmarkFrInverse(b *testing.B) {
 		x.Inverse(&x)
 	}
 }
+
+// TestFrSet256BEMatchesSetBytes: the transcript's allocation-free
+// 256-bit reduction must agree with the big.Int route on random and
+// boundary inputs (0, q-1, q, q+1, 2q, 2^256-1 — everything the two
+// conditional subtractions must handle).
+func TestFrSet256BEMatchesSetBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	check := func(v *big.Int) {
+		var b [32]byte
+		v.FillBytes(b[:])
+		var got, want Fr
+		got.Set256BE(&b)
+		want.SetBytes(b[:])
+		if !got.Equal(&want) {
+			t.Fatalf("Set256BE mismatch for %v", v)
+		}
+	}
+	one := big.NewInt(1)
+	max := new(big.Int).Sub(new(big.Int).Lsh(one, 256), one)
+	edges := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(frModulus, one),
+		new(big.Int).Set(frModulus),
+		new(big.Int).Add(frModulus, one),
+		new(big.Int).Lsh(frModulus, 1),
+		max,
+	}
+	for _, v := range edges {
+		check(v)
+	}
+	for i := 0; i < 200; i++ {
+		check(new(big.Int).Rand(rng, new(big.Int).Lsh(one, 256)))
+	}
+}
+
+// TestFrSet256BEAllocFree pins the reason Set256BE exists.
+func TestFrSet256BEAllocFree(t *testing.T) {
+	var b [32]byte
+	for i := range b {
+		b[i] = byte(0xA7 ^ i)
+	}
+	var out Fr
+	if avg := testing.AllocsPerRun(100, func() { out.Set256BE(&b) }); avg != 0 {
+		t.Fatalf("Set256BE allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -45,16 +45,46 @@ type ProveOptions struct {
 	// CollectTimings enables the per-step wall-clock breakdown; when
 	// false, ProveWithContext returns nil timings.
 	CollectTimings bool
-	// Parallelism bounds the goroutines each MSM kernel may use
-	// (0 = one per CPU) — the engine's WithParallelism reaching the
-	// bucket loops.
+	// Parallelism bounds the goroutines every kernel of the proof may
+	// use — the MSM bucket loops and, since the MTU refactor, the
+	// SumCheck/MLE pipeline (sumcheck sweeps, eq-table builds, MLE
+	// folds/evaluations, fraction and product trees). 0 = one per CPU.
+	// This is the knob the engine's WithParallelism threads down.
 	Parallelism int
+	// Scratch is the arena the SumCheck/MLE kernels draw per-proof
+	// buffers from; nil uses the poly package's shared arena. The
+	// engine passes a per-Engine arena so buffers stay warm across
+	// proofs.
+	Scratch *poly.Scratch
+	// SumcheckKernel pins the sumcheck prover implementation; the zero
+	// value is the fused fast path. KernelBaseline reproduces the
+	// pre-refactor prover (benchmark reference and digest-compare
+	// tests); proofs are byte-identical either way.
+	SumcheckKernel sumcheck.Kernel
 }
 
 // msmOptions resolves the MSM configuration every commitment and opening
 // of this proof runs under.
 func (o *ProveOptions) msmOptions() msm.Options {
 	return msm.Options{Parallel: true, Procs: o.Parallelism, Aggregation: msm.AggregateGrouped}
+}
+
+// polyOptions resolves the MTU kernel configuration (eq-table builds,
+// fraction/product trees, MLE folds and evaluations).
+func (o *ProveOptions) polyOptions() poly.Options {
+	return poly.Options{Procs: o.Parallelism, Scratch: o.Scratch}
+}
+
+// sumcheckOptions resolves the sumcheck prover configuration.
+func (o *ProveOptions) sumcheckOptions() *sumcheck.Options {
+	return &sumcheck.Options{Kernel: o.SumcheckKernel, Procs: o.Parallelism, Scratch: o.Scratch}
+}
+
+// cloneTables reports whether virtual-polynomial inputs must be cloned:
+// the baseline sumcheck kernel folds its tables in place, while the
+// fused kernel preserves them.
+func (o *ProveOptions) cloneTables() bool {
+	return o.SumcheckKernel == sumcheck.KernelBaseline
 }
 
 // Prove generates a HyperPlonk proof for the assignment under pk with
@@ -81,6 +111,8 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	proof := &Proof{}
 	tm := &StepTimings{}
 	mopt := opts.msmOptions()
+	popt := opts.polyOptions()
+	scopt := opts.sumcheckOptions()
 	start := time.Now()
 
 	tr := transcript.New("zkspeed.hyperplonk.v1")
@@ -108,9 +140,11 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	}
 	t0 = time.Now()
 	zcPoint := tr.ChallengeFrs("zerocheck.t", mu)
-	eq1 := poly.EqTable(zcPoint) // Build MLE on the Multifunction Tree Unit
-	vpZero := buildGatePoly(c, a, eq1)
-	zcRes := sumcheck.Prove(vpZero, tr)
+	// The eq factor (Build MLE on the Multifunction Tree Unit) rides
+	// along as an annotation: the fused sumcheck kernel never builds the
+	// table, tracking the r(X) polynomial analytically instead.
+	vpZero := buildGatePoly(c, a, zcPoint, opts.cloneTables())
+	zcRes := sumcheck.ProveWith(vpZero, tr, scopt)
 	proof.ZeroCheck = zcRes.Proof
 	rGate := zcRes.Challenges
 	tm.GateIdentity = time.Since(t0)
@@ -122,9 +156,9 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	t0 = time.Now()
 	beta := tr.ChallengeFr("permcheck.beta")
 	gamma := tr.ChallengeFr("permcheck.gamma")
-	nd := constructNAndD(c, a, &beta, &gamma)
-	phi := poly.FractionMLE(nd.N, nd.D) // FracMLE unit (batched inversion)
-	pi := poly.ProductMLE(phi)          // Multifunction Tree Unit
+	nd := constructNAndD(c, a, &beta, &gamma, popt)
+	phi := poly.FractionMLEWith(nd.N, nd.D, popt) // FracMLE unit (batched inversion)
+	pi := poly.ProductMLEWith(phi, popt)          // Multifunction Tree Unit
 	if proof.PhiComm, err = pk.SRS.CommitWith(phi, mopt); err != nil {
 		return nil, nil, err
 	}
@@ -135,10 +169,9 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	tr.AppendG1("pi", &proof.PiComm.P)
 	alpha := tr.ChallengeFr("permcheck.alpha")
 	pcPoint := tr.ChallengeFrs("permcheck.t", mu)
-	eq2 := poly.EqTable(pcPoint)
 	p1, p2 := poly.ProductSides(phi, pi)
-	vpPerm := buildPermPoly(phi, pi, p1, p2, nd, eq2, &alpha)
-	pcRes := sumcheck.Prove(vpPerm, tr)
+	vpPerm := buildPermPoly(phi, pi, p1, p2, nd, pcPoint, &alpha, opts.cloneTables())
+	pcRes := sumcheck.ProveWith(vpPerm, tr, scopt)
 	proof.PermCheck = pcRes.Proof
 	rPerm := pcRes.Challenges
 	tm.WireIdentity = time.Since(t0)
@@ -153,7 +186,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	points := openingPoints(mu, rGate, rPerm, rPI)
 	polys := gatherPolys(c, a, phi, pi)
 	for k, e := range evalSchedule {
-		proof.Evals[k] = polys[e.poly].Evaluate(points[e.point]) // MLE Evaluate (MTU)
+		proof.Evals[k] = polys[e.poly].EvaluateWith(points[e.point], popt) // MLE Evaluate (MTU)
 	}
 	tr.AppendFrs("batch.evals", proof.Evals[:])
 	tm.BatchEvals = time.Since(t0)
@@ -182,19 +215,26 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 			t.Mul(&weights[k], &proof.Evals[k])
 			vs[j].Add(&vs[j], &t)
 		}
-		ys[j] = poly.LinearCombine(members, coeffs)
+		ys[j] = poly.LinearCombineWith(members, coeffs, popt)
 	}
-	// OpenCheck: sumcheck over f_open = Σ_j y_j·k_j (Eq. 5).
+	// OpenCheck: sumcheck over f_open = Σ_j y_j·k_j (Eq. 5). The k_j
+	// eq tables are materialized (one per opening point, so none is
+	// shared by every term); the y_j combined MLEs are reused for g'
+	// below, which the fused kernel permits without cloning.
 	vpOpen := sumcheck.NewVirtualPoly(mu)
 	one := ff.NewFr(1)
 	ksEval := make([][]ff.Fr, numPoints)
 	for j := 0; j < numPoints; j++ {
-		iy := vpOpen.AddMLE(ys[j].Clone())
-		ik := vpOpen.AddMLE(poly.EqTable(points[j])) // Build MLE (MTU)
+		yj := ys[j]
+		if opts.cloneTables() {
+			yj = yj.Clone()
+		}
+		iy := vpOpen.AddMLE(yj)
+		ik := vpOpen.AddMLE(poly.EqTableWith(points[j], popt)) // Build MLE (MTU)
 		vpOpen.AddTerm(one, iy, ik)
 		ksEval[j] = points[j]
 	}
-	ocRes := sumcheck.Prove(vpOpen, tr)
+	ocRes := sumcheck.ProveWith(vpOpen, tr, scopt)
 	proof.OpenCheck = ocRes.Proof
 	rOpen := ocRes.Challenges
 
@@ -204,7 +244,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	for j := 0; j < numPoints; j++ {
 		kAtR[j] = poly.EvalEq(ksEval[j], rOpen)
 	}
-	gPrime := poly.LinearCombine(ys, kAtR)
+	gPrime := poly.LinearCombineWith(ys, kAtR, popt)
 	opening, gVal, err := pk.SRS.OpenWith(gPrime, rOpen, mopt)
 	if err != nil {
 		return nil, nil, err
@@ -230,18 +270,26 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 }
 
 // buildGatePoly assembles f_zero = (qL w1 + qR w2 + qM w1 w2 - qO w3 + qC)·eq
-// (Eq. 3). MLE tables are cloned because sumcheck folds them in place.
-func buildGatePoly(c *Circuit, a *Assignment, eq *poly.MLE) *sumcheck.VirtualPoly {
+// (Eq. 3). The eq factor is an annotation (the fused kernel tracks it
+// analytically; the baseline kernel materializes the table). Tables are
+// cloned only for the baseline kernel, which folds them in place.
+func buildGatePoly(c *Circuit, a *Assignment, zcPoint []ff.Fr, clone bool) *sumcheck.VirtualPoly {
 	vp := sumcheck.NewVirtualPoly(c.Mu)
-	iQL := vp.AddMLE(c.QL.Clone())
-	iQR := vp.AddMLE(c.QR.Clone())
-	iQM := vp.AddMLE(c.QM.Clone())
-	iQO := vp.AddMLE(c.QO.Clone())
-	iQC := vp.AddMLE(c.QC.Clone())
-	iW1 := vp.AddMLE(a.W1.Clone())
-	iW2 := vp.AddMLE(a.W2.Clone())
-	iW3 := vp.AddMLE(a.W3.Clone())
-	iEq := vp.AddMLE(eq)
+	reg := func(m *poly.MLE) int {
+		if clone {
+			m = m.Clone()
+		}
+		return vp.AddMLE(m)
+	}
+	iQL := reg(c.QL)
+	iQR := reg(c.QR)
+	iQM := reg(c.QM)
+	iQO := reg(c.QO)
+	iQC := reg(c.QC)
+	iW1 := reg(a.W1)
+	iW2 := reg(a.W2)
+	iW3 := reg(a.W3)
+	iEq := vp.AddEqMLE(zcPoint)
 	one := ff.NewFr(1)
 	var neg ff.Fr
 	neg.Neg(&one)
@@ -261,41 +309,46 @@ type nAndD struct {
 
 // constructNAndD builds the numerator/denominator MLEs of the permutation
 // argument: N_j = w_j + β·id_j + γ and D_j = w_j + β·σ_j + γ, then the
-// elementwise products N = N1N2N3, D = D1D2D3.
-func constructNAndD(c *Circuit, a *Assignment, beta, gamma *ff.Fr) *nAndD {
+// elementwise products N = N1N2N3, D = D1D2D3 — the Construct N&D unit,
+// chunked across goroutines per gate range (every output index is
+// independent).
+func constructNAndD(c *Circuit, a *Assignment, beta, gamma *ff.Fr, popt poly.Options) *nAndD {
 	n := c.NumGates()
 	ws := []*poly.MLE{a.W1, a.W2, a.W3}
 	out := &nAndD{}
 	mkN := make([]*poly.MLE, 3)
 	mkD := make([]*poly.MLE, 3)
-	var t ff.Fr
 	for j := 0; j < 3; j++ {
-		ne := make([]ff.Fr, n)
-		de := make([]ff.Fr, n)
-		var id ff.Fr
-		for i := 0; i < n; i++ {
-			// N_j[i] = w + β·(j·n+i) + γ
-			id.SetUint64(uint64(j*n + i))
-			t.Mul(beta, &id)
-			ne[i].Add(&ws[j].Evals[i], &t)
-			ne[i].Add(&ne[i], gamma)
-			t.Mul(beta, &c.Sigma[j].Evals[i])
-			de[i].Add(&ws[j].Evals[i], &t)
-			de[i].Add(&de[i], gamma)
-		}
-		mkN[j] = poly.NewMLE(ne)
-		mkD[j] = poly.NewMLE(de)
+		mkN[j] = poly.NewMLE(make([]ff.Fr, n))
+		mkD[j] = poly.NewMLE(make([]ff.Fr, n))
 	}
-	out.N1, out.N2, out.N3 = mkN[0], mkN[1], mkN[2]
-	out.D1, out.D2, out.D3 = mkD[0], mkD[1], mkD[2]
 	nProd := make([]ff.Fr, n)
 	dProd := make([]ff.Fr, n)
-	for i := 0; i < n; i++ {
-		nProd[i].Mul(&mkN[0].Evals[i], &mkN[1].Evals[i])
-		nProd[i].Mul(&nProd[i], &mkN[2].Evals[i])
-		dProd[i].Mul(&mkD[0].Evals[i], &mkD[1].Evals[i])
-		dProd[i].Mul(&dProd[i], &mkD[2].Evals[i])
-	}
+	poly.ParallelRange(n, popt, func(lo, hi int) {
+		var t, id ff.Fr
+		for j := 0; j < 3; j++ {
+			ne, de := mkN[j].Evals, mkD[j].Evals
+			w, sigma := ws[j].Evals, c.Sigma[j].Evals
+			for i := lo; i < hi; i++ {
+				// N_j[i] = w + β·(j·n+i) + γ
+				id.SetUint64(uint64(j*n + i))
+				t.Mul(beta, &id)
+				ne[i].Add(&w[i], &t)
+				ne[i].Add(&ne[i], gamma)
+				t.Mul(beta, &sigma[i])
+				de[i].Add(&w[i], &t)
+				de[i].Add(&de[i], gamma)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			nProd[i].Mul(&mkN[0].Evals[i], &mkN[1].Evals[i])
+			nProd[i].Mul(&nProd[i], &mkN[2].Evals[i])
+			dProd[i].Mul(&mkD[0].Evals[i], &mkD[1].Evals[i])
+			dProd[i].Mul(&dProd[i], &mkD[2].Evals[i])
+		}
+	})
+	out.N1, out.N2, out.N3 = mkN[0], mkN[1], mkN[2]
+	out.D1, out.D2, out.D3 = mkD[0], mkD[1], mkD[2]
 	out.N = poly.NewMLE(nProd)
 	out.D = poly.NewMLE(dProd)
 	return out
@@ -304,19 +357,25 @@ func constructNAndD(c *Circuit, a *Assignment, beta, gamma *ff.Fr) *nAndD {
 // buildPermPoly assembles f_perm (Eq. 4):
 //
 //	f_perm = π·eq - p1·p2·eq + α(φ·D1·D2·D3)·eq - α(N1·N2·N3)·eq
-func buildPermPoly(phi, pi, p1, p2 *poly.MLE, nd *nAndD, eq *poly.MLE, alpha *ff.Fr) *sumcheck.VirtualPoly {
+func buildPermPoly(phi, pi, p1, p2 *poly.MLE, nd *nAndD, pcPoint []ff.Fr, alpha *ff.Fr, clone bool) *sumcheck.VirtualPoly {
 	vp := sumcheck.NewVirtualPoly(phi.NumVars)
-	iPi := vp.AddMLE(pi.Clone())
+	reg := func(m *poly.MLE) int {
+		if clone {
+			m = m.Clone()
+		}
+		return vp.AddMLE(m)
+	}
+	iPi := reg(pi)
 	iP1 := vp.AddMLE(p1) // ProductSides already returns fresh tables
 	iP2 := vp.AddMLE(p2)
-	iPhi := vp.AddMLE(phi.Clone())
-	iD1 := vp.AddMLE(nd.D1.Clone())
-	iD2 := vp.AddMLE(nd.D2.Clone())
-	iD3 := vp.AddMLE(nd.D3.Clone())
-	iN1 := vp.AddMLE(nd.N1.Clone())
-	iN2 := vp.AddMLE(nd.N2.Clone())
-	iN3 := vp.AddMLE(nd.N3.Clone())
-	iEq := vp.AddMLE(eq)
+	iPhi := reg(phi)
+	iD1 := reg(nd.D1)
+	iD2 := reg(nd.D2)
+	iD3 := reg(nd.D3)
+	iN1 := reg(nd.N1)
+	iN2 := reg(nd.N2)
+	iN3 := reg(nd.N3)
+	iEq := vp.AddEqMLE(pcPoint)
 	one := ff.NewFr(1)
 	var negOne, negAlpha ff.Fr
 	negOne.Neg(&one)

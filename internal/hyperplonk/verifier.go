@@ -20,10 +20,21 @@ const (
 	openCheckDegree = 2 // y_j·k_j
 )
 
-// VerifyOptions tunes proof verification. It is currently empty but keeps
-// the signature stable as verification knobs (batching, pairing schedule)
-// arrive.
-type VerifyOptions struct{}
+// VerifyOptions tunes proof verification.
+type VerifyOptions struct {
+	// Parallelism bounds the goroutines the verifier's MLE kernels may
+	// use — the public-input table evaluation today, batched pairing
+	// schedules as they arrive. 0 = one per CPU.
+	Parallelism int
+}
+
+// polyOptions resolves the verifier-side MTU kernel configuration.
+func (o *VerifyOptions) polyOptions() poly.Options {
+	if o == nil {
+		return poly.Options{}
+	}
+	return poly.Options{Procs: o.Parallelism}
+}
 
 // Verify checks a HyperPlonk proof with default options and no
 // cancellation.
@@ -38,7 +49,7 @@ func Verify(vk *VerifyingKey, pub []ff.Fr, proof *Proof) error {
 // checked before the transcript replay and again before the (pairing-
 // heavy) opening check.
 func VerifyWithContext(ctx context.Context, vk *VerifyingKey, pub []ff.Fr, proof *Proof, opts *VerifyOptions) error {
-	_ = opts
+	popt := opts.polyOptions()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -169,7 +180,7 @@ func VerifyWithContext(ctx context.Context, vk *VerifyingKey, pub []ff.Fr, proof
 
 	// (d) Public input consistency: w1 restricted to the PI sub-cube.
 	piMLE := PublicInputMLE(pub, piVars)
-	wantPI := piMLE.Evaluate(rPI)
+	wantPI := piMLE.EvaluateWith(rPI, popt)
 	gotPI := ev(ptPI, polyW1)
 	if !gotPI.Equal(&wantPI) {
 		return errors.New("hyperplonk: public input check failed")

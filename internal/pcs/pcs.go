@@ -92,7 +92,7 @@ func SetupWithTaus(taus []ff.Fr) *SRS {
 	var gJac curve.G1Jac
 	gJac.FromAffine(&srs.G)
 	for k := 0; k < mu; k++ {
-		eq := poly.EqTable(taus[k:])
+		eq := poly.EqTableWith(taus[k:], poly.Options{}) // layer-parallel Build MLE
 		srs.Lag[k] = batchScalarMulG1(&gJac, eq.Evals)
 	}
 	var hJac, ht G2JacAlias
@@ -187,10 +187,15 @@ func (s *SRS) Open(m *poly.MLE, point []ff.Fr) (OpeningProof, ff.Fr, error) {
 }
 
 // OpenWith is Open with an explicit MSM configuration for the halving
-// quotient-commitment chain.
+// quotient-commitment chain. The quotient extraction and the MLE Update
+// fold share the MSM's goroutine budget via the poly kernel layer.
 func (s *SRS) OpenWith(m *poly.MLE, point []ff.Fr, opt msm.Options) (OpeningProof, ff.Fr, error) {
 	if m.NumVars != s.Mu || len(point) != s.Mu {
 		return OpeningProof{}, ff.Fr{}, errors.New("pcs: open dimension mismatch")
+	}
+	popt := poly.Options{Procs: 1}
+	if opt.Parallel {
+		popt.Procs = opt.Procs // 0 = GOMAXPROCS, matching the MSM budget
 	}
 	work := m.Clone()
 	proof := OpeningProof{Quotients: make([]curve.G1Affine, s.Mu)}
@@ -198,12 +203,15 @@ func (s *SRS) OpenWith(m *poly.MLE, point []ff.Fr, opt msm.Options) (OpeningProo
 	for k := 0; k < s.Mu; k++ {
 		half := work.Len() / 2
 		q = q[:half]
-		for i := 0; i < half; i++ {
-			q[i].Sub(&work.Evals[2*i+1], &work.Evals[2*i])
-		}
+		evals := work.Evals
+		poly.ParallelRange(half, popt, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				q[i].Sub(&evals[2*i+1], &evals[2*i])
+			}
+		})
 		sum := msm.MSMWithOptions(s.Lag[k+1], q, opt)
 		proof.Quotients[k].FromJacobian(&sum)
-		work.FixVariable(&point[k])
+		work.FixVariableWith(&point[k], popt)
 	}
 	return proof, work.Evals[0], nil
 }

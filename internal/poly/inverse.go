@@ -119,3 +119,106 @@ func FractionMLE(num, den *MLE) *MLE {
 	}
 	return &MLE{NumVars: num.NumVars, Evals: out}
 }
+
+// fracBatch is the FracMLE batch size (the paper's optimum, §4.4.3).
+// Keeping it a compile-time constant lets invertBatchFixed run entirely
+// on stack arrays — the zero-allocation path FractionMLEWith chunks
+// across goroutines.
+const fracBatch = 64
+
+// FractionMLEWith is FractionMLE under an explicit kernel configuration:
+// the element range is chunked across goroutines at batch granularity
+// (each 64-element batch shares one modular inversion and writes a
+// disjoint output range) and each batch's multiplier tree lives on the
+// worker's stack, so the kernel performs no per-batch heap allocation.
+// Inverses are unique, so the output is identical to FractionMLE for any
+// Options.
+func FractionMLEWith(num, den *MLE, opts Options) *MLE {
+	if num.NumVars != den.NumVars {
+		panic("poly: FractionMLE dimension mismatch")
+	}
+	n := len(den.Evals)
+	out := make([]ff.Fr, n)
+	nBatches := (n + fracBatch - 1) / fracBatch
+	// One batch (~one inversion plus ~3·64 multiplications) is far above
+	// the dispatch overhead, so chunk at batch granularity.
+	parallelRangeMin(nBatches, 2, opts, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start := b * fracBatch
+			end := start + fracBatch
+			if end > n {
+				end = n
+			}
+			invertBatchFixed(den.Evals[start:end], out[start:end])
+			for i := start; i < end; i++ {
+				out[i].Mul(&out[i], &num.Evals[i])
+			}
+		}
+	})
+	return &MLE{NumVars: num.NumVars, Evals: out}
+}
+
+// invertBatchFixed inverts one batch of at most fracBatch elements with
+// an explicit product tree held in stack arrays (no heap allocation).
+// Zero entries pass through as zero, exactly like invertBatchTree.
+func invertBatchFixed(in, out []ff.Fr) {
+	// Compact nonzero elements; a full binary tree over up to 64 leaves
+	// has at most 2·64-1 nodes. nodes[0:m] are leaves; parents follow
+	// layer by layer, the root last.
+	var nodes [2*fracBatch - 1]ff.Fr
+	var inv [2 * fracBatch]ff.Fr
+	var idx [fracBatch]int
+	m := 0
+	for i := range in {
+		if !in[i].IsZero() {
+			nodes[m] = in[i]
+			idx[m] = i
+			m++
+		}
+	}
+	for i := range out[:len(in)] {
+		out[i].SetZero()
+	}
+	if m == 0 {
+		return
+	}
+	// Build layers bottom-up. layerAt[k] is the node-array offset of
+	// layer k; widths halve (odd stragglers promote unchanged).
+	var layerAt [8]int
+	var layerW [8]int
+	layerAt[0], layerW[0] = 0, m
+	nl := 1
+	total := m
+	for layerW[nl-1] > 1 {
+		prev, pw := layerAt[nl-1], layerW[nl-1]
+		w := (pw + 1) / 2
+		layerAt[nl], layerW[nl] = total, w
+		for i := 0; i < pw/2; i++ {
+			nodes[total+i].Mul(&nodes[prev+2*i], &nodes[prev+2*i+1])
+		}
+		if pw%2 == 1 {
+			nodes[total+w-1] = nodes[prev+pw-1]
+		}
+		total += w
+		nl++
+	}
+	// Invert the root, then push inverses down: if node = l·r then
+	// l⁻¹ = node⁻¹·r and r⁻¹ = node⁻¹·l.
+	inv[layerAt[nl-1]].Inverse(&nodes[layerAt[nl-1]])
+	for li := nl - 2; li >= 0; li-- {
+		cur, cw := layerAt[li], layerW[li]
+		up := layerAt[li+1]
+		for i := 0; i < (cw+1)/2; i++ {
+			l, r := 2*i, 2*i+1
+			if r < cw {
+				inv[cur+l].Mul(&inv[up+i], &nodes[cur+r])
+				inv[cur+r].Mul(&inv[up+i], &nodes[cur+l])
+			} else {
+				inv[cur+l] = inv[up+i]
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		out[idx[k]] = inv[k]
+	}
+}

@@ -62,6 +62,43 @@ func (m *MLE) FixVariable(r *ff.Fr) *MLE {
 	return m
 }
 
+// FixVariableWith is FixVariable under an explicit kernel configuration:
+// the fold is chunked across opts.Procs goroutines (the multi-lane MLE
+// Update unit of §4.3). Because the in-place update reads indices a
+// concurrent chunk writes, the parallel path folds into an arena buffer
+// and copies back — the copy is cheap next to the per-pair field
+// multiplication. Results are identical to FixVariable for any Options.
+func (m *MLE) FixVariableWith(r *ff.Fr, opts Options) *MLE {
+	half := len(m.Evals) / 2
+	nw := opts.procs()
+	if nw <= 1 || half < 2*minParallelWork {
+		return m.FixVariable(r)
+	}
+	arena := opts.arena()
+	out := arena.Get(half)
+	src := m.Evals
+	ParallelRange(half, opts, func(lo, hi int) {
+		foldRange(out, src, r, lo, hi)
+	})
+	copy(m.Evals[:half], out)
+	arena.Put(out)
+	m.Evals = m.Evals[:half]
+	m.NumVars--
+	return m
+}
+
+// foldRange applies the Eq. 2 update out[i] = src[2i] + r·(src[2i+1]-src[2i])
+// for i in [lo, hi). out and src must not alias unless out[i] only ever
+// lands on already-consumed src entries (the serial in-place case).
+func foldRange(out, src []ff.Fr, r *ff.Fr, lo, hi int) {
+	var d ff.Fr
+	for i := lo; i < hi; i++ {
+		d.Sub(&src[2*i+1], &src[2*i])
+		d.Mul(&d, r)
+		out[i].Add(&src[2*i], &d)
+	}
+}
+
 // Evaluate computes m(point) by folding one variable at a time; point must
 // have NumVars entries. The input table is not modified.
 func (m *MLE) Evaluate(point []ff.Fr) ff.Fr {
@@ -87,6 +124,59 @@ func (m *MLE) Evaluate(point []ff.Fr) ff.Fr {
 	return work[0]
 }
 
+// EvaluateWith is Evaluate under an explicit kernel configuration. The
+// fold chain runs in arena buffers instead of cloning the full table
+// (steady state allocates nothing) and the early, large folds are
+// chunked across goroutines. Identical to Evaluate for any Options.
+func (m *MLE) EvaluateWith(point []ff.Fr, opts Options) ff.Fr {
+	if len(point) != m.NumVars {
+		panic(fmt.Sprintf("poly: evaluate with %d coords on %d-var MLE", len(point), m.NumVars))
+	}
+	if m.NumVars == 0 {
+		return m.Evals[0]
+	}
+	arena := opts.arena()
+	half := len(m.Evals) / 2
+	// First fold reads the (immutable) input table and writes an arena
+	// buffer — out-of-place, so it can be chunked freely. first is never
+	// reassigned, so the closure captures it by value (no heap cell).
+	first := arena.Get(half)
+	r := &point[0]
+	src0 := m.Evals
+	ParallelRange(half, opts, func(lo, hi int) {
+		foldRange(first, src0, r, lo, hi)
+	})
+	cur := first
+	// Remaining folds ping-pong between two arena buffers while the
+	// tables are large enough to chunk, then finish in place serially
+	// (the in-place update only reads indices the same iteration has not
+	// yet written, which a single goroutine preserves).
+	var spare []ff.Fr
+	for v := 1; v < m.NumVars; v++ {
+		half = len(cur) / 2
+		r := &point[v]
+		if opts.procs() > 1 && half >= 2*minParallelWork {
+			if spare == nil {
+				spare = arena.Get(half)
+			}
+			dst, src := spare[:half], cur
+			ParallelRange(half, opts, func(lo, hi int) {
+				foldRange(dst, src, r, lo, hi)
+			})
+			cur, spare = dst, src
+		} else {
+			foldRange(cur, cur, r, 0, half)
+			cur = cur[:half]
+		}
+	}
+	out := cur[0]
+	arena.Put(cur)
+	if spare != nil {
+		arena.Put(spare)
+	}
+	return out
+}
+
 // EqTable builds the MLE table of eq(X, point): the "Build MLE" kernel
 // (§3.3.2, the r(X) polynomial). eq(x, p) = Π_j (x_j p_j + (1-x_j)(1-p_j)).
 // Built with 2^{μ+1}-4 multiplications via the binary-tree schedule the
@@ -108,6 +198,34 @@ func EqTable(point []ff.Fr) *MLE {
 			table[i+size].Set(&hi)
 			table[i].Sub(&table[i], &hi)
 		}
+		size <<= 1
+	}
+	return &MLE{NumVars: mu, Evals: table}
+}
+
+// EqTableWith is EqTable under an explicit kernel configuration: each
+// doubling layer of the binary-tree schedule is chunked across
+// goroutines once the layer is wide enough (every entry i reads and
+// writes only table[i] and table[i+size], so entries are independent
+// within a layer). Identical output to EqTable for any Options.
+func EqTableWith(point []ff.Fr, opts Options) *MLE {
+	mu := len(point)
+	if opts.procs() <= 1 || 1<<mu < 4*minParallelWork {
+		return EqTable(point)
+	}
+	table := make([]ff.Fr, 1<<mu)
+	table[0].SetOne()
+	size := 1
+	for j := 0; j < mu; j++ {
+		rj := &point[j]
+		ParallelRange(size, opts, func(lo, hi int) {
+			var hiP ff.Fr
+			for i := lo; i < hi; i++ {
+				hiP.Mul(&table[i], rj)
+				table[i+size].Set(&hiP)
+				table[i].Sub(&table[i], &hiP)
+			}
+		})
 		size <<= 1
 	}
 	return &MLE{NumVars: mu, Evals: table}
@@ -187,6 +305,37 @@ func LinearCombine(mles []*MLE, coeffs []ff.Fr) *MLE {
 			out[i].Add(&out[i], &t)
 		}
 	}
+	return &MLE{NumVars: nv, Evals: out}
+}
+
+// LinearCombineWith is LinearCombine under an explicit kernel
+// configuration: the output range is chunked across goroutines, each
+// chunk walking the inputs in the same k-order as the serial kernel.
+// Identical output to LinearCombine for any Options.
+func LinearCombineWith(mles []*MLE, coeffs []ff.Fr, opts Options) *MLE {
+	if len(mles) == 0 || len(mles) != len(coeffs) {
+		panic("poly: LinearCombine size mismatch")
+	}
+	nv := mles[0].NumVars
+	for _, m := range mles {
+		if m.NumVars != nv {
+			panic("poly: LinearCombine dimension mismatch")
+		}
+	}
+	if opts.procs() <= 1 || 1<<nv < 2*minParallelWork {
+		return LinearCombine(mles, coeffs)
+	}
+	out := make([]ff.Fr, 1<<nv)
+	ParallelRange(len(out), opts, func(lo, hi int) {
+		var t ff.Fr
+		for k, m := range mles {
+			c := &coeffs[k]
+			for i := lo; i < hi; i++ {
+				t.Mul(&m.Evals[i], c)
+				out[i].Add(&out[i], &t)
+			}
+		}
+	})
 	return &MLE{NumVars: nv, Evals: out}
 }
 

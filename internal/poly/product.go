@@ -35,6 +35,40 @@ func ProductMLE(phi *MLE) *MLE {
 	return &MLE{NumVars: phi.NumVars, Evals: pi}
 }
 
+// ProductMLEWith is ProductMLE under an explicit kernel configuration:
+// every tree layer is chunked across goroutines with a barrier between
+// layers (a node only reads the layer below it), exactly the
+// layer-by-layer streaming schedule of the Multifunction Tree Unit
+// (Fig. 3). Narrow top layers run serially — they are smaller than the
+// dispatch overhead. Identical output to ProductMLE for any Options.
+func ProductMLEWith(phi *MLE, opts Options) *MLE {
+	n := phi.Len()
+	if opts.procs() <= 1 || n < 4*minParallelWork {
+		return ProductMLE(phi)
+	}
+	pi := make([]ff.Fr, n)
+	half := n / 2
+	// Layer 1: products of φ pairs.
+	ParallelRange(half, opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pi[i].Mul(&phi.Evals[2*i], &phi.Evals[2*i+1])
+		}
+	})
+	// Remaining layers: layer l occupies [start, start+width) and reads
+	// the previous layer at [2(start-half), …).
+	for start, width := half, half/2; width >= 1; start, width = start+width, width/2 {
+		ParallelRange(width, opts, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := start + k
+				j := i - half
+				pi[i].Mul(&pi[2*j], &pi[2*j+1])
+			}
+		})
+	}
+	pi[n-1].SetZero()
+	return &MLE{NumVars: phi.NumVars, Evals: pi}
+}
+
 // GrandProduct returns the product of all evaluations of m.
 func GrandProduct(m *MLE) ff.Fr {
 	var acc ff.Fr

@@ -1,0 +1,405 @@
+package sumcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zkspeed/internal/ff"
+	"zkspeed/internal/poly"
+	"zkspeed/internal/transcript"
+)
+
+// kernelMatrix is the configuration sweep the fused prover must match
+// the baseline under: both kernels, serial and oversubscribed worker
+// counts, shared and private arenas.
+func kernelMatrix() []*Options {
+	return []*Options{
+		nil, // defaults: fused, GOMAXPROCS
+		{Kernel: KernelBaseline, Procs: 1},
+		{Kernel: KernelBaseline, Procs: 16},
+		{Kernel: KernelFused, Procs: 1},
+		{Kernel: KernelFused, Procs: 16},
+		{Kernel: KernelFused, Procs: 3, Scratch: poly.NewScratch()},
+	}
+}
+
+func optLabel(o *Options) string {
+	if o == nil {
+		return "default"
+	}
+	return fmt.Sprintf("%v/procs%d", o.Kernel, o.Procs)
+}
+
+// oracleRounds computes every round polynomial and challenge by brute
+// force: g_j(t) = Σ_{x∈{0,1}^{μ-j-1}} vp(r_1..r_j, t, x) via EvaluateAt
+// over the untouched MLEs, replaying the same transcript schedule.
+func oracleRounds(vp *VirtualPoly, tr *transcript.Transcript) ProverResult {
+	mu := vp.NumVars
+	deg := vp.Degree()
+	res := ProverResult{}
+	point := make([]ff.Fr, mu)
+	for round := 0; round < mu; round++ {
+		evals := make([]ff.Fr, deg+1)
+		for t := 0; t <= deg; t++ {
+			point[round].SetUint64(uint64(t))
+			suffix := mu - round - 1
+			var sum ff.Fr
+			for b := 0; b < 1<<suffix; b++ {
+				for j := 0; j < suffix; j++ {
+					point[round+1+j].SetUint64(uint64(b >> j & 1))
+				}
+				v := vp.EvaluateAt(point)
+				sum.Add(&sum, &v)
+			}
+			evals[t] = sum
+		}
+		tr.AppendFrs("sumcheck.round", evals)
+		r := tr.ChallengeFr("sumcheck.r")
+		point[round] = r
+		res.Proof.Rounds = append(res.Proof.Rounds, RoundPoly{Evals: evals})
+		res.Challenges = append(res.Challenges, r)
+	}
+	res.FinalEvals = make([]ff.Fr, len(vp.MLEs))
+	for k, m := range vp.MLEs {
+		res.FinalEvals[k] = m.Evaluate(point)
+	}
+	return res
+}
+
+func equalResults(t *testing.T, label string, got, want ProverResult) {
+	t.Helper()
+	if len(got.Proof.Rounds) != len(want.Proof.Rounds) {
+		t.Fatalf("%s: %d rounds, want %d", label, len(got.Proof.Rounds), len(want.Proof.Rounds))
+	}
+	for j := range want.Proof.Rounds {
+		ge, we := got.Proof.Rounds[j].Evals, want.Proof.Rounds[j].Evals
+		if len(ge) != len(we) {
+			t.Fatalf("%s: round %d has %d evals, want %d", label, j, len(ge), len(we))
+		}
+		for x := range we {
+			if !ge[x].Equal(&we[x]) {
+				t.Fatalf("%s: round %d eval %d differs", label, j, x)
+			}
+		}
+		if !got.Challenges[j].Equal(&want.Challenges[j]) {
+			t.Fatalf("%s: challenge %d differs", label, j)
+		}
+	}
+	if len(got.FinalEvals) != len(want.FinalEvals) {
+		t.Fatalf("%s: %d final evals, want %d", label, len(got.FinalEvals), len(want.FinalEvals))
+	}
+	for k := range want.FinalEvals {
+		if !got.FinalEvals[k].Equal(&want.FinalEvals[k]) {
+			t.Fatalf("%s: final eval %d differs", label, k)
+		}
+	}
+}
+
+// TestProveWithPropertySweep sweeps virtual-polynomial shapes — term
+// count × degree × μ, including the μ=0 and μ=1 edge cubes — and checks
+// every kernel configuration against the naive evaluate-everywhere
+// oracle: identical round polynomials, identical challenges (hence
+// identical transcripts), identical final evaluations.
+func TestProveWithPropertySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, mu := range []int{0, 1, 2, 3, 5, 6} {
+		for _, nTerms := range []int{1, 2, 5} {
+			for _, deg := range []int{1, 2, 4} {
+				nMLE := deg + 1
+				vp := NewVirtualPoly(mu)
+				for k := 0; k < nMLE; k++ {
+					vp.AddMLE(randMLE(rng, mu))
+				}
+				for ti := 0; ti < nTerms; ti++ {
+					d := 1 + rng.Intn(deg)
+					if ti == 0 {
+						d = deg // pin the max degree
+					}
+					idx := make([]int, d)
+					for x := range idx {
+						idx[x] = rng.Intn(nMLE)
+					}
+					c := randFr(rng)
+					if ti%2 == 0 {
+						c.SetOne() // exercise the coefficient-one fast path
+					}
+					vp.AddTerm(c, idx...)
+				}
+
+				// The oracle never mutates its tables; baseline kernels
+				// consume theirs, so hand each run a cloned instance.
+				clone := func() *VirtualPoly {
+					cp := NewVirtualPoly(mu)
+					for _, m := range vp.MLEs {
+						cp.AddMLE(m.Clone())
+					}
+					cp.Terms = vp.Terms
+					return cp
+				}
+				want := oracleRounds(clone(), transcript.New("prop"))
+				for _, opt := range kernelMatrix() {
+					label := fmt.Sprintf("mu=%d terms=%d deg=%d %s", mu, nTerms, deg, optLabel(opt))
+					got := ProveWith(clone(), transcript.New("prop"), opt)
+					equalResults(t, label, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEqAnnotatedMatchesMaterialized sweeps ZeroCheck-shaped instances
+// where the eq factor is registered via AddEqMLE and checks every
+// kernel configuration against the oracle run on the materialized
+// table: the analytic-eq path (no table, no fold, one fewer sweep
+// column, claim-derived g(1), extrapolated top column) must reproduce
+// the transcript bit for bit, including the eq MLE's final evaluation.
+func TestEqAnnotatedMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	for _, mu := range []int{1, 2, 3, 5, 7} {
+		for _, deg := range []int{1, 2, 4, 5} {
+			point := make([]ff.Fr, mu)
+			for i := range point {
+				point[i] = randFr(rng)
+			}
+			nMLE := 3
+			mles := make([]*poly.MLE, nMLE)
+			for k := range mles {
+				mles[k] = randMLE(rng, mu)
+			}
+			coeffs := []ff.Fr{ff.FrOne(), randFr(rng), randFr(rng)}
+			build := func(eqLazy bool) *VirtualPoly {
+				vp := NewVirtualPoly(mu)
+				var iEq int
+				if eqLazy {
+					iEq = vp.AddEqMLE(point)
+				} else {
+					iEq = vp.AddMLE(poly.EqTable(point))
+				}
+				idx := make([]int, nMLE)
+				for k, m := range mles {
+					idx[k] = vp.AddMLE(m.Clone())
+				}
+				// Terms of degree deg, deg-1, 2 — each multiplied by eq.
+				full := []int{iEq}
+				for d := 1; d < deg; d++ {
+					full = append(full, idx[d%nMLE])
+				}
+				vp.AddTerm(coeffs[0], full...)
+				if deg >= 2 {
+					vp.AddTerm(coeffs[1], full[:deg-1]...)
+				}
+				vp.AddTerm(coeffs[2], iEq, idx[0])
+				return vp
+			}
+			want := oracleRounds(build(false), transcript.New("eq"))
+			for _, opt := range kernelMatrix() {
+				label := fmt.Sprintf("mu=%d deg=%d %s", mu, deg, optLabel(opt))
+				got := ProveWith(build(true), transcript.New("eq"), opt)
+				equalResults(t, label, got, want)
+			}
+		}
+	}
+}
+
+// TestEqAnnotatedEdgePoints pins the analytic-eq special cases: eq
+// parameters equal to 0 and 1 (P·L(1) hits zero — the no-division
+// fallback), and the μ=0 cube.
+func TestEqAnnotatedEdgePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	mu := 4
+	for _, tval := range []uint64{0, 1} {
+		point := make([]ff.Fr, mu)
+		for i := range point {
+			if i%2 == 0 {
+				point[i].SetUint64(tval)
+			} else {
+				point[i] = randFr(rng)
+			}
+		}
+		m1, m2 := randMLE(rng, mu), randMLE(rng, mu)
+		build := func(eqLazy bool) *VirtualPoly {
+			vp := NewVirtualPoly(mu)
+			var iEq int
+			if eqLazy {
+				iEq = vp.AddEqMLE(point)
+			} else {
+				iEq = vp.AddMLE(poly.EqTable(point))
+			}
+			a := vp.AddMLE(m1.Clone())
+			b := vp.AddMLE(m2.Clone())
+			vp.AddTerm(ff.FrOne(), iEq, a, b)
+			vp.AddTerm(randFrSeeded(int64(tval)+80), iEq, a)
+			return vp
+		}
+		want := oracleRounds(build(false), transcript.New("edge"))
+		for _, opt := range kernelMatrix() {
+			got := ProveWith(build(true), transcript.New("edge"), opt)
+			equalResults(t, fmt.Sprintf("t=%d %s", tval, optLabel(opt)), got, want)
+		}
+	}
+
+	// μ=0: no rounds; the lazily registered eq table must still
+	// materialize for the final evaluations.
+	vp := NewVirtualPoly(0)
+	iEq := vp.AddEqMLE([]ff.Fr{})
+	iM := vp.AddMLE(poly.NewMLE([]ff.Fr{randFr(rng)}))
+	vp.AddTerm(ff.FrOne(), iEq, iM)
+	res := ProveWith(vp, transcript.New("mu0"), nil)
+	if len(res.FinalEvals) != 2 || !res.FinalEvals[iEq].IsOne() {
+		t.Fatal("mu=0 eq annotation: final eval must be the empty product 1")
+	}
+}
+
+// randFrSeeded derives a reproducible scalar for table-driven cases.
+func randFrSeeded(seed int64) ff.Fr {
+	return randFr(rand.New(rand.NewSource(seed)))
+}
+
+// TestFusedSharedFactorShapes pins the factoring paths: every term
+// sharing one MLE (the eq-table shape), repeated indices within a term,
+// and a term that is exactly the shared factor.
+func TestFusedSharedFactorShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	mu := 4
+	vp := NewVirtualPoly(mu)
+	for k := 0; k < 3; k++ {
+		vp.AddMLE(randMLE(rng, mu))
+	}
+	one := ff.FrOne()
+	vp.AddTerm(one, 0, 1, 1, 2) // repeated index
+	vp.AddTerm(randFr(rng), 0, 1)
+	vp.AddTerm(randFr(rng), 1, 0) // shared factors in different positions
+	// Shared multiset is {0,1}; this term reduces to the empty product.
+	vp.AddTerm(randFr(rng), 0, 1)
+
+	clone := func() *VirtualPoly {
+		cp := NewVirtualPoly(mu)
+		for _, m := range vp.MLEs {
+			cp.AddMLE(m.Clone())
+		}
+		cp.Terms = vp.Terms
+		return cp
+	}
+	want := oracleRounds(clone(), transcript.New("shape"))
+	for _, opt := range kernelMatrix() {
+		got := ProveWith(clone(), transcript.New("shape"), opt)
+		equalResults(t, optLabel(opt), got, want)
+	}
+}
+
+// TestFusedPreservesTables: the fused kernel must leave the caller's
+// MLE tables untouched (the prover no longer clones them).
+func TestFusedPreservesTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	mu := 5
+	vp := NewVirtualPoly(mu)
+	var snapshots []*poly.MLE
+	for k := 0; k < 3; k++ {
+		m := randMLE(rng, mu)
+		snapshots = append(snapshots, m.Clone())
+		vp.AddMLE(m)
+	}
+	vp.AddTerm(ff.FrOne(), 0, 1, 2)
+	ProveWith(vp, transcript.New("preserve"), &Options{Kernel: KernelFused})
+	for k, m := range vp.MLEs {
+		if m.Len() != snapshots[k].Len() {
+			t.Fatalf("MLE %d was folded", k)
+		}
+		for i := range m.Evals {
+			if !m.Evals[i].Equal(&snapshots[k].Evals[i]) {
+				t.Fatalf("MLE %d mutated at %d", k, i)
+			}
+		}
+	}
+}
+
+// TestClampWorkersSmallRounds covers the degenerate-clamp fix: when the
+// instance count is below the worker budget the round must keep one
+// worker per instance (nw = half), not collapse to a single worker.
+func TestClampWorkersSmallRounds(t *testing.T) {
+	for _, tc := range []struct{ procs, half, want int }{
+		{8, 2, 2},  // μ=2 round 0: 2 instances
+		{8, 4, 4},  // μ=3 round 0
+		{8, 8, 8},  // μ=4 round 0: exact fit
+		{8, 1, 1},  // final rounds: single instance
+		{8, 16, 8}, // budget-bound
+		{0, 4, 1},  // defensive floor
+		{1, 4, 1},
+	} {
+		if got := clampWorkers(tc.procs, tc.half); got != tc.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", tc.procs, tc.half, got, tc.want)
+		}
+	}
+}
+
+// TestSmallMuParallelMatchesSerial proves the clamp fix end to end at
+// μ=2..4 with a worker budget far above the instance count: results must
+// match the serial run exactly (the pre-fix code path degraded to one
+// worker; either way the transcript must not change).
+func TestSmallMuParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for mu := 2; mu <= 4; mu++ {
+		vp, vpCopy := buildTestPoly(rng, mu, 3, 3)
+		serial := ProveWith(vp, transcript.New("clamp"), &Options{Kernel: KernelBaseline, Procs: 1})
+		wide := ProveWith(vpCopy, transcript.New("clamp"), &Options{Kernel: KernelBaseline, Procs: 64})
+		equalResults(t, fmt.Sprintf("mu=%d", mu), wide, serial)
+	}
+}
+
+// TestProveWithSteadyStateAllocs pins the allocation discipline of the
+// fused prover: with a warmed arena, the per-round steady state is
+// near-zero — the whole proof allocates only its result slices and the
+// transcript's digest feedback, a small constant independent of μ.
+func TestProveWithSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(75))
+	mu := 10
+	base := make([]*poly.MLE, 4)
+	for k := range base {
+		base[k] = randMLE(rng, mu)
+	}
+	coeff := randFr(rng)
+	build := func() *VirtualPoly {
+		vp := NewVirtualPoly(mu)
+		for _, m := range base {
+			vp.AddMLE(m) // fused kernel preserves tables: no clones needed
+		}
+		vp.AddTerm(ff.FrOne(), 0, 1, 2, 3)
+		vp.AddTerm(coeff, 0, 3)
+		return vp
+	}
+	opt := &Options{Kernel: KernelFused, Procs: 1, Scratch: poly.NewScratch()}
+	vp := build()                               // reusable: the fused kernel never mutates the tables
+	ProveWith(vp, transcript.New("alloc"), opt) // warm the arena
+	avg := testing.AllocsPerRun(10, func() {
+		ProveWith(vp, transcript.New("alloc"), opt)
+	})
+	perRound := avg / float64(mu)
+	if perRound > 2 {
+		t.Fatalf("fused prover allocates %.1f objects/round (%.0f/proof), want <= 2/round", perRound, avg)
+	}
+
+	// The per-round steady state must be near zero: growing the cube by
+	// two variables (4× the work, two more rounds) must not add more
+	// than a couple of allocations — everything round-scoped lives in
+	// the arena or per-worker scratch.
+	big := NewVirtualPoly(mu + 2)
+	bigMLEs := make([]*poly.MLE, 4)
+	for k := range bigMLEs {
+		bigMLEs[k] = randMLE(rng, mu+2)
+		big.AddMLE(bigMLEs[k])
+	}
+	big.AddTerm(ff.FrOne(), 0, 1, 2, 3)
+	big.AddTerm(coeff, 0, 3)
+	ProveWith(big, transcript.New("alloc"), opt)
+	avgBig := testing.AllocsPerRun(10, func() {
+		ProveWith(big, transcript.New("alloc"), opt)
+	})
+	if marginal := (avgBig - avg) / 2; marginal > 2 {
+		t.Fatalf("each extra round allocates %.1f objects (mu=%d: %.0f, mu=%d: %.0f), want <= 2",
+			marginal, mu, avg, mu+2, avgBig)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sumcheck
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-regression assertions are skipped under it (the
+// instrumentation itself allocates).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package sumcheck
+
+const raceEnabled = true

@@ -30,11 +30,18 @@ type VirtualPoly struct {
 	NumVars int
 	MLEs    []*poly.MLE
 	Terms   []Term
+	// eqIdx/eqPoint annotate one registered MLE as eq(X, eqPoint) — the
+	// r(X) polynomial of ZeroCheck and PermCheck. The fused kernel
+	// exploits the structure (no table build, no fold, one fewer
+	// evaluation point per round); every other consumer sees an
+	// ordinary MLE, materialized lazily by mle().
+	eqIdx   int // -1 when absent
+	eqPoint []ff.Fr
 }
 
 // NewVirtualPoly creates an empty virtual polynomial over numVars variables.
 func NewVirtualPoly(numVars int) *VirtualPoly {
-	return &VirtualPoly{NumVars: numVars}
+	return &VirtualPoly{NumVars: numVars, eqIdx: -1}
 }
 
 // AddMLE registers an MLE and returns its index.
@@ -44,6 +51,34 @@ func (vp *VirtualPoly) AddMLE(m *poly.MLE) int {
 	}
 	vp.MLEs = append(vp.MLEs, m)
 	return len(vp.MLEs) - 1
+}
+
+// AddEqMLE registers eq(X, point) — the Build MLE output the ZeroCheck
+// and PermCheck instances multiply every term by — without materializing
+// its 2^μ table. The fused kernel evaluates the eq factor analytically
+// (its bound prefix is a running scalar, its suffix a precomputed weight
+// table, its round variable a linear factor of the round polynomial);
+// the baseline kernel and the oracle helpers materialize the table on
+// first touch, so proofs are identical either way.
+func (vp *VirtualPoly) AddEqMLE(point []ff.Fr) int {
+	if len(point) != vp.NumVars {
+		panic(fmt.Sprintf("sumcheck: eq point has %d coords, virtual poly has %d vars", len(point), vp.NumVars))
+	}
+	if vp.eqIdx >= 0 {
+		panic("sumcheck: virtual polynomial already has an eq annotation")
+	}
+	vp.MLEs = append(vp.MLEs, nil)
+	vp.eqIdx = len(vp.MLEs) - 1
+	vp.eqPoint = point
+	return vp.eqIdx
+}
+
+// mle returns the k-th MLE, materializing a lazily registered eq table.
+func (vp *VirtualPoly) mle(k int) *poly.MLE {
+	if vp.MLEs[k] == nil && k == vp.eqIdx {
+		vp.MLEs[k] = poly.EqTable(vp.eqPoint)
+	}
+	return vp.MLEs[k]
 }
 
 // AddTerm appends coeff·Π MLEs[idx] to the polynomial.
@@ -72,6 +107,9 @@ func (vp *VirtualPoly) SumOverHypercube() ff.Fr {
 	var sum ff.Fr
 	n := 1 << vp.NumVars
 	var prod, t ff.Fr
+	for k := range vp.MLEs {
+		vp.mle(k)
+	}
 	for i := 0; i < n; i++ {
 		for _, term := range vp.Terms {
 			prod = term.Coeff
@@ -89,8 +127,8 @@ func (vp *VirtualPoly) SumOverHypercube() ff.Fr {
 // constituent MLEs.
 func (vp *VirtualPoly) EvaluateAt(point []ff.Fr) ff.Fr {
 	evals := make([]ff.Fr, len(vp.MLEs))
-	for k, m := range vp.MLEs {
-		evals[k] = m.Evaluate(point)
+	for k := range vp.MLEs {
+		evals[k] = vp.mle(k).Evaluate(point)
 	}
 	return CombineTermEvals(vp.Terms, evals)
 }
@@ -129,10 +167,107 @@ type ProverResult struct {
 	FinalEvals []ff.Fr // each MLE evaluated at r, in registration order
 }
 
-// Prove runs the sumcheck prover. The MLE tables inside vp are consumed
-// (folded in place round by round); pass clones if the caller needs them.
-// Challenges are drawn from tr, which the verifier replays.
+// Kernel selects the sumcheck prover implementation, mirroring the MSM
+// package's kernel-selector pattern: the pre-refactor path is retained
+// under an explicit name so benchmark records pinned to it stay
+// comparable, while the default resolves to the fast path.
+type Kernel int
+
+const (
+	// KernelAuto (the zero value) resolves to KernelFused.
+	KernelAuto Kernel = iota
+	// KernelBaseline is the pre-refactor prover: per-round goroutine
+	// spawns, a separate MLE Update pass after each challenge, fresh
+	// scratch slices every round. Kept as the benchmark reference the
+	// way msm.KernelPippenger was kept.
+	KernelBaseline
+	// KernelFused is the MTU fast path: a persistent worker pool for
+	// the whole protocol, the post-challenge fold of every MLE table
+	// fused into the next round's instance-range sweep (the PE dataflow
+	// of Fig. 4), per-worker evaluation-ladder scratch reused across
+	// rounds, g(1) derived from the running claim instead of evaluated,
+	// and factors shared by every term (the eq table) multiplied once
+	// per evaluation point.
+	KernelFused
+)
+
+// String names the kernel for benchmark labels.
+func (k Kernel) String() string {
+	switch k {
+	case KernelBaseline:
+		return "baseline"
+	case KernelFused, KernelAuto:
+		return "fused"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// Options configures a sumcheck proof, mirroring msm.Options.
+type Options struct {
+	// Kernel selects the prover implementation; the zero value
+	// (KernelAuto) is the fused fast path.
+	Kernel Kernel
+	// Procs bounds the number of goroutines the prover may use;
+	// 0 means GOMAXPROCS, 1 forces the serial path. This is the knob
+	// zkspeed.WithParallelism reaches down to.
+	Procs int
+	// Scratch is the arena per-round buffers are drawn from; nil uses
+	// the poly package's shared arena.
+	Scratch *poly.Scratch
+}
+
+// procs resolves the goroutine budget.
+func (o *Options) procs() int {
+	if o != nil && o.Procs > 0 {
+		return o.Procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampWorkers bounds a worker count by the number of hypercube
+// instances: more workers than instances would leave the extras idle,
+// and small rounds still deserve every instance they have (nw = half,
+// not 1 — collapsing to a single worker serialized every small-μ round).
+func clampWorkers(procs, half int) int {
+	nw := procs
+	if nw > half {
+		nw = half
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
+}
+
+// Prove runs the sumcheck prover with default options (the fused
+// kernel). Unlike the baseline kernel it leaves the MLE tables inside vp
+// intact, but callers must not rely on that when selecting kernels
+// explicitly: KernelBaseline consumes the tables (folded in place round
+// by round). Challenges are drawn from tr, which the verifier replays.
 func Prove(vp *VirtualPoly, tr *transcript.Transcript) ProverResult {
+	return ProveWith(vp, tr, nil)
+}
+
+// ProveWith runs the sumcheck prover under an explicit configuration;
+// a nil opt means defaults (fused kernel, GOMAXPROCS workers, shared
+// arena). Proof bytes are identical across kernels, worker counts and
+// arenas — field arithmetic is exact, so the schedule cannot perturb the
+// transcript.
+func ProveWith(vp *VirtualPoly, tr *transcript.Transcript, opt *Options) ProverResult {
+	if len(vp.MLEs) == 0 {
+		panic("sumcheck: virtual polynomial has no MLEs")
+	}
+	if opt != nil && opt.Kernel == KernelBaseline {
+		return proveBaseline(vp, tr, opt.procs())
+	}
+	return proveFused(vp, tr, opt)
+}
+
+// proveBaseline is the retained pre-refactor prover (KernelBaseline).
+func proveBaseline(vp *VirtualPoly, tr *transcript.Transcript, procs int) ProverResult {
+	for k := range vp.MLEs {
+		vp.mle(k) // materialize a lazily registered eq table
+	}
 	mu := vp.NumVars
 	deg := vp.Degree()
 	res := ProverResult{
@@ -140,7 +275,7 @@ func Prove(vp *VirtualPoly, tr *transcript.Transcript) ProverResult {
 	}
 	res.Proof.Rounds = make([]RoundPoly, 0, mu)
 	for round := 0; round < mu; round++ {
-		rp := proveRound(vp, deg)
+		rp := proveRound(vp, deg, procs)
 		tr.AppendFrs("sumcheck.round", rp.Evals)
 		r := tr.ChallengeFr("sumcheck.r")
 		res.Proof.Rounds = append(res.Proof.Rounds, rp)
@@ -159,13 +294,10 @@ func Prove(vp *VirtualPoly, tr *transcript.Transcript) ProverResult {
 // proveRound computes the round polynomial evaluations at X = 0..deg.
 // Work is split across goroutines by hypercube instance ranges, mirroring
 // the multi-PE parallelism of §4.1.3.
-func proveRound(vp *VirtualPoly, deg int) RoundPoly {
+func proveRound(vp *VirtualPoly, deg, procs int) RoundPoly {
 	half := vp.MLEs[0].Len() / 2
 	nEvals := deg + 1
-	nw := runtime.GOMAXPROCS(0)
-	if nw > half {
-		nw = 1
-	}
+	nw := clampWorkers(procs, half)
 	partial := make([][]ff.Fr, nw)
 	var wg sync.WaitGroup
 	chunk := (half + nw - 1) / nw

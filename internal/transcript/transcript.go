@@ -2,7 +2,6 @@ package transcript
 
 import (
 	"encoding/binary"
-	"math/big"
 
 	"zkspeed/internal/curve"
 	"zkspeed/internal/ff"
@@ -73,8 +72,10 @@ func (t *Transcript) ChallengeFr(label string) ff.Fr {
 	t.Challenges++
 	// Reduce 256 bits mod r. The ~2^-125 bias is irrelevant here and this
 	// matches the reference implementation's transcript behaviour.
+	// Set256BE is the allocation-free equivalent of the big.Int route, so
+	// a transcript-heavy prover round stays off the heap.
 	var out ff.Fr
-	out.SetBigInt(new(big.Int).SetBytes(digest[:]))
+	out.Set256BE(&digest)
 	return out
 }
 

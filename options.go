@@ -47,11 +47,15 @@ func WithoutSRSCache() Option {
 
 // WithParallelism bounds each level of the Engine's parallelism to n:
 // the ProveBatch worker pool runs at most n concurrent proofs, and every
-// MSM kernel inside a proof (witness commits, φ/π commits, the opening
-// chain) caps its window/chunk parallelism at n goroutines. The caps
-// compose — a batch of proofs can occupy up to n×n goroutines; callers
-// sharing a box with other work should size n for that product. Values
-// below 1 fall back to the default (one worker per CPU).
+// kernel inside a proof caps its goroutine fan-out at n — the MSM bucket
+// loops (witness commits, φ/π commits, the opening chain) and, since the
+// MTU kernel refactor, the whole SumCheck/MLE pipeline too: the
+// ZeroCheck/PermCheck/OpenCheck sumcheck instance sweeps, eq-table
+// builds, MLE folds and evaluations, the fraction-MLE batch inversion
+// and the product-MLE tree. The caps compose — a batch of proofs can
+// occupy up to n×n goroutines; callers sharing a box with other work
+// should size n for that product. Values below 1 fall back to the
+// default (one worker per CPU).
 func WithParallelism(n int) Option {
 	return func(c *engineConfig) {
 		if n >= 1 {
