@@ -88,6 +88,37 @@ type ProveResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// ProveBatchRequest is the body of POST /v1/prove_batch — a rollup-style
+// batch of statements over one circuit, proved as a unit. Exactly one of
+// CircuitDigest or Circuit must be set, as in ProveRequest. The call is
+// synchronous: the response carries every proof (or per-statement
+// failure). In cluster mode the statements are spread across shards and
+// worker daemons; in single-process mode they spread across local shards.
+type ProveBatchRequest struct {
+	CircuitDigest string `json:"circuit_digest,omitempty"`
+	// Circuit optionally carries a ZKSC blob, registering the circuit as
+	// part of the request.
+	Circuit []byte `json:"circuit,omitempty"`
+	// Witnesses are ZKSW assignment blobs, one per statement.
+	Witnesses [][]byte `json:"witnesses"`
+	// Priority is PriorityHigh/Normal/Low; empty means normal.
+	Priority string `json:"priority,omitempty"`
+}
+
+// ProveBatchResponse is the aggregated result of POST /v1/prove_batch.
+type ProveBatchResponse struct {
+	CircuitDigest string `json:"circuit_digest"`
+	// Results holds one terminal ProveResponse per statement, in request
+	// order.
+	Results []ProveResponse `json:"results"`
+	// BatchDigest is a hex-encoded 32-byte hash binding every proof blob
+	// in order — the aggregation handle a rollup tenant stores instead of
+	// N proofs. Empty if any statement failed.
+	BatchDigest string `json:"batch_digest,omitempty"`
+	// Failed counts statements whose Status is "failed".
+	Failed int `json:"failed,omitempty"`
+}
+
 // VerifyRequest is the body of POST /v1/verify.
 type VerifyRequest struct {
 	CircuitDigest string   `json:"circuit_digest"`
@@ -114,6 +145,59 @@ type Health struct {
 	JobsDone      int64  `json:"jobs_done"`
 	JobsFailed    int64  `json:"jobs_failed"`
 	CacheHits     int64  `json:"cache_hits"`
+}
+
+// Ready is the body of GET /readyz. The endpoint answers 200 when ready
+// and 503 otherwise — the knob load balancers watch. Readiness is distinct
+// from liveness (/healthz, always 200 while the process serves): a daemon
+// is alive but unready while preloading, after beginning a graceful drain,
+// and — in cluster mode — while zero workers are registered.
+type Ready struct {
+	Ready bool `json:"ready"`
+	// Reason explains a false Ready.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ClusterWorkerInfo describes one registered worker daemon, as advertised
+// in its hello and updated by heartbeats.
+type ClusterWorkerInfo struct {
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+	// Addr is the worker's remote address as seen by the coordinator.
+	Addr string `json:"addr"`
+	// Cores is the worker's advertised proving parallelism.
+	Cores int `json:"cores"`
+	// PreloadedMus are the problem sizes whose SRS the worker pre-derived.
+	PreloadedMus []int `json:"preloaded_mus,omitempty"`
+	// ResidentCircuits counts circuits the worker holds decoded in memory
+	// (the coordinator skips the circuit blob when dispatching those).
+	ResidentCircuits int `json:"resident_circuits"`
+	// Inflight is the number of statements currently dispatched to the
+	// worker and not yet returned.
+	Inflight int `json:"inflight"`
+	// JobsDone counts statements the worker has returned successfully.
+	JobsDone int64 `json:"jobs_done"`
+	// LastSeenMS is milliseconds since the worker's last heartbeat or
+	// result.
+	LastSeenMS int64 `json:"last_seen_ms"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster on a coordinator.
+type ClusterStatus struct {
+	// Addr is the coordinator's cluster listen address workers join.
+	Addr    string              `json:"addr"`
+	Workers []ClusterWorkerInfo `json:"workers"`
+	// Dispatches counts batches sent to workers.
+	Dispatches int64 `json:"dispatches"`
+	// Requeues counts batches re-dispatched to another worker after the
+	// original worker died mid-job.
+	Requeues int64 `json:"requeues"`
+	// WorkerDeaths counts workers dropped (connection loss or missed
+	// heartbeats).
+	WorkerDeaths int64 `json:"worker_deaths"`
+	// LocalFallbacks counts batches proved by the coordinator's own
+	// engines because no worker was available.
+	LocalFallbacks int64 `json:"local_fallbacks"`
 }
 
 // Error is the JSON body of every non-2xx response. Overload responses

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -34,6 +35,11 @@ type Client struct {
 	base string
 	hc   *http.Client
 	poll time.Duration
+
+	// auto-retry of overloaded (429) requests; retries == 0 disables it.
+	retries     int
+	backoffBase time.Duration
+	backoffCap  time.Duration
 }
 
 // Option configures a Client.
@@ -59,13 +65,45 @@ func WithPollInterval(d time.Duration) Option {
 	}
 }
 
+// WithAutoRetry makes the client transparently retry requests the service
+// rejected as overloaded (HTTP 429), up to max additional attempts. Each
+// wait honors the server's Retry-After, raised to the exponential backoff
+// floor for that attempt and bounded by the configured cap (see
+// WithRetryBackoff), plus up to 25% random jitter so a herd of clients
+// does not re-arrive in lockstep. Off by default: a caller that wants to
+// shed load or reroute on overload sees the *OverloadedError immediately.
+func WithAutoRetry(max int) Option {
+	return func(c *Client) {
+		if max > 0 {
+			c.retries = max
+		}
+	}
+}
+
+// WithRetryBackoff tunes the auto-retry schedule: base is the first
+// attempt's backoff floor (doubling each retry), cap bounds any single
+// wait — including one requested by Retry-After. Defaults: 100ms base,
+// 5s cap.
+func WithRetryBackoff(base, cap time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if cap > 0 {
+			c.backoffCap = cap
+		}
+	}
+}
+
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   http.DefaultClient,
-		poll: 250 * time.Millisecond,
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          http.DefaultClient,
+		poll:        250 * time.Millisecond,
+		backoffBase: 100 * time.Millisecond,
+		backoffCap:  5 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
@@ -108,21 +146,67 @@ type ProveResult struct {
 	Steps map[string]time.Duration
 }
 
-// do round-trips one JSON request. A nil out discards the body.
+// do round-trips one JSON request, retrying overload rejections when
+// auto-retry is configured. A nil out discards the body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doAccept(ctx, method, path, in, out, 0)
+}
+
+// doAccept is do with one extra status code treated as a decodable
+// success (e.g. the 422 a partially failed batch answers with).
+func (c *Client) doAccept(ctx context.Context, method, path string, in, out any, extraOK int) error {
+	var blob []byte
 	if in != nil {
-		blob, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.roundTrip(ctx, method, path, blob, out, extraOK)
+		var over *OverloadedError
+		if err == nil || !errors.As(err, &over) || attempt >= c.retries {
+			return err
+		}
+		if werr := c.waitRetry(ctx, attempt, over.RetryAfter); werr != nil {
+			return werr
+		}
+	}
+}
+
+// waitRetry sleeps out one backoff step: the exponential floor for this
+// attempt, raised to the server's Retry-After, bounded by the cap, plus
+// up to 25% jitter.
+func (c *Client) waitRetry(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := c.backoffBase << attempt
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.backoffCap {
+		d = c.backoffCap
+	}
+	d += time.Duration(rand.Int63n(int64(d)/4 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// roundTrip performs one HTTP exchange.
+func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte, out any, extraOK int) error {
+	var body io.Reader
+	if blob != nil {
 		body = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -137,7 +221,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		return &OverloadedError{RetryAfter: retry}
 	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	if extraOK != 0 && resp.StatusCode == extraOK {
+		ok = true
+	}
+	if !ok {
 		var apiErr api.Error
 		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
@@ -278,6 +366,84 @@ func (c *Client) Verify(ctx context.Context, digest string, pub []zkspeed.Scalar
 // ErrInvalidProof marks a definitive verification rejection (as opposed
 // to a transport or API failure).
 var ErrInvalidProof = errors.New("client: proof invalid")
+
+// BatchStatement is one statement's outcome inside a BatchResult.
+type BatchStatement struct {
+	// Result is the decoded proof; nil when Err is set.
+	Result *ProveResult
+	// Err is the statement's failure, nil on success.
+	Err error
+}
+
+// BatchResult is the aggregated outcome of ProveBatch.
+type BatchResult struct {
+	CircuitDigest string
+	// BatchDigest binds every proof in order; empty if any statement
+	// failed.
+	BatchDigest string
+	// Failed counts failed statements.
+	Failed int
+	// Statements holds per-statement outcomes in request order.
+	Statements []BatchStatement
+}
+
+// ProveBatch proves many witnesses of one registered circuit as a unit
+// and returns the per-statement proofs plus the order-binding batch
+// digest. Partial failure is not a transport error: the returned
+// BatchResult reports it per statement (and in Failed), so err is non-nil
+// only when the batch could not be attempted at all.
+func (c *Client) ProveBatch(ctx context.Context, digest string, assignments []*zkspeed.Assignment, priority ...string) (*BatchResult, error) {
+	wits := make([][]byte, len(assignments))
+	for i, a := range assignments {
+		blob, err := a.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("client: serializing witness %d: %w", i, err)
+		}
+		wits[i] = blob
+	}
+	req := api.ProveBatchRequest{
+		CircuitDigest: digest,
+		Witnesses:     wits,
+		Priority:      firstOrEmpty(priority),
+	}
+	var resp api.ProveBatchResponse
+	// A batch with failed statements answers 422 with the same body shape.
+	if err := c.doAccept(ctx, http.MethodPost, "/v1/prove_batch", req, &resp, http.StatusUnprocessableEntity); err != nil {
+		return nil, err
+	}
+	out := &BatchResult{
+		CircuitDigest: resp.CircuitDigest,
+		BatchDigest:   resp.BatchDigest,
+		Failed:        resp.Failed,
+		Statements:    make([]BatchStatement, len(resp.Results)),
+	}
+	for i := range resp.Results {
+		res, err := decodeProveResponse(&resp.Results[i])
+		out.Statements[i] = BatchStatement{Result: res, Err: err}
+	}
+	return out, nil
+}
+
+// Ready fetches the service's readiness state. A false Ready (the
+// service answers 503) is reported in the returned struct, not as an
+// error.
+func (c *Client) Ready(ctx context.Context) (*api.Ready, error) {
+	var r api.Ready
+	if err := c.doAccept(ctx, http.MethodGet, "/readyz", nil, &r, http.StatusServiceUnavailable); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ClusterStatus fetches the coordinator's cluster view. A service not
+// running in cluster mode answers 404, surfaced as an *APIError.
+func (c *Client) ClusterStatus(ctx context.Context) (*api.ClusterStatus, error) {
+	var st api.ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
 
 // Health fetches the service's liveness summary.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {

@@ -3,8 +3,10 @@ package client_test
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -106,6 +108,108 @@ func TestClientEndToEnd(t *testing.T) {
 	metrics, err := cl.Metrics(ctx)
 	if err != nil || !strings.Contains(metrics, "zkproverd_jobs_total") {
 		t.Fatalf("metrics: %v", err)
+	}
+
+	// Batch proving: distinct witnesses of the registered circuit, every
+	// proof verifiable, batch digest present.
+	var batchAssigns []*zkspeed.Assignment
+	for x := uint64(20); x < 23; x++ {
+		_, a := buildCircuit(t, 3, x)
+		batchAssigns = append(batchAssigns, a)
+	}
+	batch, err := cl.ProveBatch(ctx, digest, batchAssigns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 0 || batch.BatchDigest == "" || len(batch.Statements) != 3 {
+		t.Fatalf("batch: failed=%d digest=%q statements=%d", batch.Failed, batch.BatchDigest, len(batch.Statements))
+	}
+	for i, st := range batch.Statements {
+		if st.Err != nil {
+			t.Fatalf("batch statement %d: %v", i, st.Err)
+		}
+		if err := cl.Verify(ctx, digest, st.Result.PublicInputs, st.Result.Proof); err != nil {
+			t.Fatalf("batch statement %d verify: %v", i, err)
+		}
+	}
+
+	ready, err := cl.Ready(ctx)
+	if err != nil || !ready.Ready {
+		t.Fatalf("ready: %v %+v", err, ready)
+	}
+	// Local mode has no cluster endpoint.
+	var apiErr *client.APIError
+	if _, err := cl.ClusterStatus(ctx); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("cluster status on local service: %v", err)
+	}
+}
+
+// TestClientAutoRetry exercises the 429 auto-retry against a flaky front
+// end that rejects the first two attempts with Retry-After and then
+// forwards to a real service. The tight WithRetryBackoff cap keeps the
+// test fast while still proving the schedule is honored.
+func TestClientAutoRetry(t *testing.T) {
+	svc, err := zkspeed.NewService(zkspeed.ServiceConfig{}, zkspeed.WithEntropy(zkspeed.SeededEntropy(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	var attempts atomic.Int32
+	var rejectFirst int32 = 2
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= rejectFirst {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		svc.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	circuit, _ := buildCircuit(t, 5, 9)
+	ctx := context.Background()
+
+	// Default client: overload surfaces immediately, no hidden retries.
+	plain := client.New(flaky.URL, client.WithHTTPClient(flaky.Client()))
+	var over *client.OverloadedError
+	if _, err := plain.RegisterCircuit(ctx, circuit); !errors.As(err, &over) {
+		t.Fatalf("without AutoRetry: %v, want OverloadedError", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("default client made %d attempts, want 1", got)
+	}
+	if over.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %s, want 1s", over.RetryAfter)
+	}
+
+	// Auto-retrying client: two rejections then success, 3 attempts total.
+	attempts.Store(0)
+	retrying := client.New(flaky.URL,
+		client.WithHTTPClient(flaky.Client()),
+		client.WithAutoRetry(3),
+		client.WithRetryBackoff(time.Millisecond, 20*time.Millisecond))
+	start := time.Now()
+	if _, err := retrying.RegisterCircuit(ctx, circuit); err != nil {
+		t.Fatalf("with AutoRetry: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("retrying client made %d attempts, want 3", got)
+	}
+	// Retry-After asked for 1s twice; the 20ms cap must have overridden it.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retries took %s — backoff cap not applied", elapsed)
+	}
+
+	// Budget exhaustion: a permanently overloaded service still surfaces
+	// the OverloadedError after max+1 attempts.
+	attempts.Store(0)
+	rejectFirst = 1 << 30
+	if _, err := retrying.RegisterCircuit(ctx, circuit); !errors.As(err, &over) {
+		t.Fatalf("exhausted retries: %v, want OverloadedError", err)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("exhausted client made %d attempts, want 4", got)
 	}
 }
 

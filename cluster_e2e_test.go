@@ -1,0 +1,260 @@
+package zkspeed_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"zkspeed"
+	"zkspeed/api"
+)
+
+// startClusterService builds a coordinator service with the given shard
+// count over a deterministic seed, serving both the HTTP API and the
+// cluster listener on loopback.
+func startClusterService(t *testing.T, shards int, seed int64) (*zkspeed.ProverService, *httptest.Server, string) {
+	t.Helper()
+	svc, err := zkspeed.NewService(
+		zkspeed.ServiceConfig{Shards: shards, BatchWindow: 2 * time.Millisecond},
+		zkspeed.WithEntropy(zkspeed.SeededEntropy(seed)),
+		zkspeed.WithCluster(zkspeed.ClusterConfig{Listen: "127.0.0.1:0"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	addr := svc.Cluster().ClusterStatus().Addr
+	if addr == "" {
+		t.Fatal("coordinator has no listen address")
+	}
+	return svc, srv, addr
+}
+
+func joinClusterWorker(t *testing.T, addr, name string) *zkspeed.ClusterWorker {
+	t.Helper()
+	w, err := zkspeed.JoinCluster(context.Background(), addr, zkspeed.ClusterWorkerConfig{
+		Name:              name,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func waitClusterWorkers(t *testing.T, svc *zkspeed.ProverService, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.Cluster().ClusterStatus().Workers) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached %d workers", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterProofsByteIdenticalToLocal is the tentpole acceptance test:
+// for every problem size mu=2..10, the proof produced by a 2-worker
+// cluster must be byte-identical to the proof a plain single-process
+// Engine produces from the same setup seed, circuit and witness — the
+// observable guarantee that the shared-seed distribution and the
+// ZKSC/ZKSW/ZKSP wire transfer are all faithful.
+func TestClusterProofsByteIdenticalToLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	const seed = 7
+	svc, srv, addr := startClusterService(t, 2, seed)
+	joinClusterWorker(t, addr, "w1")
+	joinClusterWorker(t, addr, "w2")
+	waitClusterWorkers(t, svc, 2)
+
+	// The reference engine lazily reads the same first 64 seed bytes the
+	// coordinator handed to every cluster engine.
+	local := zkspeed.New(zkspeed.WithEntropy(zkspeed.SeededEntropy(seed)))
+	ctx := context.Background()
+
+	for mu := 2; mu <= 10; mu++ {
+		circuit, assign, _, err := zkspeed.SyntheticWorkloadSeeded(mu, int64(100+mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := local.Prove(ctx, circuit, assign)
+		if err != nil {
+			t.Fatalf("mu=%d local prove: %v", mu, err)
+		}
+		refBlob, err := ref.Proof.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		circuitBlob, err := circuit.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		witnessBlob, err := assign.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp api.ProveResponse
+		postServiceJSON(t, srv, "/v1/prove", api.ProveRequest{
+			Circuit: circuitBlob, Witness: witnessBlob, Wait: true,
+		}, &resp, http.StatusOK)
+		if resp.Status != api.StatusDone {
+			t.Fatalf("mu=%d cluster prove: %+v", mu, resp)
+		}
+		if !bytes.Equal(resp.Proof, refBlob) {
+			t.Fatalf("mu=%d: cluster proof differs from local proof (%d vs %d bytes)",
+				mu, len(resp.Proof), len(refBlob))
+		}
+	}
+
+	st := svc.Cluster().ClusterStatus()
+	if st.Dispatches < 9 {
+		t.Fatalf("Dispatches = %d, want >= 9 (proofs must have come from workers)", st.Dispatches)
+	}
+	if st.LocalFallbacks != 0 {
+		t.Fatalf("LocalFallbacks = %d, want 0 with two live workers", st.LocalFallbacks)
+	}
+}
+
+// TestClusterWorkerDeathMidBatchRecovers kills one of two workers while a
+// 16-statement batch is in flight on it: the batch must still complete
+// with zero client-visible failures (re-queued to the survivor) and the
+// coordinator must record the re-queue.
+func TestClusterWorkerDeathMidBatchRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	svc, srv, addr := startClusterService(t, 2, 11)
+	w1 := joinClusterWorker(t, addr, "victim")
+	joinClusterWorker(t, addr, "survivor")
+	waitClusterWorkers(t, svc, 2)
+
+	const mu, statements = 8, 16
+	circuit, assign, _, err := zkspeed.SyntheticWorkloadSeeded(mu, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitBlob, err := circuit.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	witnessBlob, err := assign.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wits := make([][]byte, statements)
+	for i := range wits {
+		wits[i] = witnessBlob
+	}
+
+	// Kill the victim as soon as the coordinator shows work in flight on
+	// it; every statement must still succeed.
+	kill := make(chan struct{})
+	go func() {
+		defer close(kill)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, wi := range svc.Cluster().ClusterStatus().Workers {
+				if wi.ID == w1.ID() && wi.Inflight > 0 {
+					w1.Close()
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var resp api.ProveBatchResponse
+	postServiceJSON(t, srv, "/v1/prove_batch", api.ProveBatchRequest{
+		Circuit: circuitBlob, Witnesses: wits,
+	}, &resp, http.StatusOK)
+	<-kill
+
+	if resp.Failed != 0 || len(resp.Results) != statements {
+		t.Fatalf("batch after worker death: failed=%d results=%d", resp.Failed, len(resp.Results))
+	}
+	if resp.BatchDigest == "" {
+		t.Fatal("missing batch digest")
+	}
+	st := svc.Cluster().ClusterStatus()
+	if st.Requeues < 1 {
+		t.Fatalf("Requeues = %d, want >= 1 (worker was killed mid-batch)", st.Requeues)
+	}
+}
+
+// TestClusterZeroWorkersFallsBackToLocalProving exercises graceful
+// degradation: a coordinator with no registered workers must serve prove
+// requests from its own engines, count the fallbacks, and report unready.
+func TestClusterZeroWorkersFallsBackToLocalProving(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real proofs")
+	}
+	svc, srv, addr := startClusterService(t, 1, 13)
+
+	// Cluster mode with zero workers: alive but not ready.
+	readyResp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readyResp.Body.Close()
+	if readyResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with zero workers: %d, want 503", readyResp.StatusCode)
+	}
+
+	circuit, assign, pub, err := zkspeed.SyntheticWorkloadSeeded(4, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuitBlob, err := circuit.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	witnessBlob, err := assign.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp api.ProveResponse
+	postServiceJSON(t, srv, "/v1/prove", api.ProveRequest{
+		Circuit: circuitBlob, Witness: witnessBlob, Wait: true,
+	}, &resp, http.StatusOK)
+	if resp.Status != api.StatusDone {
+		t.Fatalf("fallback prove: %+v", resp)
+	}
+	if st := svc.Cluster().ClusterStatus(); st.LocalFallbacks < 1 {
+		t.Fatalf("LocalFallbacks = %d, want >= 1", st.LocalFallbacks)
+	}
+
+	// The locally proved proof must verify through the API.
+	pubBlobs := make([][]byte, len(pub))
+	for i := range pub {
+		b := pub[i].Bytes()
+		pubBlobs[i] = b[:]
+	}
+	var verify api.VerifyResponse
+	postServiceJSON(t, srv, "/v1/verify", api.VerifyRequest{
+		CircuitDigest: resp.CircuitDigest, PublicInputs: pubBlobs, Proof: resp.Proof,
+	}, &verify, http.StatusOK)
+	if !verify.Valid {
+		t.Fatalf("fallback proof rejected: %s", verify.Error)
+	}
+
+	// A worker joining flips readiness.
+	joinClusterWorker(t, addr, "late")
+	waitClusterWorkers(t, svc, 1)
+	readyResp2, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readyResp2.Body.Close()
+	if readyResp2.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz with one worker: %d, want 200", readyResp2.StatusCode)
+	}
+}

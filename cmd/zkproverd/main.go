@@ -10,9 +10,14 @@
 //	zkproverd -addr :9090 -shards 4 -batch-window 10ms
 //	zkproverd -queue-cap 128 -max-batch 32 -cache 1024
 //	zkproverd -preload-mu 10,12 -seed 7         # pre-derive SRS ceremonies
+//	zkproverd -worker -join host:9444 -name w1  # proving worker for zkclusterd
 //
-// See the README's "Running the proving service" section for the API
-// walkthrough and wire formats.
+// In -worker mode the daemon serves no HTTP: it dials the coordinator,
+// receives the cluster's shared setup seed in the handshake, and proves
+// dispatched batches until stopped (or the coordinator goes away).
+//
+// See the README's "Running the proving service" and "Running a proving
+// cluster" sections for the API walkthrough and wire formats.
 package main
 
 import (
@@ -45,10 +50,18 @@ func main() {
 	preload := flag.String("preload-mu", "", "comma-separated problem sizes whose SRS to pre-derive at startup, e.g. 10,12")
 	workers := flag.Int("workers", 0, "per-shard ProveBatch worker pool size (0 = one per CPU)")
 	verbose := flag.Bool("v", false, "log every completed proof")
+	workerMode := flag.Bool("worker", false, "run as a cluster proving worker instead of an HTTP service")
+	join := flag.String("join", "", "coordinator cluster address to join (required with -worker)")
+	name := flag.String("name", "", "worker name advertised to the coordinator (default hostname)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	log.SetPrefix("zkproverd: ")
+
+	if *workerMode {
+		runWorker(*join, *name, *preload, *workers, *verbose)
+		return
+	}
 
 	opts := []zkspeed.Option{}
 	if *seed != 0 {
@@ -84,10 +97,10 @@ func main() {
 	}
 	defer svc.Close()
 
+	// The daemon is alive as soon as it listens but ready only once the
+	// preload finished — load balancers watch /readyz.
 	if *preload != "" {
-		if err := preloadCircuits(svc, *preload, *seed); err != nil {
-			log.Fatal(err)
-		}
+		svc.SetReady(false, "preloading circuits")
 	}
 
 	server := &http.Server{
@@ -102,11 +115,21 @@ func main() {
 		errCh <- server.ListenAndServe()
 	}()
 
+	if *preload != "" {
+		if err := preloadCircuits(svc, *preload, *seed); err != nil {
+			log.Fatal(err)
+		}
+		svc.SetReady(true, "")
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
+		// Drop readiness first so load balancers stop routing new work,
+		// then drain in-flight HTTP exchanges.
 		log.Printf("received %s, draining", sig)
+		svc.SetReady(false, "draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := server.Shutdown(ctx); err != nil {
@@ -119,20 +142,86 @@ func main() {
 	}
 }
 
+// runWorker joins a zkclusterd coordinator and proves dispatched batches
+// until stopped. The setup seed comes from the coordinator's handshake, so
+// -seed is ignored here.
+func runWorker(join, name, preload string, workers int, verbose bool) {
+	if join == "" {
+		log.Fatal("-worker requires -join <coordinator cluster address>")
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	mus, err := parseMus(preload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []zkspeed.Option{}
+	if workers > 0 {
+		opts = append(opts, zkspeed.WithParallelism(workers))
+	}
+	if verbose {
+		opts = append(opts, zkspeed.WithProveHook(func(st zkspeed.ProofStats) {
+			log.Printf("proved mu=%d (%d gates) in %v, %d-byte proof",
+				st.Mu, st.NumGates, st.ProverTime.Round(time.Microsecond), st.ProofBytes)
+		}))
+	}
+	w, err := zkspeed.JoinCluster(context.Background(), join, zkspeed.ClusterWorkerConfig{
+		Name:       name,
+		Cores:      workers,
+		PreloadMus: mus,
+		Logf:       log.Printf,
+	}, opts...)
+	if err != nil {
+		log.Fatalf("joining %s: %v", join, err)
+	}
+	log.Printf("worker %q joined coordinator %s (id %d)", name, join, w.ID())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	select {
+	case sig := <-stop:
+		log.Printf("received %s, leaving cluster", sig)
+		w.Close()
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("worker stopped: %v", err)
+		}
+	}
+}
+
+// parseMus parses a comma-separated -preload-mu list.
+func parseMus(list string) ([]int, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var mus []int
+	for _, f := range strings.Split(list, ",") {
+		mu, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -preload-mu entry %q: %v", f, err)
+		}
+		if mu < 2 || mu > 20 {
+			return nil, fmt.Errorf("-preload-mu %d out of the supported functional range [2,20]", mu)
+		}
+		mus = append(mus, mu)
+	}
+	return mus, nil
+}
+
 // preloadCircuits registers synthetic workloads for the listed sizes so
 // the SRS ceremonies and key setups run before the first request arrives.
 func preloadCircuits(svc *zkspeed.ProverService, list string, seed int64) error {
 	if seed == 0 {
 		seed = 1
 	}
-	for _, f := range strings.Split(list, ",") {
-		mu, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return fmt.Errorf("bad -preload-mu entry %q: %v", f, err)
-		}
-		if mu < 2 || mu > 20 {
-			return fmt.Errorf("-preload-mu %d out of the supported functional range [2,20]", mu)
-		}
+	mus, err := parseMus(list)
+	if err != nil {
+		return err
+	}
+	for _, mu := range mus {
 		circuit, _, _, err := zkspeed.SyntheticWorkloadSeeded(mu, seed)
 		if err != nil {
 			return err

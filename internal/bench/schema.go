@@ -30,6 +30,7 @@ const (
 	KindKernel  = "kernel"  // one prover kernel in isolation (MSM, sumcheck, …)
 	KindE2E     = "e2e"     // a full Engine.Prove invocation
 	KindService = "service" // a prove driven through zkproverd's HTTP path
+	KindCluster = "cluster" // a batch driven through a coordinator + worker fleet
 )
 
 // Report is one benchmark run: environment, run parameters and results.

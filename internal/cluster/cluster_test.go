@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+	"zkspeed/internal/hyperplonk"
+	"zkspeed/internal/pcs"
+	"zkspeed/internal/service"
+	"zkspeed/internal/sumcheck"
+)
+
+// buildCircuit compiles x² + c·x == y (y public) — varying c yields
+// circuits with distinct digests, varying x distinct witnesses.
+func buildCircuit(t *testing.T, c, x uint64) (*hyperplonk.Circuit, *hyperplonk.Assignment) {
+	t.Helper()
+	b := hyperplonk.NewBuilder()
+	xv := b.Witness(ff.NewFr(x))
+	y := b.Add(b.Mul(xv, xv), b.MulConst(ff.NewFr(c), xv))
+	yPub := b.PublicInput(b.Value(y))
+	b.AssertEqual(y, yPub)
+	circuit, assign, _, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return circuit, assign
+}
+
+// stubProof fabricates a structurally valid (serializable) proof so the
+// scheduling tests stay sub-millisecond.
+func stubProof(mu int) *hyperplonk.Proof {
+	p := &hyperplonk.Proof{}
+	inf := curve.G1Infinity()
+	for i := range p.WitnessComms {
+		p.WitnessComms[i].P = inf
+	}
+	p.PhiComm.P = inf
+	p.PiComm.P = inf
+	mk := func(evals int) sumcheck.Proof {
+		rounds := make([]sumcheck.RoundPoly, mu)
+		for k := range rounds {
+			rounds[k].Evals = make([]ff.Fr, evals)
+		}
+		return sumcheck.Proof{Rounds: rounds}
+	}
+	p.ZeroCheck = mk(5)
+	p.PermCheck = mk(6)
+	p.OpenCheck = mk(3)
+	p.Opening = pcs.OpeningProof{Quotients: make([]curve.G1Affine, mu)}
+	for i := range p.Opening.Quotients {
+		p.Opening.Quotients[i] = inf
+	}
+	return p
+}
+
+// stubBackend fabricates proofs; block, when non-nil, stalls ProveBatch
+// until the context dies (a worker that never finishes).
+type stubBackend struct {
+	block chan struct{}
+
+	mu     sync.Mutex
+	proofs int
+}
+
+func (b *stubBackend) ProveBatch(ctx context.Context, jobs []service.BackendJob) []service.BackendResult {
+	if b.block != nil {
+		select {
+		case <-b.block:
+		case <-ctx.Done():
+			out := make([]service.BackendResult, len(jobs))
+			for i := range out {
+				out[i].Err = ctx.Err()
+			}
+			return out
+		}
+	}
+	b.mu.Lock()
+	b.proofs += len(jobs)
+	b.mu.Unlock()
+	out := make([]service.BackendResult, len(jobs))
+	for i, j := range jobs {
+		out[i] = service.BackendResult{
+			Proof:        stubProof(j.Circuit.Mu),
+			PublicInputs: j.Circuit.PublicInputs(j.Assignment),
+			ProverTime:   time.Millisecond,
+			Steps:        map[string]time.Duration{"witness_commit": time.Millisecond},
+		}
+	}
+	return out
+}
+
+func (b *stubBackend) Verify(ctx context.Context, c *hyperplonk.Circuit, pub []ff.Fr, proof *hyperplonk.Proof) error {
+	return nil
+}
+func (b *stubBackend) Setup(ctx context.Context, c *hyperplonk.Circuit) error { return nil }
+func (b *stubBackend) Stats() service.BackendStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return service.BackendStats{Proofs: b.proofs}
+}
+
+func (b *stubBackend) proofCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.proofs
+}
+
+// startCoordinator serves a coordinator on loopback.
+func startCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(ln)
+	t.Cleanup(func() { coord.Close() })
+	return coord
+}
+
+// joinWorker joins a worker whose backend is the given stub.
+func joinWorker(t *testing.T, coord *Coordinator, name string, backend service.Backend) *Worker {
+	t.Helper()
+	w, err := Join(context.Background(), coord.Addr(), WorkerConfig{
+		Name:              name,
+		HeartbeatInterval: 50 * time.Millisecond,
+		NewBackend:        func([]byte) (service.Backend, error) { return backend, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func waitWorkers(t *testing.T, coord *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.WorkerCount() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached %d workers (have %d)", n, coord.WorkerCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func marshalWitnesses(t *testing.T, assigns ...*hyperplonk.Assignment) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(assigns))
+	for i, a := range assigns {
+		blob, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = blob
+	}
+	return out
+}
+
+func TestDispatchProvesOnWorker(t *testing.T) {
+	coord := startCoordinator(t, Config{})
+	remote := &stubBackend{}
+	joinWorker(t, coord, "w1", remote)
+	waitWorkers(t, coord, 1)
+
+	circuit, assign := buildCircuit(t, 3, 4)
+	_, assign2 := buildCircuit(t, 3, 5)
+	local := &stubBackend{}
+	b := NewBackend(coord, local)
+	results := b.ProveBatch(context.Background(), []service.BackendJob{
+		{Circuit: circuit, Assignment: assign},
+		{Circuit: circuit, Assignment: assign2},
+	})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.Proof == nil || r.ProofBlob == nil {
+			t.Fatalf("result %d missing proof (blob=%v)", i, r.ProofBlob != nil)
+		}
+		if len(r.PublicInputs) != circuit.NumPublic {
+			t.Fatalf("result %d: %d public inputs, want %d", i, len(r.PublicInputs), circuit.NumPublic)
+		}
+	}
+	if got := remote.proofCount(); got != 2 {
+		t.Fatalf("worker proved %d statements, want 2", got)
+	}
+	if got := local.proofCount(); got != 0 {
+		t.Fatalf("local backend proved %d statements, want 0", got)
+	}
+	st := coord.ClusterStatus()
+	if st.Dispatches != 1 || st.LocalFallbacks != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func TestCircuitBlobSentOnlyOnce(t *testing.T) {
+	coord := startCoordinator(t, Config{})
+	joinWorker(t, coord, "w1", &stubBackend{})
+	waitWorkers(t, coord, 1)
+
+	circuit, assign := buildCircuit(t, 5, 6)
+	digest := circuit.Digest()
+	wits := marshalWitnesses(t, assign)
+
+	if _, err := coord.Dispatch(context.Background(), digest, circuit.MarshalBinary, wits); err != nil {
+		t.Fatal(err)
+	}
+	// The second dispatch must find the circuit resident: a blob callback
+	// that fails proves it was never invoked.
+	boom := func() ([]byte, error) { return nil, errors.New("circuit re-requested") }
+	if _, err := coord.Dispatch(context.Background(), digest, boom, wits); err != nil {
+		t.Fatalf("second dispatch requested the circuit blob again: %v", err)
+	}
+}
+
+func TestZeroWorkersFallsBackToLocal(t *testing.T) {
+	coord := startCoordinator(t, Config{})
+	local := &stubBackend{}
+	b := NewBackend(coord, local)
+
+	circuit, assign := buildCircuit(t, 7, 8)
+	results := b.ProveBatch(context.Background(), []service.BackendJob{{Circuit: circuit, Assignment: assign}})
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("fallback results: %+v", results)
+	}
+	if got := local.proofCount(); got != 1 {
+		t.Fatalf("local backend proved %d, want 1", got)
+	}
+	if st := coord.ClusterStatus(); st.LocalFallbacks != 1 {
+		t.Fatalf("LocalFallbacks = %d, want 1", st.LocalFallbacks)
+	}
+}
+
+func TestWorkerDeathRequeuesToSibling(t *testing.T) {
+	coord := startCoordinator(t, Config{})
+	// Worker 1 (lowest id, preferred on the idle tie-break) never finishes;
+	// worker 2 is healthy.
+	stuck := &stubBackend{block: make(chan struct{})}
+	healthy := &stubBackend{}
+	w1 := joinWorker(t, coord, "stuck", stuck)
+	joinWorker(t, coord, "healthy", healthy)
+	waitWorkers(t, coord, 2)
+
+	circuit, assign := buildCircuit(t, 9, 10)
+	wits := marshalWitnesses(t, assign)
+
+	// Kill the stuck worker once the dispatch is in flight on it.
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Dispatch(context.Background(), circuit.Digest(), circuit.MarshalBinary, wits)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := coord.ClusterStatus()
+		if len(st.Workers) > 0 && st.Workers[0].ID == w1.ID() && st.Workers[0].Inflight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatch never landed on the stuck worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w1.Close()
+
+	if err := <-done; err != nil {
+		t.Fatalf("batch did not survive worker death: %v", err)
+	}
+	if got := healthy.proofCount(); got != 1 {
+		t.Fatalf("healthy worker proved %d, want 1", got)
+	}
+	st := coord.ClusterStatus()
+	if st.Requeues < 1 {
+		t.Fatalf("Requeues = %d, want >= 1", st.Requeues)
+	}
+	if st.WorkerDeaths < 1 {
+		t.Fatalf("WorkerDeaths = %d, want >= 1", st.WorkerDeaths)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	coord := startCoordinator(t, Config{MaxRetries: 1})
+	stuckA := &stubBackend{block: make(chan struct{})}
+	stuckB := &stubBackend{block: make(chan struct{})}
+	wa := joinWorker(t, coord, "a", stuckA)
+	wb := joinWorker(t, coord, "b", stuckB)
+	waitWorkers(t, coord, 2)
+
+	circuit, assign := buildCircuit(t, 11, 12)
+	wits := marshalWitnesses(t, assign)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Dispatch(context.Background(), circuit.Digest(), circuit.MarshalBinary, wits)
+		done <- err
+	}()
+	// Kill each worker as the dispatch lands on it; after MaxRetries=1 the
+	// second death must surface an error, not loop forever.
+	for _, w := range []*Worker{wa, wb} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			inflight := 0
+			for _, wi := range coord.ClusterStatus().Workers {
+				if wi.ID == w.ID() {
+					inflight = wi.Inflight
+				}
+			}
+			if inflight > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("dispatch never landed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		w.Close()
+	}
+	err := <-done
+	if err == nil {
+		t.Fatal("want error after exhausting the retry budget")
+	}
+	if errors.Is(err, ErrNoWorkers) {
+		// Acceptable only if every candidate died — which is the case here;
+		// the point is that Dispatch terminated.
+		t.Logf("dispatch ended with %v", err)
+	}
+}
+
+func TestHeartbeatTimeoutDropsWorker(t *testing.T) {
+	coord := startCoordinator(t, Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   2,
+	})
+	w, err := Join(context.Background(), coord.Addr(), WorkerConfig{
+		Name: "silent",
+		// Heartbeat far slower than the coordinator's deadline.
+		HeartbeatInterval: time.Hour,
+		NewBackend:        func([]byte) (service.Backend, error) { return &stubBackend{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	waitWorkers(t, coord, 1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.WorkerCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent worker was never dropped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := coord.ClusterStatus(); st.WorkerDeaths != 1 {
+		t.Fatalf("WorkerDeaths = %d, want 1", st.WorkerDeaths)
+	}
+}
+
+func TestSeedDistribution(t *testing.T) {
+	seed := make([]byte, seedLen)
+	for i := range seed {
+		seed[i] = byte(i * 3)
+	}
+	coord := startCoordinator(t, Config{SetupSeed: seed})
+
+	got := make(chan []byte, 1)
+	w, err := Join(context.Background(), coord.Addr(), WorkerConfig{
+		Name: "w",
+		NewBackend: func(s []byte) (service.Backend, error) {
+			got <- append([]byte{}, s...)
+			return &stubBackend{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	workerSeed := <-got
+	if !equalBytes(workerSeed, seed) {
+		t.Fatal("worker received a different setup seed than configured")
+	}
+	if !equalBytes(coord.SetupSeed(), seed) {
+		t.Fatal("coordinator reports a different setup seed than configured")
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,565 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"zkspeed/api"
+)
+
+// ErrNoWorkers is returned by Dispatch when zero workers are registered —
+// the caller (Backend) degrades to local proving.
+var ErrNoWorkers = errors.New("cluster: no workers registered")
+
+// errWorkerDead fails in-flight dispatches when their worker's connection
+// drops; Dispatch treats it as retryable and re-queues to another worker.
+var errWorkerDead = errors.New("cluster: worker died")
+
+// Config tunes a Coordinator. Zero values select the documented defaults.
+type Config struct {
+	// SetupSeed is the 64-byte master ceremony seed shared with every
+	// worker (and the coordinator's own fallback engines), so all engines
+	// in the cluster derive identical SRSs and proofs transfer across
+	// nodes. Nil generates a random seed.
+	SetupSeed []byte
+	// HeartbeatInterval is the expected worker heartbeat cadence; default
+	// 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals drop a worker; default
+	// 3.
+	HeartbeatMisses int
+	// MaxRetries bounds how many times a batch is re-queued to another
+	// worker after its worker dies mid-job; default 2.
+	MaxRetries int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatMisses == 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// workerConn is the coordinator's handle on one registered worker.
+type workerConn struct {
+	id    uint64
+	conn  net.Conn
+	fw    *frameWriter
+	name  string
+	addr  string
+	cores int
+	mus   []int
+
+	mu       sync.Mutex
+	digests  map[[32]byte]bool // circuits the worker holds decoded
+	inflight int               // statements dispatched, not yet returned
+	jobsDone int64
+	lastSeen time.Time
+	pending  map[uint64]chan *resultMsg
+	dead     bool
+
+	// sendMu orders dispatch frames with respect to the residency marks
+	// they rely on: the needCircuit decision and the frame write happen
+	// under one critical section, so a dispatch that skipped the circuit
+	// blob can never reach the wire before the dispatch that carried it.
+	sendMu sync.Mutex
+}
+
+// fail marks the worker dead and aborts its in-flight dispatches exactly
+// once; Dispatch waiters observe a closed channel and re-queue.
+func (w *workerConn) fail() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return
+	}
+	w.dead = true
+	for _, ch := range w.pending {
+		close(ch)
+	}
+	w.pending = nil
+	w.conn.Close()
+}
+
+func (w *workerConn) info(now time.Time) api.ClusterWorkerInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return api.ClusterWorkerInfo{
+		ID:               w.id,
+		Name:             w.name,
+		Addr:             w.addr,
+		Cores:            w.cores,
+		PreloadedMus:     w.mus,
+		ResidentCircuits: len(w.digests),
+		Inflight:         w.inflight,
+		JobsDone:         w.jobsDone,
+		LastSeenMS:       now.Sub(w.lastSeen).Milliseconds(),
+	}
+}
+
+// Coordinator registers worker daemons and routes proving batches to
+// them. Construct with NewCoordinator, start with Serve (or let the root
+// package's cluster service do both), stop with Close.
+type Coordinator struct {
+	cfg  Config
+	seed [seedLen]byte
+
+	mu      sync.Mutex
+	ln      net.Listener
+	workers map[uint64]*workerConn
+	nextID  uint64
+	batchID uint64
+	closed  bool
+
+	// counters, under mu
+	dispatches     int64
+	requeues       int64
+	workerDeaths   int64
+	localFallbacks int64
+
+	wg sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator. It owns no listener until Serve.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, workers: make(map[uint64]*workerConn)}
+	if cfg.SetupSeed != nil {
+		if len(cfg.SetupSeed) != seedLen {
+			return nil, fmt.Errorf("cluster: setup seed must be %d bytes, got %d", seedLen, len(cfg.SetupSeed))
+		}
+		copy(c.seed[:], cfg.SetupSeed)
+	} else if _, err := io.ReadFull(rand.Reader, c.seed[:]); err != nil {
+		return nil, fmt.Errorf("cluster: generating setup seed: %w", err)
+	}
+	return c, nil
+}
+
+// SetupSeed returns the cluster's shared 64-byte ceremony seed — the
+// coordinator's local fallback engines must be built from the same seed.
+func (c *Coordinator) SetupSeed() []byte {
+	out := make([]byte, seedLen)
+	copy(out, c.seed[:])
+	return out
+}
+
+// Serve accepts worker connections on ln until Close. It starts the
+// heartbeat monitor and returns immediately.
+func (c *Coordinator) Serve(ln net.Listener) {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.serveWorker(conn)
+			}()
+		}
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.monitorHeartbeats()
+	}()
+}
+
+// Addr returns the cluster listen address, or "" before Serve.
+func (c *Coordinator) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Close stops accepting, drops every worker (failing their in-flight
+// dispatches) and waits for the connection goroutines.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ln := c.ln
+	var conns []*workerConn
+	for _, w := range c.workers {
+		conns = append(conns, w)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, w := range conns {
+		w.fail()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// serveWorker owns one worker connection: handshake, then the read loop
+// that routes results and heartbeats. Returning unregisters the worker.
+func (c *Coordinator) serveWorker(conn net.Conn) {
+	defer conn.Close()
+	r := newReader(conn)
+	typ, payload, err := readFrame(r)
+	if err != nil || typ != msgHello {
+		c.cfg.Logf("cluster: rejecting %s: no hello (%v)", conn.RemoteAddr(), err)
+		return
+	}
+	var hello helloMsg
+	if err := hello.unmarshal(payload); err != nil {
+		c.cfg.Logf("cluster: rejecting %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	w := &workerConn{
+		conn:    conn,
+		fw:      &frameWriter{w: newWriter(conn)},
+		name:    hello.Name,
+		addr:    conn.RemoteAddr().String(),
+		cores:   hello.Cores,
+		mus:     hello.PreloadedMus,
+		digests: make(map[[32]byte]bool, len(hello.Digests)),
+		pending: make(map[uint64]chan *resultMsg),
+	}
+	for _, d := range hello.Digests {
+		w.digests[d] = true
+	}
+	w.lastSeen = time.Now()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.nextID++
+	w.id = c.nextID
+	c.workers[w.id] = w
+	n := len(c.workers)
+	c.mu.Unlock()
+
+	ack := helloAckMsg{WorkerID: w.id, Seed: c.seed}
+	if err := w.fw.send(msgHelloAck, ack.marshal()); err != nil {
+		c.dropWorker(w, err)
+		return
+	}
+	c.cfg.Logf("cluster: worker %d (%s, %d cores) joined from %s — %d registered",
+		w.id, w.name, w.cores, w.addr, n)
+
+	for {
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			c.dropWorker(w, err)
+			return
+		}
+		w.mu.Lock()
+		w.lastSeen = time.Now()
+		w.mu.Unlock()
+		switch typ {
+		case msgHeartbeat:
+			// lastSeen refresh above is the point; the load figure the
+			// worker reports is advisory (the coordinator tracks its own
+			// inflight count per dispatch).
+		case msgResult:
+			var res resultMsg
+			if err := res.unmarshal(payload); err != nil {
+				c.dropWorker(w, err)
+				return
+			}
+			w.mu.Lock()
+			ch := w.pending[res.BatchID]
+			delete(w.pending, res.BatchID)
+			w.mu.Unlock()
+			if ch != nil {
+				ch <- &res
+			}
+		case msgGoodbye:
+			c.dropWorker(w, errors.New("goodbye"))
+			return
+		default:
+			c.dropWorker(w, fmt.Errorf("unexpected message type %d", typ))
+			return
+		}
+	}
+}
+
+// dropWorker unregisters and kills a worker exactly once.
+func (c *Coordinator) dropWorker(w *workerConn, cause error) {
+	c.mu.Lock()
+	_, registered := c.workers[w.id]
+	delete(c.workers, w.id)
+	if registered {
+		c.workerDeaths++
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	w.fail()
+	if registered && !closed {
+		c.cfg.Logf("cluster: worker %d (%s) dropped: %v", w.id, w.name, cause)
+	}
+}
+
+// monitorHeartbeats drops workers that miss HeartbeatMisses intervals.
+func (c *Coordinator) monitorHeartbeats() {
+	interval := c.cfg.HeartbeatInterval
+	deadline := time.Duration(c.cfg.HeartbeatMisses) * interval
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		var stale []*workerConn
+		now := time.Now()
+		for _, w := range c.workers {
+			w.mu.Lock()
+			if now.Sub(w.lastSeen) > deadline {
+				stale = append(stale, w)
+			}
+			w.mu.Unlock()
+		}
+		c.mu.Unlock()
+		for _, w := range stale {
+			c.dropWorker(w, fmt.Errorf("missed %d heartbeats", c.cfg.HeartbeatMisses))
+		}
+	}
+}
+
+// WorkerCount reports the registered workers — the readiness signal.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// noteLocalFallback counts a batch the Backend proved locally for lack of
+// workers.
+func (c *Coordinator) noteLocalFallback() {
+	c.mu.Lock()
+	c.localFallbacks++
+	c.mu.Unlock()
+}
+
+// ClusterStatus snapshots the cluster for GET /v1/cluster and /metrics —
+// the service.ClusterInfo implementation.
+func (c *Coordinator) ClusterStatus() api.ClusterStatus {
+	c.mu.Lock()
+	st := api.ClusterStatus{
+		Dispatches:     c.dispatches,
+		Requeues:       c.requeues,
+		WorkerDeaths:   c.workerDeaths,
+		LocalFallbacks: c.localFallbacks,
+	}
+	if c.ln != nil {
+		st.Addr = c.ln.Addr().String()
+	}
+	workers := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	c.mu.Unlock()
+	sort.Slice(workers, func(i, j int) bool { return workers[i].id < workers[j].id })
+	now := time.Now()
+	for _, w := range workers {
+		st.Workers = append(st.Workers, w.info(now))
+	}
+	return st
+}
+
+// pickWorker selects the dispatch target: among live workers, the one
+// already holding the circuit digest with the least in-flight work, else
+// the least-loaded overall (ties broken by id for determinism). Workers in
+// skip (dead during this dispatch's retries) are excluded.
+func (c *Coordinator) pickWorker(digest [32]byte, skip map[uint64]bool) *workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *workerConn
+	bestScore := 0
+	for _, w := range c.workers {
+		if skip[w.id] {
+			continue
+		}
+		w.mu.Lock()
+		// Resident circuits dominate the score: dispatching there skips
+		// the circuit transfer and reuses the worker's warm keys.
+		score := w.inflight
+		if !w.digests[digest] {
+			score += 1 << 20
+		}
+		w.mu.Unlock()
+		if best == nil || score < bestScore || (score == bestScore && w.id < best.id) {
+			best, bestScore = w, score
+		}
+	}
+	return best
+}
+
+// Dispatch routes one single-circuit batch to a worker and waits for its
+// results. circuitBlob is invoked (at most once) only when the chosen
+// worker does not hold the circuit yet. A worker death mid-job re-queues
+// the batch to another worker up to MaxRetries times; with no workers
+// registered it returns ErrNoWorkers so the caller can prove locally.
+func (c *Coordinator) Dispatch(ctx context.Context, digest [32]byte, circuitBlob func() ([]byte, error), witnesses [][]byte) ([]jobResult, error) {
+	// Memoize the circuit marshaling: retries against fresh workers must
+	// not re-serialize the (potentially hundreds of MiB) circuit tables.
+	var blobOnce sync.Once
+	var blob []byte
+	var blobErr error
+	getBlob := func() ([]byte, error) {
+		blobOnce.Do(func() { blob, blobErr = circuitBlob() })
+		return blob, blobErr
+	}
+	var skip map[uint64]bool
+	for attempt := 0; ; attempt++ {
+		w := c.pickWorker(digest, skip)
+		if w == nil {
+			// Retries may have consumed every worker; distinguish "cluster
+			// empty" from "all candidates died on this batch" only in the
+			// error text — both degrade to local proving.
+			if attempt == 0 {
+				return nil, ErrNoWorkers
+			}
+			return nil, fmt.Errorf("%w (after %d attempts)", ErrNoWorkers, attempt)
+		}
+		results, err := c.dispatchTo(ctx, w, digest, getBlob, witnesses)
+		if err == nil {
+			return results, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, errWorkerDead) || attempt >= c.cfg.MaxRetries {
+			return nil, err
+		}
+		if skip == nil {
+			skip = make(map[uint64]bool)
+		}
+		skip[w.id] = true
+		c.mu.Lock()
+		c.requeues++
+		c.mu.Unlock()
+		c.cfg.Logf("cluster: re-queueing %d-statement batch after worker %d death (attempt %d/%d)",
+			len(witnesses), w.id, attempt+1, c.cfg.MaxRetries)
+	}
+}
+
+// dispatchTo sends the batch to one specific worker and waits.
+func (c *Coordinator) dispatchTo(ctx context.Context, w *workerConn, digest [32]byte, circuitBlob func() ([]byte, error), witnesses [][]byte) ([]jobResult, error) {
+	msg := dispatchMsg{Digest: digest, Witnesses: witnesses}
+
+	// send performs the residency decision, the bookkeeping and the frame
+	// write under w.sendMu: a concurrent dispatch of the same circuit
+	// that sees our optimistic residency mark must also be queued on the
+	// wire behind our blob-carrying frame, or the worker would reject it
+	// as non-resident. Only the first dispatch per circuit pays the blob
+	// marshal inside the lock, and the lock is released before we wait
+	// for results so dispatches to one worker still overlap.
+	ch := make(chan *resultMsg, 1)
+	registered := false
+	unregister := func() {
+		w.mu.Lock()
+		delete(w.pending, msg.BatchID)
+		w.inflight -= len(witnesses)
+		w.mu.Unlock()
+	}
+	send := func() error {
+		w.sendMu.Lock()
+		defer w.sendMu.Unlock()
+
+		w.mu.Lock()
+		if w.dead {
+			w.mu.Unlock()
+			return errWorkerDead
+		}
+		needCircuit := !w.digests[digest]
+		// Mark the digest resident optimistically under the same lock
+		// that decided to send it, so a concurrent dispatch of the same
+		// circuit to this worker does not send the blob twice. A dead
+		// worker is dropped wholesale, so over-marking cannot outlive a
+		// failure.
+		w.digests[digest] = true
+		w.mu.Unlock()
+
+		if needCircuit {
+			blob, err := circuitBlob()
+			if err != nil {
+				return err
+			}
+			msg.Circuit = blob
+		}
+
+		c.mu.Lock()
+		c.batchID++
+		msg.BatchID = c.batchID
+		c.dispatches++
+		c.mu.Unlock()
+
+		w.mu.Lock()
+		if w.dead {
+			w.mu.Unlock()
+			return errWorkerDead
+		}
+		w.pending[msg.BatchID] = ch
+		w.inflight += len(witnesses)
+		w.mu.Unlock()
+		registered = true
+
+		if err := w.fw.send(msgDispatch, msg.marshal()); err != nil {
+			c.dropWorker(w, err)
+			return errWorkerDead
+		}
+		return nil
+	}
+	if err := send(); err != nil {
+		if registered {
+			unregister()
+		}
+		return nil, err
+	}
+	defer unregister()
+
+	select {
+	case res, ok := <-ch:
+		if !ok || res == nil {
+			return nil, errWorkerDead
+		}
+		if len(res.Results) != len(witnesses) {
+			c.dropWorker(w, fmt.Errorf("short result: %d of %d", len(res.Results), len(witnesses)))
+			return nil, errWorkerDead
+		}
+		w.mu.Lock()
+		w.jobsDone += int64(len(res.Results))
+		w.mu.Unlock()
+		return res.Results, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

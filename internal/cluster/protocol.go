@@ -1,0 +1,413 @@
+// Package cluster implements zkspeed's multi-node distributed proving
+// layer: a coordinator that registers worker daemons over a compact
+// length-prefixed binary protocol, routes proving batches to them (with
+// bounded re-queue on worker death and graceful degradation to local
+// proving), and a worker loop that proves dispatched batches on its own
+// engine.
+//
+// The wire protocol frames messages as
+//
+//	u32 length | u8 type | payload[length-1]
+//
+// and carries circuits, witnesses and proofs as the existing versioned
+// hyperplonk wire blobs (ZKSC / ZKSW / ZKSP), so the cluster layer adds no
+// second serialization of the cryptographic objects. The stream opens with
+// a hello carrying the protocol magic and the worker's capability
+// advertisement (cores, preloaded problem sizes, resident circuit
+// digests); the coordinator's ack assigns the worker id and distributes
+// the cluster's shared 64-byte setup seed, so every engine in the cluster
+// derives the same SRS and proofs transfer across nodes byte-identically.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Protocol constants. maxFrame bounds what one side will buffer for a
+// single message: a dispatch of 16 mu=20 witnesses is ~1.5 GiB, past any
+// size the service accepts over HTTP, so 1 GiB rejects corrupt lengths
+// without constraining real traffic (the service caps bodies well below).
+const (
+	protoMagic   = 0x5a4b4357 // "ZKCW"
+	protoVersion = 1
+	maxFrame     = 1 << 30
+	seedLen      = 64
+)
+
+// Message types.
+const (
+	msgHello = iota + 1
+	msgHelloAck
+	msgHeartbeat
+	msgDispatch
+	msgResult
+	msgGoodbye
+)
+
+var (
+	errBadFrame = errors.New("cluster: malformed frame")
+	errTooBig   = fmt.Errorf("cluster: frame exceeds %d bytes", maxFrame)
+)
+
+// writeFrame sends one framed message. Callers serialize via the
+// conn's write mutex; this helper only formats.
+func writeFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	if len(payload)+1 > maxFrame {
+		return errTooBig
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one framed message.
+func readFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return 0, nil, errBadFrame
+	}
+	if n > maxFrame {
+		return 0, nil, errTooBig
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// enc is a tiny append-based message encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) raw(v []byte)  { e.b = append(e.b, v...) }
+func (e *enc) blob(v []byte) { e.u32(uint32(len(v))); e.raw(v) }
+func (e *enc) str(v string)  { e.u16(uint16(len(v))); e.b = append(e.b, v...) }
+
+// dec is the matching cursor decoder; the first error is sticky so
+// callers can decode a full message and check once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = errBadFrame
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) u8() byte {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *dec) u16() uint16 {
+	v := d.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+func (d *dec) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+func (d *dec) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+func (d *dec) blob() []byte {
+	n := d.u32()
+	if d.err == nil && int(n) > len(d.b) {
+		d.err = errBadFrame
+		return nil
+	}
+	return d.take(int(n))
+}
+
+func (d *dec) str() string { return string(d.take(int(d.u16()))) }
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return errBadFrame
+	}
+	return nil
+}
+
+// helloMsg is the worker's capability advertisement, sent once after
+// dialing.
+type helloMsg struct {
+	Name         string
+	Cores        int
+	PreloadedMus []int
+	// Digests are circuits the worker already holds decoded (e.g. from a
+	// previous session); the coordinator skips the circuit blob for them.
+	Digests [][32]byte
+}
+
+func (m *helloMsg) marshal() []byte {
+	var e enc
+	e.u32(protoMagic)
+	e.u8(protoVersion)
+	e.str(m.Name)
+	e.u16(uint16(m.Cores))
+	e.u8(byte(len(m.PreloadedMus)))
+	for _, mu := range m.PreloadedMus {
+		e.u8(byte(mu))
+	}
+	e.u16(uint16(len(m.Digests)))
+	for i := range m.Digests {
+		e.raw(m.Digests[i][:])
+	}
+	return e.b
+}
+
+func (m *helloMsg) unmarshal(b []byte) error {
+	d := dec{b: b}
+	if d.u32() != protoMagic {
+		return errors.New("cluster: bad hello magic")
+	}
+	if v := d.u8(); d.err == nil && v != protoVersion {
+		return fmt.Errorf("cluster: unsupported protocol version %d", v)
+	}
+	m.Name = d.str()
+	m.Cores = int(d.u16())
+	nmu := int(d.u8())
+	m.PreloadedMus = make([]int, 0, nmu)
+	for i := 0; i < nmu; i++ {
+		m.PreloadedMus = append(m.PreloadedMus, int(d.u8()))
+	}
+	nd := int(d.u16())
+	m.Digests = make([][32]byte, nd)
+	for i := 0; i < nd; i++ {
+		copy(m.Digests[i][:], d.take(32))
+	}
+	return d.done()
+}
+
+// helloAckMsg assigns the worker its id and hands it the cluster's shared
+// setup seed.
+type helloAckMsg struct {
+	WorkerID uint64
+	Seed     [seedLen]byte
+}
+
+func (m *helloAckMsg) marshal() []byte {
+	var e enc
+	e.u64(m.WorkerID)
+	e.raw(m.Seed[:])
+	return e.b
+}
+
+func (m *helloAckMsg) unmarshal(b []byte) error {
+	d := dec{b: b}
+	m.WorkerID = d.u64()
+	copy(m.Seed[:], d.take(seedLen))
+	return d.done()
+}
+
+// heartbeatMsg reports the worker's current load.
+type heartbeatMsg struct {
+	Inflight uint32
+}
+
+func (m *heartbeatMsg) marshal() []byte {
+	var e enc
+	e.u32(m.Inflight)
+	return e.b
+}
+
+func (m *heartbeatMsg) unmarshal(b []byte) error {
+	d := dec{b: b}
+	m.Inflight = d.u32()
+	return d.done()
+}
+
+// dispatchMsg carries one proving batch: the circuit (by digest, plus the
+// ZKSC blob the first time a worker sees it) and one ZKSW witness blob per
+// statement.
+type dispatchMsg struct {
+	BatchID uint64
+	Digest  [32]byte
+	// Circuit is the ZKSC blob; empty when the worker already holds the
+	// digest.
+	Circuit   []byte
+	Witnesses [][]byte
+}
+
+func (m *dispatchMsg) marshal() []byte {
+	var e enc
+	e.u64(m.BatchID)
+	e.raw(m.Digest[:])
+	e.blob(m.Circuit)
+	e.u16(uint16(len(m.Witnesses)))
+	for _, w := range m.Witnesses {
+		e.blob(w)
+	}
+	return e.b
+}
+
+func (m *dispatchMsg) unmarshal(b []byte) error {
+	d := dec{b: b}
+	m.BatchID = d.u64()
+	copy(m.Digest[:], d.take(32))
+	m.Circuit = d.blob()
+	n := int(d.u16())
+	m.Witnesses = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		m.Witnesses = append(m.Witnesses, d.blob())
+	}
+	return d.done()
+}
+
+// jobResult is one statement's outcome inside a resultMsg.
+type jobResult struct {
+	// Err is the prover's rejection; empty means success.
+	Err string
+	// Proof is the ZKSP blob — passed through the coordinator untouched,
+	// so cluster proofs are byte-identical to local ones.
+	Proof []byte
+	// Public are the 32-byte big-endian public input values.
+	Public [][]byte
+	// ProverNS is the worker-measured proving latency.
+	ProverNS int64
+	// StepsNS decomposes ProverNS by protocol step.
+	StepsNS map[string]int64
+}
+
+// resultMsg returns a dispatched batch's outcomes, in dispatch order.
+type resultMsg struct {
+	BatchID uint64
+	Results []jobResult
+}
+
+func (m *resultMsg) marshal() []byte {
+	var e enc
+	e.u64(m.BatchID)
+	e.u16(uint16(len(m.Results)))
+	for i := range m.Results {
+		r := &m.Results[i]
+		if r.Err != "" {
+			e.u8(0)
+			e.str(r.Err)
+			continue
+		}
+		e.u8(1)
+		e.blob(r.Proof)
+		e.u16(uint16(len(r.Public)))
+		for _, p := range r.Public {
+			e.raw(p[:32])
+		}
+		e.u64(uint64(r.ProverNS))
+		e.u16(uint16(len(r.StepsNS)))
+		for k, v := range r.StepsNS {
+			e.str(k)
+			e.u64(uint64(v))
+		}
+	}
+	return e.b
+}
+
+func (m *resultMsg) unmarshal(b []byte) error {
+	d := dec{b: b}
+	m.BatchID = d.u64()
+	n := int(d.u16())
+	m.Results = make([]jobResult, 0, n)
+	for i := 0; i < n; i++ {
+		var r jobResult
+		switch d.u8() {
+		case 0:
+			r.Err = d.str()
+			if r.Err == "" && d.err == nil {
+				d.err = errBadFrame // a failure must carry its reason
+			}
+		case 1:
+			r.Proof = d.blob()
+			if np := int(d.u16()); np > 0 {
+				r.Public = make([][]byte, 0, np)
+				for j := 0; j < np; j++ {
+					r.Public = append(r.Public, d.take(32))
+				}
+			}
+			r.ProverNS = int64(d.u64())
+			ns := int(d.u16())
+			if ns > 0 {
+				r.StepsNS = make(map[string]int64, ns)
+				for j := 0; j < ns; j++ {
+					k := d.str()
+					r.StepsNS[k] = int64(d.u64())
+				}
+			}
+		default:
+			if d.err == nil {
+				d.err = errBadFrame
+			}
+		}
+		if d.err != nil {
+			return d.err
+		}
+		m.Results = append(m.Results, r)
+	}
+	return d.done()
+}
+
+// newReader/newWriter size the connection buffers: frames are re-read
+// into exact-size payload buffers anyway, so modest buffers suffice.
+func newReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 1<<16) }
+func newWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 1<<16) }
+
+// frameWriter serializes frame writes on a shared connection: the
+// coordinator's dispatchers and the worker's result/heartbeat goroutines
+// both write concurrently.
+type frameWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (fw *frameWriter) send(typ byte, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return writeFrame(fw.w, typ, payload)
+}

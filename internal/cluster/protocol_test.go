@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, msgHeartbeat, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgHeartbeat || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("got type %d payload %x", typ, payload)
+	}
+}
+
+func TestFrameRejectsZeroLength(t *testing.T) {
+	// A length of 0 cannot carry even the type byte.
+	raw := []byte{0, 0, 0, 0}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("want error for zero-length frame")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := helloMsg{
+		Name:         "worker-a",
+		Cores:        8,
+		PreloadedMus: []int{4, 10, 12},
+		Digests:      [][32]byte{{1, 2}, {3, 4}},
+	}
+	var out helloMsg
+	if err := out.unmarshal(in.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestHelloRejectsBadMagic(t *testing.T) {
+	b := (&helloMsg{Name: "w"}).marshal()
+	b[0] ^= 0xff
+	var out helloMsg
+	if err := out.unmarshal(b); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	in := helloAckMsg{WorkerID: 42}
+	for i := range in.Seed {
+		in.Seed[i] = byte(i)
+	}
+	var out helloAckMsg
+	if err := out.unmarshal(in.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestDispatchRoundTrip(t *testing.T) {
+	in := dispatchMsg{
+		BatchID:   7,
+		Digest:    [32]byte{9, 9, 9},
+		Circuit:   []byte("zksc-blob"),
+		Witnesses: [][]byte{[]byte("w0"), []byte("w1"), []byte("w2")},
+	}
+	var out dispatchMsg
+	if err := out.unmarshal(in.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := resultMsg{
+		BatchID: 11,
+		Results: []jobResult{
+			{Err: "witness rejected"},
+			{
+				Proof:    []byte("zksp-blob"),
+				Public:   [][]byte{make([]byte, 32)},
+				ProverNS: 123456,
+				StepsNS:  map[string]int64{"witness_commit": 99, "sumcheck": 1},
+			},
+			{Proof: []byte("p2"), ProverNS: 1},
+		},
+	}
+	var out resultMsg
+	if err := out.unmarshal(in.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestResultRejectsEmptyError(t *testing.T) {
+	// An error-tagged result with an empty message would silently turn a
+	// failure into an unreportable state; the decoder rejects it.
+	var e enc
+	e.u64(1)
+	e.u16(1)
+	e.u8(0)
+	e.str("")
+	var out resultMsg
+	if err := out.unmarshal(e.b); err == nil {
+		t.Fatal("want error for empty failure reason")
+	}
+}
+
+func TestDecTruncationIsSticky(t *testing.T) {
+	// Every message type must error (not panic) on arbitrary truncation.
+	msgs := [][]byte{
+		(&helloMsg{Name: "w", Cores: 2, Digests: [][32]byte{{1}}}).marshal(),
+		(&helloAckMsg{WorkerID: 1}).marshal(),
+		(&dispatchMsg{BatchID: 1, Circuit: []byte("c"), Witnesses: [][]byte{[]byte("w")}}).marshal(),
+		(&resultMsg{BatchID: 1, Results: []jobResult{{Proof: []byte("p")}}}).marshal(),
+	}
+	for mi, full := range msgs {
+		for cut := 0; cut < len(full); cut++ {
+			b := full[:cut]
+			var errs [4]error
+			var h helloMsg
+			errs[0] = h.unmarshal(b)
+			var a helloAckMsg
+			errs[1] = a.unmarshal(b)
+			var d dispatchMsg
+			errs[2] = d.unmarshal(b)
+			var r resultMsg
+			errs[3] = r.unmarshal(b)
+			if errs[mi] == nil {
+				t.Fatalf("msg %d truncated to %d bytes decoded without error", mi, cut)
+			}
+		}
+	}
+}
+
+func TestBlobRejectsOversizedLength(t *testing.T) {
+	// A corrupt blob length larger than the remaining payload must fail
+	// fast instead of attempting a giant allocation.
+	var e enc
+	e.u32(1 << 30)
+	d := dec{b: e.b}
+	if d.blob(); d.err == nil {
+		t.Fatal("want error for oversized blob length")
+	}
+}

@@ -19,18 +19,24 @@ import (
 //	POST /v1/circuits           register a circuit (ZKSC blob)
 //	GET  /v1/circuits/{digest}  registered-circuit metadata
 //	POST /v1/prove              prove (sync with wait=true, else async)
+//	POST /v1/prove_batch        prove a rollup batch (always sync)
 //	GET  /v1/jobs/{id}          poll an async job
 //	POST /v1/verify             verify a proof
+//	GET  /v1/cluster            cluster coordinator status (404 if local)
 //	GET  /healthz               liveness + queue/shard summary
+//	GET  /readyz                readiness (503 until ready)
 //	GET  /metrics               Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/circuits", s.handleRegister)
 	mux.HandleFunc("GET /v1/circuits/{digest}", s.handleCircuit)
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
+	mux.HandleFunc("POST /v1/prove_batch", s.handleProveBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.instrument(mux)
 }
@@ -156,34 +162,8 @@ func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var entry *circuitEntry
-	switch {
-	case req.CircuitDigest != "" && len(req.Circuit) > 0:
-		writeError(w, http.StatusBadRequest, "set either circuit_digest or circuit, not both")
-		return
-	case req.CircuitDigest != "":
-		digest, err := parseDigest(req.CircuitDigest)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		var ok bool
-		if entry, ok = s.Circuit(digest); !ok {
-			writeError(w, http.StatusNotFound, "circuit %s not registered", req.CircuitDigest)
-			return
-		}
-	case len(req.Circuit) > 0:
-		var c hyperplonk.Circuit
-		if err := c.UnmarshalBinary(req.Circuit); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid circuit: %v", err)
-			return
-		}
-		if entry, err = s.RegisterCircuit(&c); err != nil {
-			writeError(w, http.StatusInsufficientStorage, "%v", err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "missing circuit_digest or circuit")
+	entry := s.resolveCircuit(w, req.CircuitDigest, req.Circuit)
+	if entry == nil {
 		return
 	}
 
@@ -220,6 +200,108 @@ func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK // proof-cache hit: done before queued
 	}
 	writeJSON(w, code, resp)
+}
+
+// resolveCircuit implements the digest-or-blob circuit selection shared
+// by prove and prove_batch: exactly one of digestHex (registered lookup)
+// or blob (register-on-use) must be set. On failure the error response is
+// written and nil returned.
+func (s *Service) resolveCircuit(w http.ResponseWriter, digestHex string, blob []byte) *circuitEntry {
+	switch {
+	case digestHex != "" && len(blob) > 0:
+		writeError(w, http.StatusBadRequest, "set either circuit_digest or circuit, not both")
+	case digestHex != "":
+		digest, err := parseDigest(digestHex)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		entry, ok := s.Circuit(digest)
+		if !ok {
+			writeError(w, http.StatusNotFound, "circuit %s not registered", digestHex)
+			return nil
+		}
+		return entry
+	case len(blob) > 0:
+		var c hyperplonk.Circuit
+		if err := c.UnmarshalBinary(blob); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid circuit: %v", err)
+			return nil
+		}
+		entry, err := s.RegisterCircuit(&c)
+		if err != nil {
+			writeError(w, http.StatusInsufficientStorage, "%v", err)
+			return nil
+		}
+		return entry
+	default:
+		writeError(w, http.StatusBadRequest, "missing circuit_digest or circuit")
+	}
+	return nil
+}
+
+// handleProveBatch proves a rollup batch synchronously: the statements
+// spread across shards (and, in cluster mode, worker daemons) and the
+// response aggregates every proof plus the batch digest.
+func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.ProveBatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Witnesses) == 0 {
+		writeError(w, http.StatusBadRequest, "empty witness list")
+		return
+	}
+	priority, err := parsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	assigns := make([]*hyperplonk.Assignment, len(req.Witnesses))
+	for i, blob := range req.Witnesses {
+		var a hyperplonk.Assignment
+		if err := a.UnmarshalBinary(blob); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid witness %d: %v", i, err)
+			return
+		}
+		assigns[i] = &a
+	}
+	entry := s.resolveCircuit(w, req.CircuitDigest, req.Circuit)
+	if entry == nil {
+		return
+	}
+	resp, err := s.ProveBatchWait(r.Context(), entry, assigns, priority)
+	if !s.writeSubmitErr(w, err) {
+		return
+	}
+	// Per-statement failures are reported in-band; the HTTP code reflects
+	// the batch as a whole so a rollup client can retry it as a unit.
+	code := http.StatusOK
+	if resp.Failed > 0 {
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleReady answers readiness probes: 200 only when the service is
+// ready to prove (post-preload, pre-drain, and with a populated cluster
+// when one is configured).
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.ReadyState()
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// handleCluster reports the coordinator's view of its workers.
+func (s *Service) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cluster == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.ClusterStatus())
 }
 
 // writeSubmitErr handles the submit error, reporting whether the caller
@@ -335,6 +417,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(st BackendStats) int { return st.KeySetups })
 	stats("zkproverd_key_cache_hits_total", "Key-cache hits per shard engine.",
 		func(st BackendStats) int { return st.KeyCacheHits })
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.ClusterStatus()
+		gauges = append(gauges,
+			gauge{name: "zkproverd_cluster_workers", help: "Registered worker daemons.", value: float64(len(cs.Workers))},
+			gauge{name: "zkproverd_cluster_dispatches_total", help: "Batches dispatched to workers.", counter: true, value: float64(cs.Dispatches)},
+			gauge{name: "zkproverd_cluster_requeues_total", help: "Batches re-queued after a worker died mid-job.", counter: true, value: float64(cs.Requeues)},
+			gauge{name: "zkproverd_cluster_worker_deaths_total", help: "Workers dropped by connection loss or missed heartbeats.", counter: true, value: float64(cs.WorkerDeaths)},
+			gauge{name: "zkproverd_cluster_local_fallbacks_total", help: "Batches proved locally for lack of workers.", counter: true, value: float64(cs.LocalFallbacks)},
+		)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.WritePrometheus(w, gauges)
 }

@@ -23,6 +23,7 @@ type Metrics struct {
 	jobsDone     int64
 	jobsFailed   int64
 	jobsRejected int64
+	jobsStolen   int64
 	cacheHits    int64
 	batches      int64
 	batchJobs    int64
@@ -106,6 +107,7 @@ func (m *Metrics) retryAfter(depth int) time.Duration {
 // Snapshot is a consistent copy of the counters, for tests and /healthz.
 type MetricsSnapshot struct {
 	JobsDone, JobsFailed, JobsRejected int64
+	JobsStolen                         int64
 	CacheHits                          int64
 	Batches, BatchJobs                 int64
 	Verifies, VerifyFailed             int64
@@ -117,8 +119,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	defer m.mu.Unlock()
 	return MetricsSnapshot{
 		JobsDone: m.jobsDone, JobsFailed: m.jobsFailed, JobsRejected: m.jobsRejected,
-		CacheHits: m.cacheHits,
-		Batches:   m.batches, BatchJobs: m.batchJobs,
+		JobsStolen: m.jobsStolen,
+		CacheHits:  m.cacheHits,
+		Batches:    m.batches, BatchJobs: m.batchJobs,
 		Verifies: m.verifies, VerifyFailed: m.verifyFailed,
 		ProveCount: m.proveCount,
 	}
@@ -152,6 +155,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []gauge) {
 		[2]string{`{status="failed"}`, fmt.Sprint(m.jobsFailed)},
 		[2]string{`{status="rejected"}`, fmt.Sprint(m.jobsRejected)},
 		[2]string{`{status="cached"}`, fmt.Sprint(m.cacheHits)})
+	counter("zkproverd_jobs_stolen_total", "Jobs taken from a sibling shard's queue by an idle shard.",
+		[2]string{"", fmt.Sprint(m.jobsStolen)})
 	counter("zkproverd_batches_total", "ProveBatch calls issued to backends.",
 		[2]string{"", fmt.Sprint(m.batches)})
 	counter("zkproverd_batch_jobs_total", "Jobs carried inside ProveBatch calls.",

@@ -120,6 +120,26 @@ func (q *jobQueue) PopMatching(digest [32]byte) *job {
 	return nil
 }
 
+// StealNewest removes the newest job from the lowest-priority non-empty
+// lane — the work-stealing primitive. Stealing from the opposite end of
+// the queue than Pop minimizes contention with the owner's drain order:
+// the owner is about to serve the high-priority head, so an idle sibling
+// takes the low-priority tail, the job that would otherwise wait longest.
+// Unlike Pop/PopMatching this may be called from any shard's loop.
+func (q *jobQueue) StealNewest() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for p := numPriorities - 1; p >= 0; p-- {
+		if n := len(q.lanes[p]); n > 0 {
+			j := q.lanes[p][n-1]
+			q.lanes[p] = q.lanes[p][:n-1]
+			q.size--
+			return j
+		}
+	}
+	return nil
+}
+
 // wake exposes the consumer-side wait channel for the batch collector.
 func (q *jobQueue) wake() <-chan struct{} { return q.notify }
 

@@ -25,11 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zkspeed/api"
 	"zkspeed/internal/ff"
 	"zkspeed/internal/hyperplonk"
+	"zkspeed/internal/transcript"
 )
 
 // Priorities, ordered: lane 0 drains first.
@@ -61,7 +63,11 @@ type BackendJob struct {
 
 // BackendResult is the outcome of one BackendJob, in job order.
 type BackendResult struct {
-	Proof        *hyperplonk.Proof
+	Proof *hyperplonk.Proof
+	// ProofBlob optionally carries the proof's ZKSP encoding. Remote
+	// backends set it so the worker's bytes reach the client untouched;
+	// when nil the service marshals Proof itself.
+	ProofBlob    []byte
 	PublicInputs []ff.Fr
 	ProverTime   time.Duration
 	Steps        map[string]time.Duration
@@ -117,6 +123,27 @@ type Config struct {
 	// circuit hold ~256 MiB, so like every other service resource the
 	// registry must reject rather than grow without limit. Default 4096.
 	MaxCircuits int
+	// Steal lets an idle shard take the newest low-priority job from the
+	// deepest sibling queue. Enable only when every backend can prove any
+	// circuit interchangeably (i.e. all shards share one setup seed, as in
+	// cluster mode) — a stolen job is proved off its home shard.
+	Steal bool
+	// StealInterval is how often an idle shard re-checks siblings for
+	// stealable work between queue wake-ups. Default 1ms.
+	StealInterval time.Duration
+	// Cluster, when non-nil, is the coordinator behind the shards' remote
+	// backends. The service exposes its status (GET /v1/cluster, /metrics),
+	// gates readiness on it, and closes it on Close.
+	Cluster ClusterInfo
+}
+
+// ClusterInfo is what the HTTP layer needs from a cluster coordinator;
+// defined here (not in internal/cluster) so the dependency points from
+// the cluster to the service.
+type ClusterInfo interface {
+	ClusterStatus() api.ClusterStatus
+	WorkerCount() int
+	Close() error
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +173,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCircuits == 0 {
 		c.MaxCircuits = 4096
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = time.Millisecond
 	}
 	return c
 }
@@ -271,6 +301,11 @@ type Service struct {
 	order  []string // insertion order, for retention eviction
 	seq    int64
 
+	// ready gates /readyz; default true so embedded services need no
+	// ceremony, daemons toggle it around preload and drain.
+	ready    atomic.Bool
+	notReady atomic.Pointer[string]
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -295,18 +330,50 @@ func New(cfg Config, backends []Backend) (*Service, error) {
 		ctx:      ctx,
 		cancel:   cancel,
 	}
+	s.ready.Store(true)
+	// Populate the full shard slice before starting any loop: a stealing
+	// shard iterates its siblings, so the slice must be complete (and never
+	// mutated again) by the time the first loop goroutine runs.
 	for i, b := range backends {
-		sh := &shard{idx: i, queue: newJobQueue(cfg.QueueCapacity), backend: b}
-		s.shards = append(s.shards, sh)
+		s.shards = append(s.shards, &shard{idx: i, queue: newJobQueue(cfg.QueueCapacity), backend: b})
+	}
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.shardLoop(sh)
 	}
 	return s, nil
 }
 
+// SetReady toggles the /readyz answer. reason explains a false state
+// ("preloading circuits", "draining"); ignored when ready.
+func (s *Service) SetReady(ready bool, reason string) {
+	if !ready {
+		s.notReady.Store(&reason)
+	}
+	s.ready.Store(ready)
+}
+
+// ReadyState answers /readyz: ready iff SetReady(true) (the default) and,
+// in cluster mode, at least one worker is registered.
+func (s *Service) ReadyState() api.Ready {
+	if !s.ready.Load() {
+		reason := "not ready"
+		if r := s.notReady.Load(); r != nil {
+			reason = *r
+		}
+		return api.Ready{Ready: false, Reason: reason}
+	}
+	if s.cfg.Cluster != nil && s.cfg.Cluster.WorkerCount() == 0 {
+		return api.Ready{Ready: false, Reason: "cluster has no registered workers"}
+	}
+	return api.Ready{Ready: true}
+}
+
 // Close stops the shard loops, failing queued and in-flight jobs with a
-// shutdown error. Safe to call more than once.
+// shutdown error, and shuts down the cluster coordinator if one is
+// attached. Safe to call more than once.
 func (s *Service) Close() {
+	s.SetReady(false, "shutting down")
 	s.cancel()
 	for _, sh := range s.shards {
 		for _, j := range sh.queue.Close() {
@@ -314,7 +381,13 @@ func (s *Service) Close() {
 		}
 	}
 	s.wg.Wait()
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Close()
+	}
 }
+
+// Cluster exposes the attached coordinator (nil in single-process mode).
+func (s *Service) Cluster() ClusterInfo { return s.cfg.Cluster }
 
 // Metrics exposes the instrumentation (the HTTP layer and tests read it).
 func (s *Service) Metrics() *Metrics { return s.met }
@@ -416,6 +489,13 @@ var errWitnessSize = errors.New("service: witness size does not match circuit")
 // The returned job's done channel closes when a terminal response is
 // available. An *OverloadedError means the shard queue was full.
 func (s *Service) Submit(entry *circuitEntry, assign *hyperplonk.Assignment, priority int) (*job, error) {
+	return s.submitTo(entry, assign, priority, entry.shard)
+}
+
+// submitTo is Submit with an explicit target shard — SubmitBatch spreads
+// a rollup batch across all shards instead of serializing it on the
+// circuit's home shard.
+func (s *Service) submitTo(entry *circuitEntry, assign *hyperplonk.Assignment, priority, shardIdx int) (*job, error) {
 	if assign.W1.Len() != entry.circuit.NumGates() ||
 		assign.W2.Len() != entry.circuit.NumGates() ||
 		assign.W3.Len() != entry.circuit.NumGates() {
@@ -446,7 +526,7 @@ func (s *Service) Submit(entry *circuitEntry, assign *hyperplonk.Assignment, pri
 		s.trackJob(j)
 		return j, nil
 	}
-	sh := s.shards[entry.shard]
+	sh := s.shards[shardIdx]
 	if err := sh.queue.Push(j); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.met.add(&s.met.jobsRejected, 1)
@@ -471,6 +551,76 @@ func (s *Service) SubmitWait(ctx context.Context, entry *circuitEntry, assign *h
 	case <-ctx.Done():
 		return api.ProveResponse{}, ctx.Err()
 	}
+}
+
+// SubmitBatch enqueues a rollup batch of statements over one circuit,
+// spread round-robin across every shard starting at the circuit's home
+// shard — the parallelism a single digest-routed queue would forfeit.
+// Each shard's slice still coalesces into one ProveBatch (or one cluster
+// dispatch). A batch exceeding the total free queue capacity is rejected
+// whole with an *OverloadedError rather than partially enqueued; a racing
+// submitter can still fill a queue mid-spread, in which case already
+// enqueued statements run to completion and the error reports the rest.
+func (s *Service) SubmitBatch(entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int) ([]*job, error) {
+	if len(assigns) == 0 {
+		return nil, errors.New("service: empty batch")
+	}
+	depth := s.QueueDepth()
+	if free := len(s.shards)*s.cfg.QueueCapacity - depth; len(assigns) > free {
+		s.met.add(&s.met.jobsRejected, int64(len(assigns)))
+		return nil, &OverloadedError{RetryAfter: s.met.retryAfter(depth + len(assigns))}
+	}
+	jobs := make([]*job, len(assigns))
+	for i, a := range assigns {
+		j, err := s.submitTo(entry, a, priority, (entry.shard+i)%len(s.shards))
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", i, err)
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// ProveBatchWait is SubmitBatch plus waiting for every statement — the
+// synchronous POST /v1/prove_batch path. The batch digest binds the proof
+// blobs in statement order and is only computed when every statement
+// succeeded.
+func (s *Service) ProveBatchWait(ctx context.Context, entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int) (api.ProveBatchResponse, error) {
+	jobs, err := s.SubmitBatch(entry, assigns, priority)
+	if err != nil {
+		return api.ProveBatchResponse{}, err
+	}
+	resp := api.ProveBatchResponse{
+		CircuitDigest: hex.EncodeToString(entry.digest[:]),
+		Results:       make([]api.ProveResponse, len(jobs)),
+	}
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+			resp.Results[i] = j.response()
+			if resp.Results[i].Status == api.StatusFailed {
+				resp.Failed++
+			}
+		case <-ctx.Done():
+			return api.ProveBatchResponse{}, ctx.Err()
+		}
+	}
+	if resp.Failed == 0 {
+		// The digest binds each statement — proof and public inputs — in
+		// order, so it identifies the batch's content, not just its proofs.
+		tr := transcript.New("zkspeed.service.batch")
+		tr.AppendBytes("circuit", entry.digest[:])
+		for i := range resp.Results {
+			tr.AppendBytes("proof", resp.Results[i].Proof)
+			for _, p := range resp.Results[i].PublicInputs {
+				tr.AppendBytes("public", p)
+			}
+		}
+		d := tr.ChallengeFr("digest")
+		db := d.Bytes()
+		resp.BatchDigest = hex.EncodeToString(db[:])
+	}
+	return resp, nil
 }
 
 // Job returns a tracked job by id.
@@ -545,7 +695,7 @@ func (s *Service) Verify(ctx context.Context, entry *circuitEntry, pub []ff.Fr, 
 func (s *Service) shardLoop(sh *shard) {
 	defer s.wg.Done()
 	for {
-		j, err := sh.queue.Pop(s.ctx)
+		j, err := s.nextJob(sh)
 		if err != nil {
 			return
 		}
@@ -572,6 +722,57 @@ func (s *Service) shardLoop(sh *shard) {
 		}
 		s.runBatch(sh, batch)
 	}
+}
+
+// nextJob supplies the shard loop's next unit of work: its own queue
+// first and, with stealing enabled, the deepest sibling queue once the
+// own queue runs dry. The steal ticker bounds how stale the idle shard's
+// view of its siblings can get; queue wake-ups keep the own-queue path as
+// responsive as plain Pop.
+func (s *Service) nextJob(sh *shard) (*job, error) {
+	if !s.cfg.Steal || len(s.shards) == 1 {
+		return sh.queue.Pop(s.ctx)
+	}
+	ticker := time.NewTicker(s.cfg.StealInterval)
+	defer ticker.Stop()
+	for {
+		if j := sh.queue.tryPop(); j != nil {
+			return j, nil
+		}
+		if j := s.stealFor(sh); j != nil {
+			return j, nil
+		}
+		select {
+		case <-sh.queue.wake():
+		case <-ticker.C:
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
+		}
+	}
+}
+
+// stealFor takes the newest low-priority job from the deepest sibling
+// queue. Depth 1 qualifies: the sibling is busy proving (its loop is not
+// in Pop) or it would have drained the job already.
+func (s *Service) stealFor(sh *shard) *job {
+	var victim *shard
+	depth := 0
+	for _, other := range s.shards {
+		if other == sh {
+			continue
+		}
+		if d := other.queue.Depth(); d > depth {
+			victim, depth = other, d
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	j := victim.queue.StealNewest()
+	if j != nil {
+		s.met.add(&s.met.jobsStolen, 1)
+	}
+	return j
 }
 
 // runBatch drives one ProveBatch call and publishes per-job outcomes.
@@ -611,11 +812,14 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 			j.fail(r.Err)
 			continue
 		}
-		blob, err := r.Proof.MarshalBinary()
-		if err != nil {
-			s.met.add(&s.met.jobsFailed, 1)
-			j.fail(fmt.Errorf("service: serializing proof: %w", err))
-			continue
+		blob := r.ProofBlob
+		if blob == nil {
+			var err error
+			if blob, err = r.Proof.MarshalBinary(); err != nil {
+				s.met.add(&s.met.jobsFailed, 1)
+				j.fail(fmt.Errorf("service: serializing proof: %w", err))
+				continue
+			}
 		}
 		steps := make(map[string]int64, len(r.Steps))
 		for k, v := range r.Steps {

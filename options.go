@@ -15,6 +15,9 @@ type engineConfig struct {
 	timings     bool
 	preloadSRS  *SRS
 	proveHook   func(ProofStats)
+	// cluster is read only by NewService (WithCluster); a plain New engine
+	// ignores it.
+	cluster *ClusterConfig
 }
 
 func defaultEngineConfig() engineConfig {

@@ -12,8 +12,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"time"
 
+	"zkspeed/internal/cluster"
 	"zkspeed/internal/service"
 )
 
@@ -67,10 +69,18 @@ type ServiceConfig struct {
 
 // NewService builds a ProverService over cfg.Shards Engines constructed
 // with the given options (WithTimings is always added — the service's
-// /metrics decomposes proving time by protocol step). Each shard reads a
-// distinct 64-byte master seed from the configured entropy source up
-// front, so shards never contend on a shared reader and a seeded service
-// is reproducible shard by shard.
+// /metrics decomposes proving time by protocol step).
+//
+// Single-process mode: each shard reads a distinct 64-byte master seed
+// from the configured entropy source up front, so shards never contend on
+// a shared reader and a seeded service is reproducible shard by shard.
+//
+// Cluster mode (WithCluster among opts): one seed is read and shared by
+// every shard, the coordinator starts listening for worker daemons on the
+// configured address, each shard's backend dispatches to the cluster
+// (falling back to its local engine at zero workers), and idle shards
+// steal queued work from busy siblings — safe exactly because all
+// backends share the one seed.
 func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 	shards := cfg.Shards
 	if shards < 1 {
@@ -83,17 +93,7 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 	for _, o := range opts {
 		o(&probe)
 	}
-	backends := make([]service.Backend, shards)
-	for i := range backends {
-		seed := make([]byte, 64)
-		if _, err := io.ReadFull(probe.entropy, seed); err != nil {
-			return nil, fmt.Errorf("zkspeed: reading shard %d setup entropy: %w", i, err)
-		}
-		engOpts := append(append([]Option{}, opts...),
-			WithEntropy(bytes.NewReader(seed)), WithTimings())
-		backends[i] = &engineShard{eng: New(engOpts...)}
-	}
-	return service.New(service.Config{
+	svcCfg := service.Config{
 		QueueCapacity: cfg.QueueCapacity,
 		BatchWindow:   cfg.BatchWindow,
 		MaxBatch:      cfg.MaxBatch,
@@ -101,7 +101,66 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 		JobRetention:  cfg.JobRetention,
 		MaxBodyBytes:  cfg.MaxBodyBytes,
 		MaxCircuits:   cfg.MaxCircuits,
-	}, backends)
+	}
+
+	var coord *cluster.Coordinator
+	var sharedSeed []byte
+	if probe.cluster != nil {
+		sharedSeed = make([]byte, 64)
+		if _, err := io.ReadFull(probe.entropy, sharedSeed); err != nil {
+			return nil, fmt.Errorf("zkspeed: reading cluster setup entropy: %w", err)
+		}
+		var err error
+		coord, err = cluster.NewCoordinator(cluster.Config{
+			SetupSeed:         sharedSeed,
+			HeartbeatInterval: probe.cluster.HeartbeatInterval,
+			HeartbeatMisses:   probe.cluster.HeartbeatMisses,
+			MaxRetries:        probe.cluster.MaxRetries,
+			Logf:              probe.cluster.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", probe.cluster.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("zkspeed: cluster listen on %s: %w", probe.cluster.Listen, err)
+		}
+		coord.Serve(ln)
+		svcCfg.Steal = true
+		svcCfg.Cluster = coord
+	}
+
+	backends := make([]service.Backend, shards)
+	for i := range backends {
+		seed := sharedSeed
+		if seed == nil {
+			seed = make([]byte, 64)
+			if _, err := io.ReadFull(probe.entropy, seed); err != nil {
+				coordClose(coord)
+				return nil, fmt.Errorf("zkspeed: reading shard %d setup entropy: %w", i, err)
+			}
+		}
+		engOpts := append(append([]Option{}, opts...),
+			WithEntropy(bytes.NewReader(seed)), WithTimings())
+		backends[i] = &engineShard{eng: New(engOpts...)}
+		if coord != nil {
+			backends[i] = cluster.NewBackend(coord, backends[i])
+		}
+	}
+	svc, err := service.New(svcCfg, backends)
+	if err != nil {
+		coordClose(coord)
+		return nil, err
+	}
+	return svc, nil
+}
+
+// coordClose tears down a half-built coordinator on a NewService error
+// path.
+func coordClose(c *cluster.Coordinator) {
+	if c != nil {
+		c.Close()
+	}
 }
 
 // engineShard adapts one *Engine to the service's Backend interface.
