@@ -176,9 +176,18 @@ func (c *Client) doAccept(ctx context.Context, method, path string, in, out any,
 
 // waitRetry sleeps out one backoff step: the exponential floor for this
 // attempt, raised to the server's Retry-After, bounded by the cap, plus
-// up to 25% jitter.
+// up to 25% jitter. The floor doubles step-by-step and stops at the cap,
+// so an arbitrarily large WithAutoRetry count cannot shift the duration
+// negative (which would panic the jitter draw).
 func (c *Client) waitRetry(ctx context.Context, attempt int, retryAfter time.Duration) error {
-	d := c.backoffBase << attempt
+	d := c.backoffBase
+	for i := 0; i < attempt && d < c.backoffCap; i++ {
+		if d > c.backoffCap-d { // doubling would pass the cap
+			d = c.backoffCap
+			break
+		}
+		d *= 2
+	}
 	if retryAfter > d {
 		d = retryAfter
 	}

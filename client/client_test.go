@@ -213,6 +213,32 @@ func TestClientAutoRetry(t *testing.T) {
 	}
 }
 
+func TestClientAutoRetryLargeAttemptCount(t *testing.T) {
+	// A retry budget past ~32 attempts used to overflow the shifted
+	// backoff into a negative duration and panic the jitter draw. The
+	// floor now saturates at the cap, so a persistently overloaded server
+	// just exhausts the budget.
+	var attempts atomic.Int32
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(overloaded.Close)
+
+	circuit, _ := buildCircuit(t, 6, 9)
+	cl := client.New(overloaded.URL,
+		client.WithHTTPClient(overloaded.Client()),
+		client.WithAutoRetry(70),
+		client.WithRetryBackoff(time.Nanosecond, time.Millisecond))
+	var over *client.OverloadedError
+	if _, err := cl.RegisterCircuit(context.Background(), circuit); !errors.As(err, &over) {
+		t.Fatalf("got %v, want OverloadedError", err)
+	}
+	if got := attempts.Load(); got != 71 {
+		t.Fatalf("made %d attempts, want 71", got)
+	}
+}
+
 func TestClientUnknownCircuit(t *testing.T) {
 	srv := startService(t, zkspeed.ServiceConfig{})
 	cl := client.New(srv.URL)

@@ -226,6 +226,119 @@ func TestCircuitBlobSentOnlyOnce(t *testing.T) {
 	}
 }
 
+func TestBadCircuitBlobDoesNotPoisonWorker(t *testing.T) {
+	// A blob the worker rejects (decode failure) used to leave the
+	// coordinator's optimistic residency mark in place, so every later
+	// dispatch of the digest went out blob-free and failed forever. The
+	// CircuitFailed result must clear the mark; a subsequent dispatch with
+	// a good blob succeeds on the same worker.
+	coord := startCoordinator(t, Config{MaxRetries: 1})
+	remote := &stubBackend{}
+	joinWorker(t, coord, "w1", remote)
+	waitWorkers(t, coord, 1)
+
+	circuit, assign := buildCircuit(t, 13, 14)
+	digest := circuit.Digest()
+	wits := marshalWitnesses(t, assign)
+
+	bad := func() ([]byte, error) { return []byte("not a circuit"), nil }
+	if _, err := coord.Dispatch(context.Background(), digest, bad, wits); err == nil {
+		t.Fatal("dispatch with a garbage circuit blob succeeded")
+	}
+	if coord.WorkerCount() != 1 {
+		t.Fatal("worker was dropped over a bad blob")
+	}
+	if _, err := coord.Dispatch(context.Background(), digest, circuit.MarshalBinary, wits); err != nil {
+		t.Fatalf("worker poisoned by earlier bad blob: %v", err)
+	}
+	if got := remote.proofCount(); got != 1 {
+		t.Fatalf("worker proved %d statements, want 1", got)
+	}
+}
+
+func TestBlobMarshalErrorDoesNotPoisonWorker(t *testing.T) {
+	// When circuitBlob itself errors, the worker never sees the circuit:
+	// the residency mark set before the marshal must be rolled back so the
+	// next dispatch re-sends the blob instead of arriving blob-free.
+	coord := startCoordinator(t, Config{})
+	remote := &stubBackend{}
+	joinWorker(t, coord, "w1", remote)
+	waitWorkers(t, coord, 1)
+
+	circuit, assign := buildCircuit(t, 15, 16)
+	digest := circuit.Digest()
+	wits := marshalWitnesses(t, assign)
+
+	boom := func() ([]byte, error) { return nil, errors.New("marshal failed") }
+	if _, err := coord.Dispatch(context.Background(), digest, boom, wits); err == nil {
+		t.Fatal("dispatch with a failing blob callback succeeded")
+	}
+	if _, err := coord.Dispatch(context.Background(), digest, circuit.MarshalBinary, wits); err != nil {
+		t.Fatalf("worker poisoned by earlier marshal failure: %v", err)
+	}
+	if got := remote.proofCount(); got != 1 {
+		t.Fatalf("worker proved %d statements, want 1", got)
+	}
+}
+
+func TestJoinFailsOnSilentCoordinator(t *testing.T) {
+	// A coordinator that accepts the TCP connection but never acks the
+	// hello must not hang Join: the handshake is bounded by DialTimeout
+	// and by ctx cancellation.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var heldMu sync.Mutex
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, conn)
+			heldMu.Unlock()
+		}
+	}()
+	defer func() {
+		heldMu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		heldMu.Unlock()
+	}()
+	newBackend := func([]byte) (service.Backend, error) { return &stubBackend{}, nil }
+
+	t.Run("deadline", func(t *testing.T) {
+		start := time.Now()
+		_, err := Join(context.Background(), ln.Addr().String(), WorkerConfig{
+			DialTimeout: 100 * time.Millisecond,
+			NewBackend:  newBackend,
+		})
+		if err == nil {
+			t.Fatal("Join succeeded against a silent coordinator")
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("Join took %s to fail", elapsed)
+		}
+	})
+	t.Run("context", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := Join(ctx, ln.Addr().String(), WorkerConfig{NewBackend: newBackend})
+		if err == nil {
+			t.Fatal("Join succeeded against a silent coordinator")
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("Join took %s to fail after ctx expiry", elapsed)
+		}
+	})
+}
+
 func TestZeroWorkersFallsBackToLocal(t *testing.T) {
 	coord := startCoordinator(t, Config{})
 	local := &stubBackend{}

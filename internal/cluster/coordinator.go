@@ -22,6 +22,12 @@ var ErrNoWorkers = errors.New("cluster: no workers registered")
 // drops; Dispatch treats it as retryable and re-queues to another worker.
 var errWorkerDead = errors.New("cluster: worker died")
 
+// errCircuitUnresolved reports a worker that answered a dispatch with
+// CircuitFailed: it never cached the circuit, the coordinator's residency
+// mark has been cleared, and Dispatch retries (the next attempt carries
+// the blob) rather than surfacing the bookkeeping miss to the client.
+var errCircuitUnresolved = errors.New("cluster: worker could not resolve circuit")
+
 // Config tunes a Coordinator. Zero values select the documented defaults.
 type Config struct {
 	// SetupSeed is the 64-byte master ceremony seed shared with every
@@ -456,18 +462,24 @@ func (c *Coordinator) Dispatch(ctx context.Context, digest [32]byte, circuitBlob
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if !errors.Is(err, errWorkerDead) || attempt >= c.cfg.MaxRetries {
+		retryable := errors.Is(err, errWorkerDead) || errors.Is(err, errCircuitUnresolved)
+		if !retryable || attempt >= c.cfg.MaxRetries {
 			return nil, err
 		}
-		if skip == nil {
-			skip = make(map[uint64]bool)
+		if errors.Is(err, errWorkerDead) {
+			// A dead worker is excluded from the retry; a worker that
+			// merely failed to resolve the circuit stays eligible — its
+			// residency mark was cleared, so the retry carries the blob.
+			if skip == nil {
+				skip = make(map[uint64]bool)
+			}
+			skip[w.id] = true
 		}
-		skip[w.id] = true
 		c.mu.Lock()
 		c.requeues++
 		c.mu.Unlock()
-		c.cfg.Logf("cluster: re-queueing %d-statement batch after worker %d death (attempt %d/%d)",
-			len(witnesses), w.id, attempt+1, c.cfg.MaxRetries)
+		c.cfg.Logf("cluster: re-queueing %d-statement batch after worker %d failure (attempt %d/%d): %v",
+			len(witnesses), w.id, attempt+1, c.cfg.MaxRetries, err)
 	}
 }
 
@@ -511,6 +523,14 @@ func (c *Coordinator) dispatchTo(ctx context.Context, w *workerConn, digest [32]
 		if needCircuit {
 			blob, err := circuitBlob()
 			if err != nil {
+				// Roll back the optimistic mark: the worker never received
+				// the blob, and leaving it would send every later dispatch
+				// of this digest blob-free — a permanently poisoned pairing.
+				// Safe under sendMu: no concurrent dispatch can have acted
+				// on the mark before we release it.
+				w.mu.Lock()
+				delete(w.digests, digest)
+				w.mu.Unlock()
 				return err
 			}
 			msg.Circuit = blob
@@ -554,6 +574,20 @@ func (c *Coordinator) dispatchTo(ctx context.Context, w *workerConn, digest [32]
 		if len(res.Results) != len(witnesses) {
 			c.dropWorker(w, fmt.Errorf("short result: %d of %d", len(res.Results), len(witnesses)))
 			return nil, errWorkerDead
+		}
+		if res.CircuitFailed {
+			// The worker never cached the circuit — clear the residency
+			// mark set at dispatch so the retry (or any later dispatch)
+			// sends the blob again instead of hitting "not resident"
+			// forever.
+			w.mu.Lock()
+			delete(w.digests, digest)
+			w.mu.Unlock()
+			reason := ""
+			if len(res.Results) > 0 {
+				reason = ": " + res.Results[0].Err
+			}
+			return nil, fmt.Errorf("%w%s", errCircuitUnresolved, reason)
 		}
 		w.mu.Lock()
 		w.jobsDone += int64(len(res.Results))

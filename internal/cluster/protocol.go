@@ -320,12 +320,24 @@ type jobResult struct {
 // resultMsg returns a dispatched batch's outcomes, in dispatch order.
 type resultMsg struct {
 	BatchID uint64
-	Results []jobResult
+	// CircuitFailed reports that the worker could not resolve the
+	// dispatch's circuit (not resident and no blob sent, or a blob that
+	// failed decode/digest validation): every Results entry fails with
+	// that reason, and the coordinator must clear its residency mark for
+	// the digest — it was set optimistically at dispatch — or every later
+	// blob-free dispatch to this worker fails the same way.
+	CircuitFailed bool
+	Results       []jobResult
 }
 
 func (m *resultMsg) marshal() []byte {
 	var e enc
 	e.u64(m.BatchID)
+	if m.CircuitFailed {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
 	e.u16(uint16(len(m.Results)))
 	for i := range m.Results {
 		r := &m.Results[i]
@@ -353,6 +365,16 @@ func (m *resultMsg) marshal() []byte {
 func (m *resultMsg) unmarshal(b []byte) error {
 	d := dec{b: b}
 	m.BatchID = d.u64()
+	switch d.u8() {
+	case 0:
+		m.CircuitFailed = false
+	case 1:
+		m.CircuitFailed = true
+	default:
+		if d.err == nil {
+			d.err = errBadFrame
+		}
+	}
 	n := int(d.u16())
 	m.Results = make([]jobResult, 0, n)
 	for i := 0; i < n; i++ {

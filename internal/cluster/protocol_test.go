@@ -108,11 +108,27 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResultCircuitFailedRoundTrip(t *testing.T) {
+	in := resultMsg{
+		BatchID:       7,
+		CircuitFailed: true,
+		Results:       []jobResult{{Err: "cluster: decoding circuit: truncated"}},
+	}
+	var out resultMsg
+	if err := out.unmarshal(in.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
 func TestResultRejectsEmptyError(t *testing.T) {
 	// An error-tagged result with an empty message would silently turn a
 	// failure into an unreportable state; the decoder rejects it.
 	var e enc
 	e.u64(1)
+	e.u8(0) // circuit-failed flag
 	e.u16(1)
 	e.u8(0)
 	e.str("")

@@ -105,22 +105,49 @@ func Join(ctx context.Context, addr string, cfg WorkerConfig) (*Worker, error) {
 	}
 	w.ctx, w.cancel = context.WithCancel(context.Background())
 
+	// Bound the handshake: DialTimeout only covers the dial, so a
+	// coordinator that accepts the connection but never acks would
+	// otherwise block the hello read forever. The deadline covers both
+	// handshake frames, tightens to ctx's own deadline, and a watcher
+	// closes the connection if ctx is cancelled mid-handshake.
+	hsDeadline := time.Now().Add(cfg.DialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(hsDeadline) {
+		hsDeadline = d
+	}
+	conn.SetDeadline(hsDeadline)
+	hsDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-hsDone:
+		}
+	}()
+
 	hello := helloMsg{Name: cfg.Name, Cores: cfg.Cores, PreloadedMus: cfg.PreloadMus}
 	if err := w.fw.send(msgHello, hello.marshal()); err != nil {
+		close(hsDone)
 		conn.Close()
 		return nil, fmt.Errorf("cluster: hello: %w", err)
 	}
 	r := newReader(conn)
 	typ, payload, err := readFrame(r)
 	if err != nil || typ != msgHelloAck {
+		close(hsDone)
 		conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("cluster: awaiting hello ack: %w", cerr)
+		}
 		return nil, fmt.Errorf("cluster: awaiting hello ack: %v", err)
 	}
 	var ack helloAckMsg
 	if err := ack.unmarshal(payload); err != nil {
+		close(hsDone)
 		conn.Close()
 		return nil, fmt.Errorf("cluster: hello ack: %w", err)
 	}
+	close(hsDone)
+	conn.SetDeadline(time.Time{})
 	w.id = ack.WorkerID
 
 	backend, err := cfg.NewBackend(ack.Seed[:])
@@ -251,6 +278,11 @@ func (w *Worker) runDispatch(msg *dispatchMsg, circuit *hyperplonk.Circuit, cerr
 
 	res := resultMsg{BatchID: msg.BatchID}
 	if cerr != nil {
+		// CircuitFailed tells the coordinator its optimistic residency
+		// mark is wrong — we never cached this circuit — so it can clear
+		// the mark and retry with the blob instead of poisoning every
+		// later dispatch of the digest to this worker.
+		res.CircuitFailed = true
 		res.Results = failAll(len(msg.Witnesses), cerr)
 		w.sendResult(&res)
 		return

@@ -25,8 +25,11 @@ func witnessesFor(t *testing.T, c uint64, n int) (*hyperplonk.Circuit, []*hyperp
 }
 
 func TestSubmitBatchSpreadsAcrossShards(t *testing.T) {
+	// Steal on: the shards declare themselves interchangeable (one shared
+	// setup seed), which is the precondition for spreading a batch off its
+	// home shard.
 	backends := []Backend{&stubBackend{}, &stubBackend{}, &stubBackend{}, &stubBackend{}}
-	s := newTestService(t, Config{BatchWindow: time.Millisecond}, backends...)
+	s := newTestService(t, Config{BatchWindow: time.Millisecond, Steal: true}, backends...)
 
 	circuit, assigns := witnessesFor(t, 21, 8)
 	entry := mustRegister(t, s, circuit)
@@ -50,6 +53,34 @@ func TestSubmitBatchSpreadsAcrossShards(t *testing.T) {
 	for i, b := range backends {
 		if b.(*stubBackend).Stats().Proofs == 0 {
 			t.Fatalf("shard %d proved nothing — batch was not spread", i)
+		}
+	}
+}
+
+func TestSubmitBatchStaysOnHomeShardWithoutSteal(t *testing.T) {
+	// Without Steal each shard engine derives its own SRS, so a statement
+	// proved off the circuit's home shard would carry a proof the home
+	// shard's Verify rejects. The whole batch must route to entry.shard.
+	backends := []Backend{&stubBackend{}, &stubBackend{}, &stubBackend{}, &stubBackend{}}
+	s := newTestService(t, Config{BatchWindow: time.Millisecond}, backends...)
+
+	circuit, assigns := witnessesFor(t, 27, 8)
+	entry := mustRegister(t, s, circuit)
+
+	resp, err := s.ProveBatchWait(context.Background(), entry, assigns, prioNormal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 8 || resp.Failed != 0 {
+		t.Fatalf("results=%d failed=%d", len(resp.Results), resp.Failed)
+	}
+	for i, b := range backends {
+		proofs := b.(*stubBackend).Stats().Proofs
+		if i == entry.shard && proofs != 8 {
+			t.Fatalf("home shard %d proved %d of 8", i, proofs)
+		}
+		if i != entry.shard && proofs != 0 {
+			t.Fatalf("shard %d proved %d statements off the home shard's SRS", i, proofs)
 		}
 	}
 }

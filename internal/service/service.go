@@ -553,26 +553,43 @@ func (s *Service) SubmitWait(ctx context.Context, entry *circuitEntry, assign *h
 	}
 }
 
-// SubmitBatch enqueues a rollup batch of statements over one circuit,
-// spread round-robin across every shard starting at the circuit's home
-// shard — the parallelism a single digest-routed queue would forfeit.
-// Each shard's slice still coalesces into one ProveBatch (or one cluster
-// dispatch). A batch exceeding the total free queue capacity is rejected
-// whole with an *OverloadedError rather than partially enqueued; a racing
-// submitter can still fill a queue mid-spread, in which case already
-// enqueued statements run to completion and the error reports the rest.
+// SubmitBatch enqueues a rollup batch of statements over one circuit.
+// When cfg.Steal is set — the shards-share-one-setup-seed mode, see the
+// Config.Steal doc — the batch spreads round-robin across every shard
+// starting at the circuit's home shard, the parallelism a single
+// digest-routed queue would forfeit; each shard's slice still coalesces
+// into one ProveBatch (or one cluster dispatch). Without Steal each
+// shard's engine derives its own SRS, so a statement proved off the home
+// shard would verify under the wrong setup — the whole batch stays on
+// entry.shard. A batch exceeding the eligible free queue capacity is
+// rejected whole with an *OverloadedError rather than partially
+// enqueued; a racing submitter can still fill a queue mid-spread, in
+// which case already enqueued statements run to completion and the
+// error reports the rest.
 func (s *Service) SubmitBatch(entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int) ([]*job, error) {
 	if len(assigns) == 0 {
 		return nil, errors.New("service: empty batch")
 	}
-	depth := s.QueueDepth()
-	if free := len(s.shards)*s.cfg.QueueCapacity - depth; len(assigns) > free {
+	spread := s.cfg.Steal && len(s.shards) > 1
+	var depth, free int
+	if spread {
+		depth = s.QueueDepth()
+		free = len(s.shards)*s.cfg.QueueCapacity - depth
+	} else {
+		depth = s.shards[entry.shard].queue.Depth()
+		free = s.cfg.QueueCapacity - depth
+	}
+	if len(assigns) > free {
 		s.met.add(&s.met.jobsRejected, int64(len(assigns)))
 		return nil, &OverloadedError{RetryAfter: s.met.retryAfter(depth + len(assigns))}
 	}
 	jobs := make([]*job, len(assigns))
 	for i, a := range assigns {
-		j, err := s.submitTo(entry, a, priority, (entry.shard+i)%len(s.shards))
+		shard := entry.shard
+		if spread {
+			shard = (entry.shard + i) % len(s.shards)
+		}
+		j, err := s.submitTo(entry, a, priority, shard)
 		if err != nil {
 			return nil, fmt.Errorf("statement %d: %w", i, err)
 		}
