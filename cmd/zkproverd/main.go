@@ -10,6 +10,7 @@
 //	zkproverd -addr :9090 -shards 4 -batch-window 10ms
 //	zkproverd -queue-cap 128 -max-batch 32 -cache 1024
 //	zkproverd -preload-mu 10,12 -seed 7         # pre-derive SRS ceremonies
+//	zkproverd -table-cache /var/lib/zkproverd   # fixed-base commit tables, persisted
 //	zkproverd -worker -join host:9444 -name w1  # proving worker for zkclusterd
 //
 // In -worker mode the daemon serves no HTTP: it dials the coordinator,
@@ -53,19 +54,34 @@ func main() {
 	workerMode := flag.Bool("worker", false, "run as a cluster proving worker instead of an HTTP service")
 	join := flag.String("join", "", "coordinator cluster address to join (required with -worker)")
 	name := flag.String("name", "", "worker name advertised to the coordinator (default hostname)")
+	tableCache := flag.String("table-cache", "", "directory for fixed-base commitment tables; enables the fixed-base commit kernel and persists tables across restarts")
+	tableWindow := flag.Int("table-window", 0, "fixed-base table digit width (0 = per-size heuristic; with -table-cache)")
+	tableMaxResident := flag.Int64("table-max-resident", 0, "memory-map tables whose file exceeds this many bytes instead of holding them resident (0 = always resident; with -table-cache)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	log.SetPrefix("zkproverd: ")
 
+	var fixedBase *zkspeed.FixedBaseConfig
+	if *tableCache != "" || *tableWindow != 0 {
+		fixedBase = &zkspeed.FixedBaseConfig{
+			Window:           *tableWindow,
+			CacheDir:         *tableCache,
+			MaxResidentBytes: *tableMaxResident,
+		}
+	}
+
 	if *workerMode {
-		runWorker(*join, *name, *preload, *workers, *verbose)
+		runWorker(*join, *name, *preload, *workers, *verbose, fixedBase)
 		return
 	}
 
 	opts := []zkspeed.Option{}
 	if *seed != 0 {
 		opts = append(opts, zkspeed.WithEntropy(zkspeed.SeededEntropy(*seed)))
+	}
+	if fixedBase != nil {
+		opts = append(opts, zkspeed.WithFixedBaseTables(*fixedBase))
 	}
 	if *workers > 0 {
 		opts = append(opts, zkspeed.WithParallelism(*workers))
@@ -145,7 +161,7 @@ func main() {
 // runWorker joins a zkclusterd coordinator and proves dispatched batches
 // until stopped. The setup seed comes from the coordinator's handshake, so
 // -seed is ignored here.
-func runWorker(join, name, preload string, workers int, verbose bool) {
+func runWorker(join, name, preload string, workers int, verbose bool, fixedBase *zkspeed.FixedBaseConfig) {
 	if join == "" {
 		log.Fatal("-worker requires -join <coordinator cluster address>")
 	}
@@ -159,6 +175,11 @@ func runWorker(join, name, preload string, workers int, verbose bool) {
 	opts := []zkspeed.Option{}
 	if workers > 0 {
 		opts = append(opts, zkspeed.WithParallelism(workers))
+	}
+	if fixedBase != nil {
+		// Workers derive their SRS from the coordinator's shared seed, so
+		// the tables they build (and cache) are identical across the fleet.
+		opts = append(opts, zkspeed.WithFixedBaseTables(*fixedBase))
 	}
 	if verbose {
 		opts = append(opts, zkspeed.WithProveHook(func(st zkspeed.ProofStats) {

@@ -40,6 +40,7 @@ type Engine struct {
 	srs     map[int]*srsEntry      // universal SRS per problem size
 	keys    map[[32]byte]*keyEntry // preprocessed keys per circuit digest
 	digests map[*Circuit][32]byte  // memoized circuit digests (O(2^mu) to hash)
+	tables  map[tableKey]*tableEntry
 	st      EngineStats
 }
 
@@ -49,6 +50,23 @@ type Engine struct {
 type srsEntry struct {
 	done chan struct{}
 	s    *SRS
+	err  error
+}
+
+// tableKey identifies one fixed-base commitment table: the ceremony
+// digest plus the resolved digit width. Keyed on the digest (not the
+// SRS pointer) so that uncached mode — which re-derives the SRS per
+// proof — still builds the table exactly once.
+type tableKey struct {
+	digest [32]byte
+	window int
+}
+
+// tableEntry is the singleflight slot for one table's build-or-load,
+// mirroring srsEntry: the creator closes done, waiters attach the result.
+type tableEntry struct {
+	done chan struct{}
+	t    *pcs.CommitTables
 	err  error
 }
 
@@ -80,6 +98,12 @@ type EngineStats struct {
 	// Proofs and Verifies count completed operations.
 	Proofs   int
 	Verifies int
+	// TableBuilds counts fixed-base commitment tables computed from
+	// scratch; TableLoads counts tables served from the cache directory
+	// (WithFixedBaseTables) — the cold-build vs warm-load split the
+	// zkproverd_fixedbase_table_* metrics expose.
+	TableBuilds int
+	TableLoads  int
 }
 
 // New constructs an Engine. With no options it uses crypto/rand entropy,
@@ -92,6 +116,7 @@ func New(opts ...Option) *Engine {
 		srs:     make(map[int]*srsEntry),
 		keys:    make(map[[32]byte]*keyEntry),
 		digests: make(map[*Circuit][32]byte),
+		tables:  make(map[tableKey]*tableEntry),
 	}
 	for _, o := range opts {
 		o(&e.cfg)
@@ -141,6 +166,18 @@ func (e *Engine) masterSeed() ([]byte, error) {
 // concurrent same-size callers singleflight on one derivation, which runs
 // outside the Engine lock so other operations never stall behind it.
 func (e *Engine) srsFor(ctx context.Context, mu int) (*SRS, error) {
+	s, err := e.deriveSRS(ctx, mu)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ensureTables(ctx, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// deriveSRS is srsFor without the fixed-base table step.
+func (e *Engine) deriveSRS(ctx context.Context, mu int) (*SRS, error) {
 	if p := e.cfg.preloadSRS; p != nil && p.Mu == mu {
 		return p, nil
 	}
@@ -206,6 +243,73 @@ func (e *Engine) srsFor(ctx context.Context, mu int) (*SRS, error) {
 		e.st.SRSSetups++
 		e.mu.Unlock()
 		return entry.s, nil
+	}
+}
+
+// ensureTables builds or cache-loads the fixed-base commitment tables
+// for the SRS and attaches them, once per (ceremony, window) — a no-op
+// unless the Engine was built WithFixedBaseTables. The map is keyed by
+// ceremony digest rather than SRS identity, so uncached mode (which
+// re-derives the SRS per proof) and a preloaded SRS both reuse one
+// build; concurrent callers singleflight exactly like srsEntry, with the
+// expensive precompute outside the Engine lock.
+func (e *Engine) ensureTables(ctx context.Context, s *SRS) error {
+	fb := e.cfg.fixedBase
+	if fb == nil || s.Tables() != nil {
+		return nil
+	}
+	key := tableKey{digest: s.Digest(), window: pcs.ResolveTableWindow(s, fb.Window)}
+	for {
+		e.mu.Lock()
+		if entry, ok := e.tables[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-entry.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if entry.err == nil {
+				return s.AttachTables(entry.t)
+			}
+			e.mu.Lock()
+			if cur, ok := e.tables[key]; ok && cur == entry {
+				delete(e.tables, key)
+			}
+			e.mu.Unlock()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			continue
+		}
+		entry := &tableEntry{done: make(chan struct{})}
+		e.tables[key] = entry
+		e.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			entry.err = err
+		} else {
+			entry.t, entry.err = pcs.PrecomputeTables(s, pcs.TableOptions{
+				Window:           fb.Window,
+				Procs:            e.cfg.parallelism,
+				CacheDir:         fb.CacheDir,
+				MaxResidentBytes: fb.MaxResidentBytes,
+			})
+		}
+		close(entry.done)
+		e.mu.Lock()
+		if entry.err != nil {
+			if cur, ok := e.tables[key]; ok && cur == entry {
+				delete(e.tables, key)
+			}
+			e.mu.Unlock()
+			return entry.err
+		}
+		if entry.t.FromCache {
+			e.st.TableLoads++
+		} else {
+			e.st.TableBuilds++
+		}
+		e.mu.Unlock()
+		return s.AttachTables(entry.t)
 	}
 }
 

@@ -1,0 +1,85 @@
+package zkspeed_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"zkspeed"
+)
+
+// TestFixedBaseProofDigestCompare proves the same synthetic workloads on
+// a plain Engine and on one routing commitments through precomputed
+// fixed-base tables, from the same ceremony seed. The fixed-base kernel
+// computes the identical group elements, so the serialized proofs must be
+// byte-identical across the paper's small-size sweep — the acceptance
+// bar that makes the optimization invisible to verifiers.
+func TestFixedBaseProofDigestCompare(t *testing.T) {
+	mus := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if testing.Short() {
+		mus = []int{2, 5, 8}
+	}
+	ctx := context.Background()
+	cacheDir := t.TempDir()
+	plain := zkspeed.New(zkspeed.WithEntropy(zkspeed.SeededEntropy(99)))
+	fixed := zkspeed.New(
+		zkspeed.WithEntropy(zkspeed.SeededEntropy(99)),
+		zkspeed.WithFixedBaseTables(zkspeed.FixedBaseConfig{CacheDir: cacheDir}),
+	)
+	for _, mu := range mus {
+		circuit, assignment, pub, err := zkspeed.SyntheticWorkloadSeeded(mu, 321)
+		if err != nil {
+			t.Fatalf("mu=%d: %v", mu, err)
+		}
+		rp, err := plain.Prove(ctx, circuit, assignment)
+		if err != nil {
+			t.Fatalf("mu=%d plain prove: %v", mu, err)
+		}
+		rf, err := fixed.Prove(ctx, circuit, assignment)
+		if err != nil {
+			t.Fatalf("mu=%d fixed-base prove: %v", mu, err)
+		}
+		bp, err := rp.Proof.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := rf.Proof.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bp, bf) {
+			t.Fatalf("mu=%d: fixed-base proof differs from plain proof", mu)
+		}
+		if err := fixed.Verify(ctx, circuit, pub, rf.Proof); err != nil {
+			t.Fatalf("mu=%d: fixed-base proof rejected: %v", mu, err)
+		}
+	}
+	st := fixed.Stats()
+	if st.TableBuilds == 0 {
+		t.Fatal("fixed-base engine never built a table — the fast path was not exercised")
+	}
+	if plain.Stats().TableBuilds != 0 {
+		t.Fatal("plain engine built tables")
+	}
+
+	// A third engine over the same cache directory must load every table
+	// instead of rebuilding.
+	t.Run("warm-cache", func(t *testing.T) {
+		mu := mus[0]
+		circuit, assignment, _, err := zkspeed.SyntheticWorkloadSeeded(mu, 321)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := zkspeed.New(
+			zkspeed.WithEntropy(zkspeed.SeededEntropy(99)),
+			zkspeed.WithFixedBaseTables(zkspeed.FixedBaseConfig{CacheDir: cacheDir}),
+		)
+		if _, err := warm.Prove(ctx, circuit, assignment); err != nil {
+			t.Fatal(err)
+		}
+		st := warm.Stats()
+		if st.TableBuilds != 0 || st.TableLoads != 1 {
+			t.Fatalf("warm engine: builds=%d loads=%d, want 0/1", st.TableBuilds, st.TableLoads)
+		}
+	})
+}

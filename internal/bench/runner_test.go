@@ -74,25 +74,28 @@ func TestRunnerErrors(t *testing.T) {
 // wire real kernels, not stubs.
 func TestKernelSuiteRuns(t *testing.T) {
 	cfg := SuiteConfig{
-		Quick:       true,
-		MSMLogN:     5,
-		Windows:     []int{4},
-		SumcheckMu:  5,
-		SumcheckMus: []int{5},
-		PCSMu:       5,
-		FoldMu:      6,
-		MLEMu:       6,
-		Warmup:      0,
-		Reps:        1,
-		Seed:        7,
+		Quick:            true,
+		MSMLogN:          5,
+		Windows:          []int{4},
+		FixedBaseWindows: []int{5, 0}, // 0 resolves to 6 at n=32
+		SumcheckMu:       5,
+		SumcheckMus:      []int{5},
+		PCSMu:            5,
+		PCSMus:           []int{5},
+		FoldMu:           6,
+		MLEMu:            6,
+		Warmup:           0,
+		Reps:             1,
+		Seed:             7,
 	}
 	bms := KernelSuite(cfg)
 	// 1 window × 2 schedules × {pippenger, sparse} + 1 window ×
-	// {signed, glv, batchaffine} + {fast, sparse-fast} + legacy
-	// sumcheck + 1 serial/parallel sumcheck pair + commit + open +
-	// 5 serial/parallel MTU kernel pairs + fold.
-	if len(bms) != 25 {
-		t.Fatalf("want 25 kernel benchmarks, got %d", len(bms))
+	// {signed, glv, batchaffine} + {fast, sparse-fast} + 2 fixed-base
+	// windows + legacy sumcheck + 1 serial/parallel sumcheck pair +
+	// {commit, commit-fixed, precompute} + open + 5 serial/parallel MTU
+	// kernel pairs + fold.
+	if len(bms) != 29 {
+		t.Fatalf("want 29 kernel benchmarks, got %d", len(bms))
 	}
 	report := NewReport("test", RunConfig{Reps: 1}, time.Unix(0, 0))
 	r := Runner{Warmup: cfg.Warmup, Reps: cfg.Reps}

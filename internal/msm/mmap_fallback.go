@@ -1,0 +1,20 @@
+//go:build !unix
+
+package msm
+
+import "os"
+
+// mmapSupported reports whether lazy table loads can memory-map. Without
+// mmap, OpenFixedBaseTableFile's lazy mode falls back to an eager read
+// (correct, just not memory-bounded).
+const mmapSupported = false
+
+// mmapFile eagerly reads path — the portable stand-in for the real
+// mapping on unix builds.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

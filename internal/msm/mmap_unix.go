@@ -1,0 +1,35 @@
+//go:build unix
+
+package msm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether lazy table loads can memory-map.
+const mmapSupported = true
+
+// mmapFile maps path read-only and returns the mapping plus its release
+// hook. The file descriptor is closed immediately — the mapping outlives
+// it by POSIX semantics.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(st.Size())
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

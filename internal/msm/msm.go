@@ -83,6 +83,13 @@ const (
 	// KernelFast combines signed windows, GLV splitting and batch-affine
 	// buckets — the default production path.
 	KernelFast
+	// KernelFixedBase consumes a precomputed window-multiple table for a
+	// fixed point set (the SRS commit basis): no doubling chain, one
+	// global signed-digit bucket pass over all (point, window) pairs. It
+	// needs the table alongside the points, so it is reachable only
+	// through MSMFixedBase / SparseMSMFixedBase (pcs routes to them when
+	// tables are attached); MSMWithOptions rejects it.
+	KernelFixedBase
 )
 
 // String names the kernel for benchmark labels.
@@ -96,6 +103,8 @@ func (k Kernel) String() string {
 		return "glv"
 	case KernelBatchAffine:
 		return "batchaffine"
+	case KernelFixedBase:
+		return "fixedbase"
 	case KernelFast, KernelAuto:
 		return "fast"
 	}
@@ -121,16 +130,29 @@ type Options struct {
 	Kernel Kernel
 }
 
-// procs resolves the goroutine budget.
-func (o *Options) procs() int {
+// ResolvedProcs is the single place the goroutine budget is clamped:
+// serial runs and non-positive budgets resolve to 1 goroutine, and a
+// parallel run with Procs == 0 resolves to GOMAXPROCS. Every kernel in
+// this package and every caller that forwards the budget to another
+// kernel layer (pcs.OpenWith hands it to poly) must resolve through
+// here, so a zero Procs from a call site that never set it means the
+// same thing — "all CPUs" — at every level instead of silently hitting
+// each layer's own default.
+func (o *Options) ResolvedProcs() int {
 	if !o.Parallel {
 		return 1
 	}
 	if o.Procs > 0 {
 		return o.Procs
 	}
+	if o.Procs < 0 {
+		return 1
+	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// procs resolves the goroutine budget.
+func (o *Options) procs() int { return o.ResolvedProcs() }
 
 // Aggregation identifies a bucket-aggregation schedule.
 type Aggregation int
@@ -181,6 +203,8 @@ func MSMWithOptions(points []curve.G1Affine, scalars []ff.Fr, opt Options) curve
 		return out
 	}
 	switch opt.Kernel {
+	case KernelFixedBase:
+		panic("msm: KernelFixedBase needs a precomputed table; call MSMFixedBase")
 	case KernelPippenger:
 		return msmPippenger(points, scalars, opt)
 	case KernelSigned:
@@ -308,25 +332,32 @@ func aggregateGrouped(buckets []curve.G1Jac, g int) curve.G1Jac {
 		groupSum[k] = running // Σ_{i∈k} B_i
 		groupWeighted[k] = local
 	}
-	// total = Σ_k (groupWeighted[k] + (k·g)·groupSum[k]).
-	// Compute Σ_k k·groupSum[k] via suffix sums, then scale by g.
+	total = combineGroups(groupSum, groupWeighted, g)
+	return total
+}
+
+// combineGroups folds per-group aggregation partials into the total:
+// Σ_k (groupWeighted[k] + (k·g)·groupSum[k]), with Σ_k k·groupSum[k]
+// computed via suffix sums and scaled by g with double-and-add. Shared by
+// the Jacobian grouped schedule above and the batch-affine grouped
+// schedule of the fixed-base kernel (aggregateAffine).
+func combineGroups(groupSum, groupWeighted []curve.G1Jac, g int) curve.G1Jac {
+	numGroups := len(groupSum)
 	var suffix, kWeighted curve.G1Jac
 	for k := numGroups - 1; k >= 1; k-- {
 		suffix.Add(&suffix, &groupSum[k])
 		kWeighted.Add(&kWeighted, &suffix)
 	}
-	// kWeighted = Σ_k k·groupSum[k]; scale by g via double-and-add.
-	var scaled curve.G1Jac
+	var total curve.G1Jac
 	rem := g
 	cur := kWeighted
 	for rem > 0 {
 		if rem&1 == 1 {
-			scaled.Add(&scaled, &cur)
+			total.Add(&total, &cur)
 		}
 		cur.Double(&cur)
 		rem >>= 1
 	}
-	total = scaled
 	for k := 0; k < numGroups; k++ {
 		total.Add(&total, &groupWeighted[k])
 	}

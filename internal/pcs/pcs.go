@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"zkspeed/internal/curve"
 	"zkspeed/internal/ff"
@@ -37,6 +38,13 @@ type SRS struct {
 	H curve.G2Affine
 	// HTau[j] = [τ_{j+1}]·H for j = 0..μ-1 (verifier side).
 	HTau []curve.G2Affine
+
+	// tables is the optional fixed-base commitment table (AttachTables);
+	// digest memoizes Digest(). Both are unexported sync state — the SRS
+	// must never be copied by value once in use.
+	tables     atomic.Pointer[CommitTables]
+	digestOnce sync.Once
+	digest     [32]byte
 }
 
 // Commitment is a hiding-free PST commitment to an MLE.
@@ -157,6 +165,15 @@ func (s *SRS) CommitWith(m *poly.MLE, opt msm.Options) (Commitment, error) {
 	if m.NumVars != s.Mu {
 		return Commitment{}, fmt.Errorf("pcs: MLE has %d vars, SRS supports %d", m.NumVars, s.Mu)
 	}
+	if t := s.tables.Load(); t != nil && useFixedBase(opt.Kernel) {
+		sum := msm.MSMFixedBase(t.tbl, m.Evals, opt)
+		var c Commitment
+		c.P.FromJacobian(&sum)
+		return c, nil
+	}
+	if opt.Kernel == msm.KernelFixedBase {
+		return Commitment{}, errors.New("pcs: KernelFixedBase requested but no tables attached (PrecomputeTables + AttachTables)")
+	}
 	sum := msm.MSMWithOptions(s.Lag[0], m.Evals, opt)
 	var c Commitment
 	c.P.FromJacobian(&sum)
@@ -173,6 +190,15 @@ func (s *SRS) CommitSparse(m *poly.MLE) (Commitment, error) {
 func (s *SRS) CommitSparseWith(m *poly.MLE, opt msm.Options) (Commitment, error) {
 	if m.NumVars != s.Mu {
 		return Commitment{}, fmt.Errorf("pcs: MLE has %d vars, SRS supports %d", m.NumVars, s.Mu)
+	}
+	if t := s.tables.Load(); t != nil && useFixedBase(opt.Kernel) {
+		sum := msm.SparseMSMFixedBase(t.tbl, m.Evals, opt)
+		var c Commitment
+		c.P.FromJacobian(&sum)
+		return c, nil
+	}
+	if opt.Kernel == msm.KernelFixedBase {
+		return Commitment{}, errors.New("pcs: KernelFixedBase requested but no tables attached (PrecomputeTables + AttachTables)")
 	}
 	sum := msm.SparseMSM(s.Lag[0], m.Evals, opt)
 	var c Commitment
@@ -193,10 +219,10 @@ func (s *SRS) OpenWith(m *poly.MLE, point []ff.Fr, opt msm.Options) (OpeningProo
 	if m.NumVars != s.Mu || len(point) != s.Mu {
 		return OpeningProof{}, ff.Fr{}, errors.New("pcs: open dimension mismatch")
 	}
-	popt := poly.Options{Procs: 1}
-	if opt.Parallel {
-		popt.Procs = opt.Procs // 0 = GOMAXPROCS, matching the MSM budget
-	}
+	// ResolvedProcs is the one normalization point for the goroutine
+	// budget: Parallel=false or Procs<0 collapse to 1 here rather than
+	// leaking a raw 0 (= GOMAXPROCS to poly) downstream.
+	popt := poly.Options{Procs: opt.ResolvedProcs()}
 	work := m.Clone()
 	proof := OpeningProof{Quotients: make([]curve.G1Affine, s.Mu)}
 	q := make([]ff.Fr, 0, work.Len()/2)

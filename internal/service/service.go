@@ -81,6 +81,10 @@ type BackendStats struct {
 	KeyCacheHits int
 	Proofs       int
 	Verifies     int
+	// TableBuilds/TableLoads split the fixed-base commitment-table work
+	// into cold builds vs cache-directory loads.
+	TableBuilds int
+	TableLoads  int
 }
 
 // Backend is the prover a shard drives — in production a *zkspeed.Engine
@@ -479,6 +483,8 @@ func (s *Service) BackendStats() BackendStats {
 		t.KeyCacheHits += st.KeyCacheHits
 		t.Proofs += st.Proofs
 		t.Verifies += st.Verifies
+		t.TableBuilds += st.TableBuilds
+		t.TableLoads += st.TableLoads
 	}
 	return t
 }

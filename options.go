@@ -15,6 +15,7 @@ type engineConfig struct {
 	timings     bool
 	preloadSRS  *SRS
 	proveHook   func(ProofStats)
+	fixedBase   *FixedBaseConfig
 	// cluster is read only by NewService (WithCluster); a plain New engine
 	// ignores it.
 	cluster *ClusterConfig
@@ -90,6 +91,31 @@ func WithTimings() Option {
 // from the Engine's entropy as usual.
 func WithSRS(srs *SRS) Option {
 	return func(c *engineConfig) { c.preloadSRS = srs }
+}
+
+// FixedBaseConfig configures the Engine's fixed-base commitment tables
+// (WithFixedBaseTables). All fields are optional.
+type FixedBaseConfig struct {
+	// Window is the table digit width; 0 picks the per-size heuristic.
+	Window int
+	// CacheDir persists built tables and loads existing ones across
+	// processes — the zkproverd -table-cache directory. Empty keeps the
+	// tables purely in memory.
+	CacheDir string
+	// MaxResidentBytes spills tables larger than this to their cache
+	// file (memory-mapped); 0 keeps every table resident. Requires
+	// CacheDir.
+	MaxResidentBytes int64
+}
+
+// WithFixedBaseTables makes the Engine precompute fixed-base window
+// tables for each SRS it derives, routing every subsequent commitment
+// MSM through the table kernel. The table is built (or loaded from
+// cfg.CacheDir) at most once per ceremony — alongside the SRS
+// derivation, so a preloaded or warmed SRS pays the cost before the
+// first proof. Proof bytes are unchanged; only commit latency is.
+func WithFixedBaseTables(cfg FixedBaseConfig) Option {
+	return func(c *engineConfig) { c.fixedBase = &cfg }
 }
 
 // WithProveHook installs a callback invoked (synchronously, on the

@@ -209,5 +209,7 @@ func (sh *engineShard) Stats() service.BackendStats {
 		KeyCacheHits: st.KeyCacheHits,
 		Proofs:       st.Proofs,
 		Verifies:     st.Verifies,
+		TableBuilds:  st.TableBuilds,
+		TableLoads:   st.TableLoads,
 	}
 }
