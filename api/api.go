@@ -86,6 +86,11 @@ type ProveResponse struct {
 	StepsNS map[string]int64 `json:"steps_ns,omitempty"`
 	// Error describes the failure when Status is "failed".
 	Error string `json:"error,omitempty"`
+	// Retryable marks a failed job as cut short transiently (shutdown,
+	// cancellation) rather than rejected by the prover. On a daemon with
+	// a durable store such a job resumes after restart under the same
+	// JobID — clients should keep polling, not give up.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // ProveBatchRequest is the body of POST /v1/prove_batch — a rollup-style
@@ -200,9 +205,33 @@ type ClusterStatus struct {
 	LocalFallbacks int64 `json:"local_fallbacks"`
 }
 
-// Error is the JSON body of every non-2xx response. Overload responses
-// (429) additionally set the Retry-After header to RetryAfterSec.
+// Error codes distinguishing the refusal classes that share an HTTP
+// status. The full auth/quota matrix:
+//
+//	401 ErrCodeUnauthorized   missing or unknown API key
+//	403 ErrCodeKeyDisabled    valid key, administratively disabled
+//	413 ErrCodeWitnessTooBig  witness exceeds the tenant's per-upload cap
+//	429 ErrCodeOverloaded     shard queue full (not tenant-specific)
+//	429 ErrCodeQuotaRate      tenant requests/sec bucket empty
+//	429 ErrCodeQuotaBytes     tenant witness-bytes budget exhausted
+//	429 ErrCodeQuotaInflight  tenant at max in-flight jobs
+const (
+	ErrCodeUnauthorized  = "unauthorized"
+	ErrCodeKeyDisabled   = "key_disabled"
+	ErrCodeWitnessTooBig = "witness_too_big"
+	ErrCodeOverloaded    = "overloaded"
+	ErrCodeQuotaRate     = "quota_rate"
+	ErrCodeQuotaBytes    = "quota_bytes"
+	ErrCodeQuotaInflight = "quota_inflight"
+)
+
+// Error is the JSON body of every non-2xx response. Overload and quota
+// responses (429) additionally set the Retry-After header to
+// RetryAfterSec. Code, when set, machine-classifies the refusal (see the
+// ErrCode constants); clients should branch on it rather than parsing
+// Error text.
 type Error struct {
 	Error         string `json:"error"`
+	Code          string `json:"code,omitempty"`
 	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
 }

@@ -9,15 +9,19 @@ package zkspeed
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
 	"zkspeed/api"
 	"zkspeed/internal/bench"
+	"zkspeed/internal/store"
 )
 
 // Benchmark-harness types, re-exported for commands and external callers.
@@ -263,6 +267,283 @@ func ServiceBenchmarks(cfg BenchConfig) []BenchmarkCase {
 	return out
 }
 
+// DurabilityBenchmarks builds the durable-store and multi-tenant suite.
+//
+// service/recovery/jobsN measures crash recovery itself: Setup populates
+// a WAL with a circuit blob and N jobs (half completed with results, half
+// still pending) and every iteration replays the log from disk — the
+// startup cost a durable zkproverd pays before it can serve, which must
+// stay linear in log size and cheap enough to keep restarts routine.
+//
+// service/fairshare/muN/{solo,contended} measures tenant isolation under
+// the deficit-round-robin scheduler: solo is a quota-respecting tenant's
+// HTTP prove latency on an idle service; contended is the same tenant's
+// latency while a second tenant keeps the queue saturated with its own
+// jobs. CI asserts contended stays within 2x solo (see the bench-gate
+// -assert-faster expression) — without fair-share the victim would wait
+// behind the flooder's entire backlog, two orders of magnitude worse.
+func DurabilityBenchmarks(cfg BenchConfig) []BenchmarkCase {
+	mu := cfg.ServiceMus[0]
+	const recoveryJobs = 64
+	var out []BenchmarkCase
+
+	var walDir string
+	out = append(out, BenchmarkCase{
+		Name: fmt.Sprintf("service/recovery/jobs%d", recoveryJobs),
+		Kind: bench.KindService,
+		Params: map[string]string{
+			"mu":   strconv.Itoa(mu),
+			"jobs": strconv.Itoa(recoveryJobs),
+			"seed": strconv.FormatInt(cfg.Seed, 10),
+		},
+		Setup: func() error {
+			var err error
+			walDir, err = os.MkdirTemp("", "zkbench-recovery-")
+			if err != nil {
+				return err
+			}
+			w, err := store.OpenWAL(store.WALConfig{Dir: walDir})
+			if err != nil {
+				return err
+			}
+			circuit, assign, _, err := SyntheticWorkloadSeeded(mu, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			blob, err := circuit.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			digest := sha256.Sum256(blob)
+			if err := w.PutCircuit(digest, blob); err != nil {
+				return err
+			}
+			witness, err := assign.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < recoveryJobs; i++ {
+				id := fmt.Sprintf("job-%06x", i+1)
+				if err := w.Submit(store.JobRecord{ID: id, Circuit: digest, Witness: witness}); err != nil {
+					return err
+				}
+				// Half the log is completed jobs: replay must both
+				// re-queue pending work and restore finished results.
+				if i%2 == 0 {
+					if err := w.Claim(id); err != nil {
+						return err
+					}
+					proof := witness
+					if len(proof) > 4096 {
+						proof = proof[:4096]
+					}
+					if err := w.Complete(store.Result{ID: id, Circuit: digest, Proof: proof}); err != nil {
+						return err
+					}
+				}
+			}
+			return w.Close()
+		},
+		Iterate: func() error {
+			w, err := store.OpenWAL(store.WALConfig{Dir: walDir})
+			if err != nil {
+				return err
+			}
+			st := w.State()
+			if got := len(st.Pending) + len(st.Done); got != recoveryJobs {
+				w.Close()
+				return fmt.Errorf("recovery replayed %d jobs, want %d", got, recoveryJobs)
+			}
+			return w.Close()
+		},
+		Teardown: func() {
+			if walDir != "" {
+				os.RemoveAll(walDir)
+			}
+		},
+	})
+
+	for _, contended := range []bool{false, true} {
+		contended := contended
+		variant := "solo"
+		if contended {
+			variant = "contended"
+		}
+		var (
+			svc       *ProverService
+			server    *http.Server
+			tmpDir    string
+			baseURL   string
+			hc        *http.Client
+			victimReq []byte
+			floodReq  []byte
+			iter      int
+		)
+		post := func(key string, blob []byte) (*api.ProveResponse, int, error) {
+			req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/prove", bytes.NewReader(blob))
+			if err != nil {
+				return nil, 0, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Authorization", "Bearer "+key)
+			resp, err := hc.Do(req)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer resp.Body.Close()
+			var proved api.ProveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&proved); err != nil {
+				return nil, resp.StatusCode, err
+			}
+			return &proved, resp.StatusCode, nil
+		}
+		// The flooder ignores backpressure: push until the queue's 429.
+		saturate := func() error {
+			for i := 0; i < 4096; i++ {
+				_, code, err := post("flooder-key", floodReq)
+				if err != nil {
+					return err
+				}
+				if code == http.StatusTooManyRequests {
+					return nil
+				}
+			}
+			return fmt.Errorf("fairshare: queue never saturated")
+		}
+		out = append(out, BenchmarkCase{
+			Name: fmt.Sprintf("service/fairshare/mu%d/%s", mu, variant),
+			Kind: bench.KindService,
+			Params: map[string]string{
+				"mu":        strconv.Itoa(mu),
+				"seed":      strconv.FormatInt(cfg.Seed, 10),
+				"contended": strconv.FormatBool(contended),
+			},
+			Setup: func() error {
+				var err error
+				tmpDir, err = os.MkdirTemp("", "zkbench-fairshare-")
+				if err != nil {
+					return err
+				}
+				tenantsPath := filepath.Join(tmpDir, "tenants.json")
+				// The flooder saturates its own in-flight quota (64 queued
+				// jobs — many minutes of backlog against one victim prove);
+				// the quota keeps it from eating the whole queue, which is
+				// the admission half of tenant isolation.
+				tenants := `{"tenants":[` +
+					`{"id":"victim","key":"victim-key"},` +
+					`{"id":"flooder","key":"flooder-key","max_inflight":64}]}`
+				if err := os.WriteFile(tenantsPath, []byte(tenants), 0o644); err != nil {
+					return err
+				}
+				// Coalescing and caching off, one job per ProveBatch: the
+				// victim's latency must come from scheduling, and a flooder
+				// mega-batch would hold the shard for MaxBatch proofs.
+				svc, err = NewService(ServiceConfig{
+					BatchWindow:   -1,
+					MaxBatch:      1,
+					CacheSize:     -1,
+					QueueCapacity: 256,
+					TenantsFile:   tenantsPath,
+				}, WithEntropy(SeededEntropy(cfg.Seed)))
+				if err != nil {
+					return err
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return err
+				}
+				server = &http.Server{Handler: svc.Handler()}
+				go server.Serve(ln)
+				baseURL = "http://" + ln.Addr().String()
+				hc = &http.Client{}
+
+				victimCircuit, victimAssign, _, err := SyntheticWorkloadSeeded(mu, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				info, err := svc.Preload(context.Background(), victimCircuit)
+				if err != nil {
+					return err
+				}
+				witness, err := victimAssign.MarshalBinary()
+				if err != nil {
+					return err
+				}
+				victimReq, err = json.Marshal(api.ProveRequest{
+					CircuitDigest: info.Digest, Witness: witness, Wait: true,
+				})
+				if err != nil {
+					return err
+				}
+				if !contended {
+					return nil
+				}
+				// A distinct flooder circuit (different seed) keeps the two
+				// tenants' jobs from ever sharing a batch.
+				floodCircuit, floodAssign, _, err := SyntheticWorkloadSeeded(mu, cfg.Seed+1)
+				if err != nil {
+					return err
+				}
+				floodInfo, err := svc.Preload(context.Background(), floodCircuit)
+				if err != nil {
+					return err
+				}
+				floodWitness, err := floodAssign.MarshalBinary()
+				if err != nil {
+					return err
+				}
+				floodReq, err = json.Marshal(api.ProveRequest{
+					CircuitDigest: floodInfo.Digest, Witness: floodWitness,
+				})
+				if err != nil {
+					return err
+				}
+				return saturate()
+			},
+			// Re-saturate untimed before every victim prove so each
+			// measured iteration sees a full backlog, not whatever the
+			// previous iterations drained. The deterministic stagger
+			// breaks phase lock with the shard's prove cycle: without it
+			// every victim request would land just after a flooder proof
+			// started and measure the worst-case remainder every rep,
+			// instead of the uniform arrival phase real tenants have.
+			Before: func() error {
+				if !contended {
+					return nil
+				}
+				if err := saturate(); err != nil {
+					return err
+				}
+				iter++
+				time.Sleep(time.Duration(iter*37%97) * time.Millisecond)
+				return nil
+			},
+			Iterate: func() error {
+				proved, code, err := post("victim-key", victimReq)
+				if err != nil {
+					return err
+				}
+				if code != http.StatusOK || proved.Status != api.StatusDone {
+					return fmt.Errorf("victim prove: HTTP %d, status %q (%s)", code, proved.Status, proved.Error)
+				}
+				return nil
+			},
+			Teardown: func() {
+				if server != nil {
+					server.Close()
+				}
+				if svc != nil {
+					svc.Close()
+				}
+				if tmpDir != "" {
+					os.RemoveAll(tmpDir)
+				}
+			},
+		})
+	}
+	return out
+}
+
 // clusterBatchStatements builds cfg.ClusterBatch distinct witnesses of one
 // fixed circuit at exactly the requested problem size: a repeated
 // multiply-add chain seeded per statement, sized so the padded gate count
@@ -422,9 +703,11 @@ func ClusterBenchmarks(cfg BenchConfig) []BenchmarkCase {
 }
 
 // SuiteBenchmarks is the full structured suite: kernels, end-to-end,
-// service-level, then the distributed cluster batches.
+// service-level (HTTP prove plus durability and fair-share), then the
+// distributed cluster batches.
 func SuiteBenchmarks(cfg BenchConfig) []BenchmarkCase {
 	out := append(KernelBenchmarks(cfg), E2EBenchmarks(cfg)...)
 	out = append(out, ServiceBenchmarks(cfg)...)
+	out = append(out, DurabilityBenchmarks(cfg)...)
 	return append(out, ClusterBenchmarks(cfg)...)
 }

@@ -22,6 +22,7 @@ import (
 	"math/big"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -32,9 +33,10 @@ import (
 
 // Client talks to one zkproverd instance.
 type Client struct {
-	base string
-	hc   *http.Client
-	poll time.Duration
+	base   string
+	hc     *http.Client
+	poll   time.Duration
+	apiKey string
 
 	// auto-retry of overloaded (429) requests; retries == 0 disables it.
 	retries     int
@@ -53,6 +55,13 @@ func WithHTTPClient(hc *http.Client) Option {
 			c.hc = hc
 		}
 	}
+}
+
+// WithAPIKey attaches a tenant API key to every request (sent as
+// Authorization: Bearer <key>). Required against a daemon running with a
+// tenants file; requests without a valid key answer 401/403.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // WithPollInterval sets how often WaitJob polls an async job. Default
@@ -121,10 +130,50 @@ func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("client: service overloaded, retry after %s", e.RetryAfter)
 }
 
+// QuotaError is a tenant quota refusal: a 429 carrying one of the
+// quota_* codes, or the 413 a witness exceeding the tenant's per-upload
+// cap answers with. Distinct from OverloadedError, which reports the
+// service as a whole being full — a quota refusal is about this tenant's
+// limits and backing off harder won't help other traffic.
+type QuotaError struct {
+	// Code is the api.ErrCodeQuota* (or ErrCodeWitnessTooBig) class.
+	Code    string
+	Message string
+	// RetryAfter is the server's refill estimate; 0 when retrying the
+	// same request can never succeed.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("client: quota exceeded (%s): %s", e.Code, e.Message)
+}
+
+// Retryable reports whether waiting can clear the refusal.
+func (e *QuotaError) Retryable() bool { return e.Code != api.ErrCodeWitnessTooBig }
+
+// JobError is an async job's terminal failure as reported by the
+// service.
+type JobError struct {
+	JobID   string
+	Message string
+	// Retryable marks the failure as transient — the job was cut short by
+	// a shutdown or cancellation rather than rejected by the prover. On a
+	// daemon with a durable store such a job resumes after restart under
+	// the same id, so WaitJob keeps polling through it.
+	Retryable bool
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("client: job %s failed: %s", e.JobID, e.Message)
+}
+
 // APIError is any other non-2xx response.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Code machine-classifies the refusal when the server set one (see
+	// the api.ErrCode* constants).
+	Code string
 }
 
 func (e *APIError) Error() string {
@@ -163,15 +212,30 @@ func (c *Client) doAccept(ctx context.Context, method, path string, in, out any,
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.roundTrip(ctx, method, path, blob, out, extraOK)
-		var over *OverloadedError
-		if err == nil || !errors.As(err, &over) || attempt >= c.retries {
+		err := c.roundTripBody(ctx, method, path, blob, "application/json", out, extraOK)
+		retry, after := retryHint(err)
+		if err == nil || !retry || attempt >= c.retries {
 			return err
 		}
-		if werr := c.waitRetry(ctx, attempt, over.RetryAfter); werr != nil {
+		if werr := c.waitRetry(ctx, attempt, after); werr != nil {
 			return werr
 		}
 	}
+}
+
+// retryHint classifies an error as worth auto-retrying — overload, or a
+// quota refusal that waiting can clear — and extracts the server's
+// Retry-After hint.
+func retryHint(err error) (bool, time.Duration) {
+	var over *OverloadedError
+	if errors.As(err, &over) {
+		return true, over.RetryAfter
+	}
+	var qe *QuotaError
+	if errors.As(err, &qe) && qe.Retryable() {
+		return true, qe.RetryAfter
+	}
+	return false, 0
 }
 
 // waitRetry sleeps out one backoff step: the exponential floor for this
@@ -205,8 +269,20 @@ func (c *Client) waitRetry(ctx context.Context, attempt int, retryAfter time.Dur
 	}
 }
 
-// roundTrip performs one HTTP exchange.
-func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte, out any, extraOK int) error {
+// quotaCode reports whether an error code names a tenant quota class.
+func quotaCode(code string) bool {
+	switch code {
+	case api.ErrCodeQuotaRate, api.ErrCodeQuotaBytes, api.ErrCodeQuotaInflight, api.ErrCodeWitnessTooBig:
+		return true
+	}
+	return false
+}
+
+// roundTripBody performs one HTTP exchange with an explicit body
+// content type, mapping refusals onto the typed errors: 429 splits into
+// OverloadedError (service-wide) vs QuotaError (tenant quota, by code),
+// a coded 413 is a QuotaError too, everything else non-2xx an APIError.
+func (c *Client) roundTripBody(ctx context.Context, method, path string, blob []byte, contentType string, out any, extraOK int) error {
 	var body io.Reader
 	if blob != nil {
 		body = bytes.NewReader(blob)
@@ -216,7 +292,10 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte
 		return err
 	}
 	if blob != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -227,6 +306,10 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte
 		retry := 1 * time.Second
 		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
 			retry = time.Duration(sec) * time.Second
+		}
+		var apiErr api.Error
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && quotaCode(apiErr.Code) {
+			return &QuotaError{Code: apiErr.Code, Message: apiErr.Error, RetryAfter: retry}
 		}
 		return &OverloadedError{RetryAfter: retry}
 	}
@@ -240,7 +323,10 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, blob []byte
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if quotaCode(apiErr.Code) {
+			return &QuotaError{Code: apiErr.Code, Message: msg}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: apiErr.Code}
 	}
 	if out == nil {
 		return nil
@@ -300,6 +386,37 @@ func (c *Client) Prove(ctx context.Context, digest string, assignment *zkspeed.A
 	return decodeProveResponse(&resp)
 }
 
+// ProveStream synchronously proves the assignment by shipping the
+// witness as the raw ZKSW request body (POST /v1/prove_stream) instead
+// of JSON+base64 framing — on a durable-store daemon the bytes stream
+// straight into the write-ahead log as they arrive. The circuit must
+// already be registered.
+func (c *Client) ProveStream(ctx context.Context, digest string, assignment *zkspeed.Assignment, priority ...string) (*ProveResult, error) {
+	witness, err := assignment.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	q := url.Values{"circuit_digest": {digest}, "wait": {"true"}}
+	if p := firstOrEmpty(priority); p != "" {
+		q.Set("priority", p)
+	}
+	path := "/v1/prove_stream?" + q.Encode()
+	var resp api.ProveResponse
+	for attempt := 0; ; attempt++ {
+		err := c.roundTripBody(ctx, http.MethodPost, path, witness, "application/octet-stream", &resp, 0)
+		retry, after := retryHint(err)
+		if err == nil || !retry || attempt >= c.retries {
+			if err != nil {
+				return nil, err
+			}
+			return decodeProveResponse(&resp)
+		}
+		if werr := c.waitRetry(ctx, attempt, after); werr != nil {
+			return nil, werr
+		}
+	}
+}
+
 // SubmitProve enqueues an async proving job and returns its id for
 // WaitJob / Job polling.
 func (c *Client) SubmitProve(ctx context.Context, digest string, assignment *zkspeed.Assignment, priority ...string) (string, error) {
@@ -327,26 +444,67 @@ func (c *Client) Job(ctx context.Context, id string) (status string, result *Pro
 		res, err := decodeProveResponse(&resp)
 		return resp.Status, res, err
 	case api.StatusFailed:
-		return resp.Status, nil, fmt.Errorf("client: job %s failed: %s", id, resp.Error)
+		return resp.Status, nil, &JobError{JobID: id, Message: resp.Error, Retryable: resp.Retryable}
 	}
 	return resp.Status, nil, nil
 }
 
-// WaitJob polls until the job completes (or ctx expires) and returns the
-// decoded result.
+// WaitJob polls until the job reaches a terminal state (or ctx expires)
+// and returns the decoded result. It is built to ride out a daemon
+// restart: transport errors, overload rejections, and retryable job
+// failures (a job cut short by shutdown — which a durable-store daemon
+// resumes under the same id) are waited out with capped exponential
+// backoff honoring any Retry-After, rather than surfaced. Only a
+// definitive answer ends the wait: a proof, a terminal prover rejection
+// (*JobError with Retryable false), an unknown job id (404), or the
+// context expiring.
 func (c *Client) WaitJob(ctx context.Context, id string) (*ProveResult, error) {
-	ticker := time.NewTicker(c.poll)
-	defer ticker.Stop()
+	attempt := 0
 	for {
 		status, res, err := c.Job(ctx, id)
-		if err != nil || status == api.StatusDone {
-			return res, err
+		if err == nil && status == api.StatusDone {
+			return res, nil
 		}
-		select {
-		case <-ticker.C:
-		case <-ctx.Done():
+		if err == nil {
+			// Queued or running: healthy, steady-interval polling.
+			attempt = 0
+			if werr := sleepCtx(ctx, c.poll); werr != nil {
+				return nil, werr
+			}
+			continue
+		}
+		var jerr *JobError
+		if errors.As(err, &jerr) && !jerr.Retryable {
+			return nil, err
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+			// The daemon replays its store before serving, so an unknown id
+			// is genuinely gone (volatile store, or evicted by retention).
+			return nil, err
+		}
+		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		// Transport error mid-restart, 429, 5xx, or a retryable failure
+		// awaiting resume: back off and keep polling.
+		_, after := retryHint(err)
+		if werr := c.waitRetry(ctx, attempt, after); werr != nil {
+			return nil, werr
+		}
+		attempt++
+	}
+}
+
+// sleepCtx waits out d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

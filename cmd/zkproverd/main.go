@@ -11,6 +11,8 @@
 //	zkproverd -queue-cap 128 -max-batch 32 -cache 1024
 //	zkproverd -preload-mu 10,12 -seed 7         # pre-derive SRS ceremonies
 //	zkproverd -table-cache /var/lib/zkproverd   # fixed-base commit tables, persisted
+//	zkproverd -store-dir /var/lib/zkproverd/wal # durable job store: jobs survive restarts
+//	zkproverd -tenants-file tenants.json        # API-key auth + per-tenant quotas
 //	zkproverd -worker -join host:9444 -name w1  # proving worker for zkclusterd
 //
 // In -worker mode the daemon serves no HTTP: it dials the coordinator,
@@ -57,6 +59,9 @@ func main() {
 	tableCache := flag.String("table-cache", "", "directory for fixed-base commitment tables; enables the fixed-base commit kernel and persists tables across restarts")
 	tableWindow := flag.Int("table-window", 0, "fixed-base table digit width (0 = per-size heuristic; with -table-cache)")
 	tableMaxResident := flag.Int64("table-max-resident", 0, "memory-map tables whose file exceeds this many bytes instead of holding them resident (0 = always resident; with -table-cache)")
+	storeDir := flag.String("store-dir", "", "directory for the durable job store (WAL); empty = in-memory only")
+	storeSync := flag.Duration("store-sync", 0, "WAL fsync batching interval (0 = sync every append, negative = leave to the OS; with -store-dir)")
+	tenantsFile := flag.String("tenants-file", "", "JSON tenants file enabling API-key auth and per-tenant quotas")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -107,11 +112,25 @@ func main() {
 		CacheSize:     *cacheSize,
 		JobRetention:  *retention,
 		MaxCircuits:   *maxCircuits,
+		StoreDir:      *storeDir,
+		StoreSync:     *storeSync,
+		TenantsFile:   *tenantsFile,
 	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close()
+
+	if rec := svc.Recovery(); rec.Durable {
+		log.Printf("job store %s: recovered %d circuit(s), re-queued %d job(s), restored %d result(s), %d failure(s)",
+			*storeDir, rec.Circuits, rec.Requeued, rec.Results, rec.Failures)
+		if *seed == 0 && rec.Requeued > 0 {
+			log.Printf("warning: re-queued jobs will re-prove under fresh entropy (run with -seed for byte-identical proofs across restarts)")
+		}
+	}
+	if *tenantsFile != "" {
+		log.Printf("tenant auth enabled from %s", *tenantsFile)
+	}
 
 	// The daemon is alive as soon as it listens but ready only once the
 	// preload finished — load balancers watch /readyz.

@@ -47,7 +47,7 @@ func writeFrTable(w *bytes.Buffer, evals []ff.Fr) {
 }
 
 // readFrTable decodes n canonical field elements into a fresh MLE table.
-func readFrTable(r *bytes.Reader, n int) (*poly.MLE, error) {
+func readFrTable(r io.Reader, n int) (*poly.MLE, error) {
 	evals := make([]ff.Fr, n)
 	var buf [32]byte
 	mod := ff.FrModulusBig()
@@ -153,31 +153,68 @@ func (a *Assignment) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary deserializes a ZKSW witness blob.
 func (a *Assignment) UnmarshalBinary(data []byte) error {
-	r := bytes.NewReader(data)
-	var hdr [6]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	mu, err := decodeWitnessHeader(data)
+	if err != nil {
 		return err
-	}
-	if binary.BigEndian.Uint32(hdr[:4]) != witnessMagic {
-		return errors.New("hyperplonk: bad witness magic")
-	}
-	if hdr[4] != wireVersion {
-		return fmt.Errorf("hyperplonk: unsupported witness version %d", hdr[4])
-	}
-	mu := int(hdr[5])
-	if mu < 1 || mu > wireMaxMu {
-		return fmt.Errorf("hyperplonk: witness mu=%d outside wire range [1,%d]", mu, wireMaxMu)
 	}
 	n := 1 << mu
 	if want := 6 + 3*n*32; len(data) != want {
 		return fmt.Errorf("hyperplonk: witness blob is %d bytes, mu=%d needs %d", len(data), mu, want)
 	}
+	return a.readTables(bytes.NewReader(data[6:]), n, false)
+}
+
+// UnmarshalFrom deserializes a ZKSW witness incrementally from a stream —
+// the upload path of the proving service, which tees the request body
+// into its durable store while decoding, so a multi-hundred-MiB witness
+// is never buffered whole. The reader must deliver exactly one witness;
+// trailing bytes are an error.
+func (a *Assignment) UnmarshalFrom(r io.Reader) error {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("hyperplonk: reading witness header: %w", err)
+	}
+	mu, err := decodeWitnessHeader(hdr[:])
+	if err != nil {
+		return err
+	}
+	return a.readTables(r, 1<<mu, true)
+}
+
+// decodeWitnessHeader validates the 6-byte ZKSW header, returning mu.
+func decodeWitnessHeader(hdr []byte) (int, error) {
+	if len(hdr) < 6 {
+		return 0, errors.New("hyperplonk: short witness header")
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != witnessMagic {
+		return 0, errors.New("hyperplonk: bad witness magic")
+	}
+	if hdr[4] != wireVersion {
+		return 0, fmt.Errorf("hyperplonk: unsupported witness version %d", hdr[4])
+	}
+	mu := int(hdr[5])
+	if mu < 1 || mu > wireMaxMu {
+		return 0, fmt.Errorf("hyperplonk: witness mu=%d outside wire range [1,%d]", mu, wireMaxMu)
+	}
+	return mu, nil
+}
+
+// readTables fills the three wire tables from r; rejectTrailing enforces
+// end-of-stream afterwards (the streaming path, where no outer length
+// check exists).
+func (a *Assignment) readTables(r io.Reader, n int, rejectTrailing bool) error {
 	for _, dst := range []**poly.MLE{&a.W1, &a.W2, &a.W3} {
 		m, err := readFrTable(r, n)
 		if err != nil {
 			return err
 		}
 		*dst = m
+	}
+	if rejectTrailing {
+		var one [1]byte
+		if _, err := io.ReadFull(r, one[:]); err != io.EOF {
+			return errors.New("hyperplonk: trailing bytes after witness")
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -8,10 +9,13 @@ import (
 	"math"
 	"math/big"
 	"net/http"
+	"strings"
 
 	"zkspeed/api"
 	"zkspeed/internal/ff"
 	"zkspeed/internal/hyperplonk"
+	"zkspeed/internal/store"
+	"zkspeed/internal/tenant"
 )
 
 // Handler returns the service's HTTP/JSON API:
@@ -19,6 +23,7 @@ import (
 //	POST /v1/circuits           register a circuit (ZKSC blob)
 //	GET  /v1/circuits/{digest}  registered-circuit metadata
 //	POST /v1/prove              prove (sync with wait=true, else async)
+//	POST /v1/prove_stream       prove with the witness as the raw body
 //	POST /v1/prove_batch        prove a rollup batch (always sync)
 //	GET  /v1/jobs/{id}          poll an async job
 //	POST /v1/verify             verify a proof
@@ -26,11 +31,16 @@ import (
 //	GET  /healthz               liveness + queue/shard summary
 //	GET  /readyz                readiness (503 until ready)
 //	GET  /metrics               Prometheus text exposition
+//
+// With a tenant registry configured, every /v1 endpoint requires an API
+// key (Authorization: Bearer <key> or X-API-Key) and charges the
+// tenant's quotas; probes and /metrics stay open.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/circuits", s.handleRegister)
 	mux.HandleFunc("GET /v1/circuits/{digest}", s.handleCircuit)
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
+	mux.HandleFunc("POST /v1/prove_stream", s.handleProveStream)
 	mux.HandleFunc("POST /v1/prove_batch", s.handleProveBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -38,7 +48,64 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.instrument(mux)
+	return s.instrument(s.authenticate(mux))
+}
+
+// tenantCtxKey carries the authenticated tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// tenantOf returns the request's authenticated tenant (nil when the
+// service runs unauthenticated).
+func tenantOf(r *http.Request) *tenant.Tenant {
+	tn, _ := r.Context().Value(tenantCtxKey{}).(*tenant.Tenant)
+	return tn
+}
+
+// apiKey extracts the presented API key: Authorization: Bearer wins,
+// X-API-Key is the fallback for clients that cannot set Authorization.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authenticate enforces API-key auth on the /v1 endpoints when a tenant
+// registry is configured (pass-through otherwise), resolves the tenant
+// into the request context, and charges its request-rate quota.
+func (s *Service) authenticate(next http.Handler) http.Handler {
+	reg := s.cfg.Tenants
+	if reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tn, err := reg.Authenticate(apiKey(r))
+		if err != nil {
+			code, errCode := http.StatusUnauthorized, api.ErrCodeUnauthorized
+			if errors.Is(err, tenant.ErrDisabled) {
+				code, errCode = http.StatusForbidden, api.ErrCodeKeyDisabled
+			}
+			writeJSON(w, code, api.Error{Error: err.Error(), Code: errCode})
+			return
+		}
+		if err := tn.AdmitRequest(); err != nil {
+			var qe *tenant.QuotaError
+			if errors.As(err, &qe) {
+				writeQuota(w, qe)
+			} else {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tn)))
+	})
 }
 
 // instrument counts every served request by route pattern and status.
@@ -80,7 +147,35 @@ func writeOverloaded(w http.ResponseWriter, over *OverloadedError) {
 	w.Header().Set("Retry-After", fmt.Sprint(sec))
 	writeJSON(w, http.StatusTooManyRequests, api.Error{
 		Error:         "queue full — retry later",
+		Code:          api.ErrCodeOverloaded,
 		RetryAfterSec: sec,
+	})
+}
+
+// writeQuota maps a tenant.QuotaError onto the error matrix: a
+// witness-size refusal is 413 (retrying the same upload never helps),
+// every other kind is 429 with a Retry-After hint.
+func writeQuota(w http.ResponseWriter, qe *tenant.QuotaError) {
+	if qe.Kind == tenant.KindWitnessSize {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.Error{
+			Error: qe.Error(), Code: api.ErrCodeWitnessTooBig,
+		})
+		return
+	}
+	code := api.ErrCodeQuotaRate
+	switch qe.Kind {
+	case tenant.KindBytes:
+		code = api.ErrCodeQuotaBytes
+	case tenant.KindInflight:
+		code = api.ErrCodeQuotaInflight
+	}
+	sec := int(math.Ceil(qe.RetryAfter.Seconds()))
+	if sec < 1 {
+		sec = 1 // inflight refusals carry no estimate; poll politely
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(sec))
+	writeJSON(w, http.StatusTooManyRequests, api.Error{
+		Error: qe.Error(), Code: code, RetryAfterSec: sec,
 	})
 }
 
@@ -162,16 +257,30 @@ func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tn := tenantOf(r)
+	if tn != nil {
+		if err := tn.AdmitWitness(int64(len(req.Witness))); !s.writeSubmitErr(w, err) {
+			return
+		}
+	}
 	entry := s.resolveCircuit(w, req.CircuitDigest, req.Circuit)
 	if entry == nil {
 		return
 	}
 
-	j, err := s.Submit(entry, &assign, priority)
+	j, err := s.SubmitAs(tn, entry, &assign, priority, req.Witness)
 	if !s.writeSubmitErr(w, err) {
 		return
 	}
-	if req.Wait {
+	s.writeJobOutcome(w, r, j, req.Wait)
+}
+
+// writeJobOutcome renders a submitted job: synchronously (wait until the
+// terminal response, mapping retryable failures to 503 and prover
+// rejections to 422) or asynchronously (202 with the id to poll, 200 on
+// a cache hit that finished before queuing).
+func (s *Service) writeJobOutcome(w http.ResponseWriter, r *http.Request, j *job, wait bool) {
+	if wait {
 		select {
 		case <-j.done:
 		case <-r.Context().Done():
@@ -200,6 +309,67 @@ func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK // proof-cache hit: done before queued
 	}
 	writeJSON(w, code, resp)
+}
+
+// handleProveStream is POST /v1/prove_stream: the witness travels as the
+// raw ZKSW request body (no JSON or base64 framing) and is decoded
+// incrementally — on a durable store the bytes tee into the WAL as they
+// arrive, so a large witness is never buffered whole before its first
+// byte is durable. The circuit must already be registered; parameters
+// travel as query values (circuit_digest, priority, wait). A
+// Content-Length is required so admission can refuse an oversized upload
+// before any transfer.
+func (s *Service) handleProveStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	digestHex := q.Get("circuit_digest")
+	if digestHex == "" {
+		writeError(w, http.StatusBadRequest, "missing circuit_digest query parameter")
+		return
+	}
+	digest, err := parseDigest(digestHex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.Circuit(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "circuit %s not registered", digestHex)
+		return
+	}
+	priority, err := parsePriority(q.Get("priority"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.ContentLength < 0 {
+		writeError(w, http.StatusLengthRequired, "prove_stream requires Content-Length")
+		return
+	}
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.Error{
+			Error: fmt.Sprintf("witness exceeds %d bytes", s.cfg.MaxBodyBytes),
+			Code:  api.ErrCodeWitnessTooBig,
+		})
+		return
+	}
+	tn := tenantOf(r)
+	if tn != nil {
+		if err := tn.AdmitWitness(r.ContentLength); !s.writeSubmitErr(w, err) {
+			return
+		}
+	}
+	j, err := s.SubmitStream(tn, entry, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), priority)
+	if err != nil {
+		if errors.Is(err, errBadWitness) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if !s.writeSubmitErr(w, err) {
+			return
+		}
+	}
+	wait := q.Get("wait") == "true" || q.Get("wait") == "1"
+	s.writeJobOutcome(w, r, j, wait)
 }
 
 // resolveCircuit implements the digest-or-blob circuit selection shared
@@ -257,8 +427,16 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tn := tenantOf(r)
 	assigns := make([]*hyperplonk.Assignment, len(req.Witnesses))
 	for i, blob := range req.Witnesses {
+		if tn != nil {
+			// Each statement is one upload against the byte budget, so the
+			// per-upload size cap applies per witness, not to the batch sum.
+			if err := tn.AdmitWitness(int64(len(blob))); !s.writeSubmitErr(w, err) {
+				return
+			}
+		}
 		var a hyperplonk.Assignment
 		if err := a.UnmarshalBinary(blob); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid witness %d: %v", i, err)
@@ -270,7 +448,7 @@ func (s *Service) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 	if entry == nil {
 		return
 	}
-	resp, err := s.ProveBatchWait(r.Context(), entry, assigns, priority)
+	resp, err := s.ProveBatchWaitAs(r.Context(), tn, entry, assigns, priority, req.Witnesses)
 	if !s.writeSubmitErr(w, err) {
 		return
 	}
@@ -316,6 +494,11 @@ func (s *Service) writeSubmitErr(w http.ResponseWriter, err error) bool {
 		var over *OverloadedError
 		if errors.As(err, &over) {
 			writeOverloaded(w, over)
+			return false
+		}
+		var qe *tenant.QuotaError
+		if errors.As(err, &qe) {
+			writeQuota(w, qe)
 			return false
 		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -421,6 +604,56 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(st BackendStats) int { return st.TableBuilds })
 	stats("zkproverd_fixedbase_table_hits", "Fixed-base commitment tables loaded from the table cache per shard engine.",
 		func(st BackendStats) int { return st.TableLoads })
+	if s.durable {
+		rec := s.recovery
+		gauges = append(gauges,
+			gauge{name: "zkproverd_recovery_circuits", help: "Circuits re-registered from the store at startup.", value: float64(rec.Circuits)},
+			gauge{name: "zkproverd_recovery_requeued", help: "Unfinished jobs re-queued from the store at startup.", value: float64(rec.Requeued)},
+			gauge{name: "zkproverd_recovery_results", help: "Completed results restored from the store at startup.", value: float64(rec.Results)},
+			gauge{name: "zkproverd_recovery_failures", help: "Terminal failures restored from the store at startup.", value: float64(rec.Failures)},
+		)
+		if ws, ok := s.store.(interface{ Stats() store.WALStats }); ok {
+			st := ws.Stats()
+			gauges = append(gauges,
+				gauge{name: "zkproverd_store_segments", help: "WAL segment files on disk.", value: float64(st.Segments)},
+				gauge{name: "zkproverd_store_log_bytes", help: "WAL bytes on disk across segments.", value: float64(st.LogBytes)},
+				gauge{name: "zkproverd_store_appends_total", help: "Records appended to the WAL.", counter: true, value: float64(st.Appends)},
+				gauge{name: "zkproverd_store_syncs_total", help: "fsyncs issued by the WAL.", counter: true, value: float64(st.Syncs)},
+				gauge{name: "zkproverd_store_compactions_total", help: "WAL compactions run.", counter: true, value: float64(st.Compactions)},
+			)
+		}
+	}
+	if reg := s.cfg.Tenants; reg != nil {
+		tns := reg.All()
+		stats := make([]tenant.Stats, len(tns))
+		for i, tn := range tns {
+			stats[i] = tn.Stats()
+		}
+		// Same-name gauges must stay consecutive (HELP/TYPE are emitted on
+		// name change), so loop per series, then per tenant.
+		for _, ts := range stats {
+			gauges = append(gauges, gauge{
+				name: "zkproverd_tenant_inflight", help: "Unfinished jobs per tenant.",
+				labels: fmt.Sprintf(`tenant=%q`, ts.ID), value: float64(ts.Inflight),
+			})
+		}
+		for _, ts := range stats {
+			gauges = append(gauges, gauge{
+				name: "zkproverd_tenant_admitted_total", help: "Requests admitted per tenant.", counter: true,
+				labels: fmt.Sprintf(`tenant=%q`, ts.ID), value: float64(ts.Admitted),
+			})
+		}
+		for _, ts := range stats {
+			var rej int64
+			for _, v := range ts.Rejected {
+				rej += v
+			}
+			gauges = append(gauges, gauge{
+				name: "zkproverd_tenant_quota_rejections_total", help: "Quota refusals per tenant across all kinds.", counter: true,
+				labels: fmt.Sprintf(`tenant=%q`, ts.ID), value: float64(rej),
+			})
+		}
+	}
 	if s.cfg.Cluster != nil {
 		cs := s.cfg.Cluster.ClusterStatus()
 		gauges = append(gauges,

@@ -32,6 +32,10 @@ type Metrics struct {
 
 	httpByCode map[string]int64 // "PATTERN|CODE" → count
 
+	// tenantJobs attributes terminal outcomes per tenant id; "" rows
+	// (anonymous jobs) are rendered with tenant="anonymous".
+	tenantJobs map[string]*tenantCounters
+
 	proveCount   int64
 	proveSum     float64 // seconds
 	proveBucketN []int64 // cumulative-style raw per-bucket counts
@@ -43,12 +47,58 @@ type Metrics struct {
 	ewmaProveSec float64
 }
 
+// tenantCounters are one tenant's terminal-outcome counts.
+type tenantCounters struct {
+	done, failed, rejected int64
+}
+
+// tenantOutcome selects the tenantCounters field observeTenant bumps.
+type tenantOutcome int
+
+const (
+	tenantDone tenantOutcome = iota
+	tenantFailed
+	tenantRejected
+)
+
 func newMetrics() *Metrics {
 	return &Metrics{
 		httpByCode:   make(map[string]int64),
+		tenantJobs:   make(map[string]*tenantCounters),
 		proveBucketN: make([]int64, len(proveBuckets)+1),
 		stepSeconds:  make(map[string]float64),
 	}
+}
+
+// observeTenant attributes one terminal job outcome to a tenant.
+func (m *Metrics) observeTenant(id string, o tenantOutcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.tenantJobs[id]
+	if c == nil {
+		c = &tenantCounters{}
+		m.tenantJobs[id] = c
+	}
+	switch o {
+	case tenantDone:
+		c.done++
+	case tenantFailed:
+		c.failed++
+	case tenantRejected:
+		c.rejected++
+	}
+}
+
+// TenantCounts returns per-tenant terminal outcome counts as
+// [done, failed, rejected]; the "" key is the anonymous bucket.
+func (m *Metrics) TenantCounts() map[string][3]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][3]int64, len(m.tenantJobs))
+	for id, c := range m.tenantJobs {
+		out[id] = [3]int64{c.done, c.failed, c.rejected}
+	}
+	return out
 }
 
 func (m *Metrics) add(field *int64, n int64) {
@@ -173,6 +223,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []gauge) {
 	sort.Strings(steps)
 	for _, k := range steps {
 		fmt.Fprintf(w, "zkproverd_step_seconds_total{step=%q} %g\n", k, m.stepSeconds[k])
+	}
+
+	if len(m.tenantJobs) > 0 {
+		fmt.Fprintf(w, "# HELP zkproverd_tenant_jobs_total Terminal job outcomes by tenant.\n# TYPE zkproverd_tenant_jobs_total counter\n")
+		ids := make([]string, 0, len(m.tenantJobs))
+		for id := range m.tenantJobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			c := m.tenantJobs[id]
+			name := id
+			if name == "" {
+				name = "anonymous"
+			}
+			fmt.Fprintf(w, "zkproverd_tenant_jobs_total{tenant=%q,status=\"done\"} %d\n", name, c.done)
+			fmt.Fprintf(w, "zkproverd_tenant_jobs_total{tenant=%q,status=\"failed\"} %d\n", name, c.failed)
+			fmt.Fprintf(w, "zkproverd_tenant_jobs_total{tenant=%q,status=\"rejected\"} %d\n", name, c.rejected)
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP zkproverd_http_requests_total Served HTTP requests by route and code.\n# TYPE zkproverd_http_requests_total counter\n")

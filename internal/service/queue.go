@@ -25,15 +25,174 @@ func (e *OverloadedError) Error() string {
 // the estimate costs two lock acquisitions the happy path should not pay).
 var errQueueFull = errors.New("service: queue full")
 
-// jobQueue is a bounded three-lane priority queue owned by one shard.
-// Push is called by any submitter; Pop/PopMatching only by the shard's
-// loop goroutine (single consumer). Bounding happens here — a full queue
+// tenantFifo is one tenant's FIFO within a lane plus its deficit counter.
+type tenantFifo struct {
+	jobs    []*job
+	deficit int64
+	active  bool // in the lane's round-robin ring
+}
+
+// lane schedules one priority level's jobs with deficit round robin
+// across tenants: each tenant has its own FIFO, and the ring is visited
+// in order, a tenant's deficit topped up by the lane quantum per visit
+// and charged the popped job's cost (its gate count). The quantum tracks
+// the largest cost seen, so every visit can serve at least one job —
+// pops stay O(active tenants) worst case, O(1) amortized — while the
+// deficit still apportions *gates*, not job counts: a tenant submitting
+// mu=16 circuits gets proportionally fewer jobs per round than one
+// submitting mu=8. With a single (or anonymous) tenant the ring has one
+// entry and the lane degenerates to the plain FIFO it replaced.
+type lane struct {
+	fifos   map[string]*tenantFifo
+	ring    []string // round-robin order of tenants with queued jobs
+	rr      int      // current ring position
+	quantum int64
+	size    int
+}
+
+func newLane() *lane {
+	return &lane{fifos: make(map[string]*tenantFifo), quantum: 1}
+}
+
+func (l *lane) push(j *job) {
+	f := l.fifos[j.tenantID]
+	if f == nil {
+		f = &tenantFifo{}
+		l.fifos[j.tenantID] = f
+	}
+	if !f.active {
+		f.active = true
+		// A newly-(re)activated tenant enters at the CURRENT ring
+		// position, not the tail: the next pop serves it, so a
+		// quota-respecting tenant's latency behind a saturating one is
+		// bounded by the in-flight job plus its own — never a full round
+		// of someone else's backlog. This cannot be gamed for
+		// throughput: re-activation requires the fifo to have drained
+		// (forfeiting any backlog) and deactivation resets the deficit,
+		// so each entry is worth at most one quantum ahead of turn.
+		if len(l.ring) == 0 {
+			l.ring = append(l.ring, j.tenantID)
+		} else {
+			l.ring = append(l.ring, "")
+			copy(l.ring[l.rr+1:], l.ring[l.rr:])
+			l.ring[l.rr] = j.tenantID
+		}
+	}
+	f.jobs = append(f.jobs, j)
+	l.size++
+	if j.cost > l.quantum {
+		l.quantum = j.cost
+	}
+}
+
+// deactivate drops a drained tenant from the ring, resetting its deficit
+// so an idle tenant cannot bank credit (standard DRR).
+func (l *lane) deactivate(id string, ringIdx int) {
+	f := l.fifos[id]
+	f.active = false
+	f.deficit = 0
+	l.ring = append(l.ring[:ringIdx], l.ring[ringIdx+1:]...)
+	if l.rr > ringIdx {
+		l.rr--
+	}
+	if len(l.ring) > 0 {
+		l.rr %= len(l.ring)
+	} else {
+		l.rr = 0
+	}
+}
+
+// pop serves the next job under DRR, or nil if the lane is empty. With
+// at least one queued job this always serves: every non-serving visit
+// tops the visited tenant's deficit up by the quantum, so even a deficit
+// driven negative by out-of-band removals recovers in bounded rounds.
+// After a serve the ring advances unless the tenant's remaining deficit
+// covers its next job — a tenant is never topped up twice without every
+// other tenant getting a visit in between, which is what bounds any
+// tenant's share of the lane to quantum gates per round.
+func (l *lane) pop() *job {
+	if l.size == 0 {
+		return nil
+	}
+	for {
+		id := l.ring[l.rr]
+		f := l.fifos[id]
+		head := f.jobs[0]
+		if f.deficit < head.cost {
+			f.deficit += l.quantum
+		}
+		if f.deficit >= head.cost {
+			f.deficit -= head.cost
+			f.jobs = f.jobs[1:]
+			l.size--
+			if len(f.jobs) == 0 {
+				l.deactivate(id, l.rr)
+			} else if f.deficit < f.jobs[0].cost {
+				l.rr = (l.rr + 1) % len(l.ring)
+			}
+			return head
+		}
+		l.rr = (l.rr + 1) % len(l.ring)
+	}
+}
+
+// remove extracts an arbitrary queued job (coalescing, stealing). The
+// tenant's deficit is still charged so out-of-band departures don't
+// grant extra share — it may go negative, which just delays the
+// tenant's next DRR pop.
+func (l *lane) remove(j *job) {
+	f := l.fifos[j.tenantID]
+	for i, q := range f.jobs {
+		if q == j {
+			f.jobs = append(f.jobs[:i], f.jobs[i+1:]...)
+			break
+		}
+	}
+	f.deficit -= j.cost
+	l.size--
+	if len(f.jobs) == 0 {
+		for ri, id := range l.ring {
+			if id == j.tenantID {
+				l.deactivate(id, ri)
+				break
+			}
+		}
+	}
+}
+
+// each visits every queued job in the lane (no particular order).
+func (l *lane) each(fn func(*job) bool) {
+	for _, f := range l.fifos {
+		for _, j := range f.jobs {
+			if !fn(j) {
+				return
+			}
+		}
+	}
+}
+
+// drain empties the lane, returning every queued job.
+func (l *lane) drain() []*job {
+	var out []*job
+	l.each(func(j *job) bool { out = append(out, j); return true })
+	l.fifos = make(map[string]*tenantFifo)
+	l.ring = nil
+	l.rr = 0
+	l.size = 0
+	return out
+}
+
+// jobQueue is a bounded three-lane priority queue owned by one shard,
+// each lane fair-sharing across tenants via deficit round robin. Push is
+// called by any submitter; Pop/PopMatching only by the shard's loop
+// goroutine (single consumer). Bounding happens here — a full queue
 // rejects instead of growing, which is the service's backpressure point.
 type jobQueue struct {
 	mu     sync.Mutex
-	lanes  [numPriorities][]*job // FIFO per lane, high to low
+	lanes  [numPriorities]*lane // high to low
 	size   int
 	cap    int
+	seq    uint64 // push order stamp, for StealNewest
 	closed bool
 	// notify carries at most one pending wake-up for the consumer; Push
 	// tops it up, Pop and the batch collector drain it.
@@ -41,21 +200,39 @@ type jobQueue struct {
 }
 
 func newJobQueue(capacity int) *jobQueue {
-	return &jobQueue{cap: capacity, notify: make(chan struct{}, 1)}
+	q := &jobQueue{cap: capacity, notify: make(chan struct{}, 1)}
+	for i := range q.lanes {
+		q.lanes[i] = newLane()
+	}
+	return q
 }
 
 // Push enqueues the job; errQueueFull signals a full queue.
 func (q *jobQueue) Push(j *job) error {
+	return q.push(j, false)
+}
+
+// forcePush enqueues ignoring the capacity bound — the recovery path,
+// where every job was admitted (and capacity-checked) by a previous
+// incarnation of the daemon and dropping it would break the zero-loss
+// guarantee.
+func (q *jobQueue) forcePush(j *job) error {
+	return q.push(j, true)
+}
+
+func (q *jobQueue) push(j *job, force bool) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return errors.New("service: shutting down")
 	}
-	if q.size >= q.cap {
+	if !force && q.size >= q.cap {
 		q.mu.Unlock()
 		return errQueueFull
 	}
-	q.lanes[j.priority] = append(q.lanes[j.priority], j)
+	q.seq++
+	j.pushSeq = q.seq
+	q.lanes[j.priority].push(j)
 	q.size++
 	q.mu.Unlock()
 	select {
@@ -72,16 +249,17 @@ func (q *jobQueue) Depth() int {
 	return q.size
 }
 
-// tryPop removes the highest-priority oldest job, or nil.
+// tryPop removes the next job — highest non-empty lane, fair-shared
+// across that lane's tenants — or nil.
 func (q *jobQueue) tryPop() *job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for p := range q.lanes {
-		if len(q.lanes[p]) > 0 {
-			j := q.lanes[p][0]
-			q.lanes[p] = q.lanes[p][1:]
-			q.size--
-			return j
+	for _, l := range q.lanes {
+		if l.size > 0 {
+			if j := l.pop(); j != nil {
+				q.size--
+				return j
+			}
 		}
 	}
 	return nil
@@ -104,17 +282,24 @@ func (q *jobQueue) Pop(ctx context.Context) (*job, error) {
 // PopMatching removes the oldest queued job for the given circuit digest
 // regardless of its queue position — the coalescing primitive of the
 // batch window. Priority inversion is deliberate: joining an in-flight
-// batch of the same circuit is strictly faster than waiting a turn.
+// batch of the same circuit is strictly faster than waiting a turn. The
+// owning tenant's deficit is charged as usual, so batch-joining is
+// latency-free but not share-free.
 func (q *jobQueue) PopMatching(digest [32]byte) *job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for p := range q.lanes {
-		for i, j := range q.lanes[p] {
-			if j.digest == digest {
-				q.lanes[p] = append(q.lanes[p][:i], q.lanes[p][i+1:]...)
-				q.size--
-				return j
+	for _, l := range q.lanes {
+		var best *job
+		l.each(func(j *job) bool {
+			if j.digest == digest && (best == nil || j.pushSeq < best.pushSeq) {
+				best = j
 			}
+			return true
+		})
+		if best != nil {
+			l.remove(best)
+			q.size--
+			return best
 		}
 	}
 	return nil
@@ -130,11 +315,21 @@ func (q *jobQueue) StealNewest() *job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for p := numPriorities - 1; p >= 0; p-- {
-		if n := len(q.lanes[p]); n > 0 {
-			j := q.lanes[p][n-1]
-			q.lanes[p] = q.lanes[p][:n-1]
+		l := q.lanes[p]
+		if l.size == 0 {
+			continue
+		}
+		var newest *job
+		l.each(func(j *job) bool {
+			if newest == nil || j.pushSeq > newest.pushSeq {
+				newest = j
+			}
+			return true
+		})
+		if newest != nil {
+			l.remove(newest)
 			q.size--
-			return j
+			return newest
 		}
 	}
 	return nil
@@ -150,9 +345,8 @@ func (q *jobQueue) Close() []*job {
 	defer q.mu.Unlock()
 	q.closed = true
 	var drained []*job
-	for p := range q.lanes {
-		drained = append(drained, q.lanes[p]...)
-		q.lanes[p] = nil
+	for _, l := range q.lanes {
+		drained = append(drained, l.drain()...)
 	}
 	q.size = 0
 	return drained

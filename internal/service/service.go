@@ -24,6 +24,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +34,8 @@ import (
 	"zkspeed/api"
 	"zkspeed/internal/ff"
 	"zkspeed/internal/hyperplonk"
+	"zkspeed/internal/store"
+	"zkspeed/internal/tenant"
 	"zkspeed/internal/transcript"
 )
 
@@ -139,6 +144,19 @@ type Config struct {
 	// backends. The service exposes its status (GET /v1/cluster, /metrics),
 	// gates readiness on it, and closes it on Close.
 	Cluster ClusterInfo
+	// Store persists the job lifecycle. nil selects a volatile in-memory
+	// store (the pre-durability behaviour). A durable store (store.WAL)
+	// changes two things: New replays it — re-registering circuits,
+	// re-queueing unfinished jobs under their original IDs, restoring
+	// completed results for polling — and Close drains queued jobs to the
+	// store instead of failing them terminally. The service takes
+	// ownership and closes the store on Close.
+	Store store.Store
+	// Tenants, when non-nil, turns on API-key authentication and
+	// per-tenant quotas for the /v1 endpoints, plus deficit-round-robin
+	// fair-share scheduling between tenants inside each priority lane.
+	// nil runs the service unauthenticated (every job anonymous).
+	Tenants *tenant.Registry
 }
 
 // ClusterInfo is what the HTTP layer needs from a cluster coordinator;
@@ -197,6 +215,20 @@ type job struct {
 	assign   *hyperplonk.Assignment
 	witness  cacheKey
 	priority int
+	// cost is the job's DRR weight — its circuit's gate count, the unit
+	// the prover's work actually scales with.
+	cost int64
+	// tenantID attributes the job for fair-share and metrics ("" =
+	// anonymous); tenantRef, when non-nil, holds an in-flight quota slot
+	// released on the terminal transition. Recovered jobs keep their
+	// tenantID but hold no slot (the admitting daemon already died).
+	tenantID  string
+	tenantRef *tenant.Tenant
+	// persisted marks jobs with a store submit record (cache hits are
+	// answered synchronously and never persisted).
+	persisted bool
+	// pushSeq is the owning queue's insertion stamp (StealNewest order).
+	pushSeq uint64
 
 	mu     sync.Mutex
 	status string
@@ -215,7 +247,8 @@ func (j *job) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish publishes the terminal response exactly once.
+// finish publishes the terminal response exactly once, returning the
+// tenant's in-flight slot with it.
 func (j *job) finish(resp api.ProveResponse) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -223,18 +256,32 @@ func (j *job) finish(resp api.ProveResponse) {
 		return
 	}
 	resp.JobID = j.id
-	resp.CircuitDigest = hex.EncodeToString(j.digest[:])
+	if j.digest != ([32]byte{}) {
+		resp.CircuitDigest = hex.EncodeToString(j.digest[:])
+	}
 	j.status = resp.Status
 	j.resp = resp
+	if j.tenantRef != nil {
+		j.tenantRef.ReleaseJob()
+	}
 	close(j.done)
 }
 
-func (j *job) fail(err error) {
-	j.mu.Lock()
-	j.retryable = errors.Is(err, errShutdown) ||
+// transientErr reports whether err cut the job short for reasons a
+// retry against a healthy instance would fix — shutdown or context
+// cancellation, never a prover rejection. Transient failures are not
+// recorded in the store: absence is what re-queues the job on replay.
+func transientErr(err error) bool {
+	return errors.Is(err, errShutdown) ||
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (j *job) fail(err error) {
+	retryable := transientErr(err)
+	j.mu.Lock()
+	j.retryable = retryable
 	j.mu.Unlock()
-	j.finish(api.ProveResponse{Status: api.StatusFailed, Error: err.Error()})
+	j.finish(api.ProveResponse{Status: api.StatusFailed, Error: err.Error(), Retryable: retryable})
 }
 
 // failedRetryable reports whether the job failed for a transient reason.
@@ -296,6 +343,11 @@ type Service struct {
 	shards []*shard
 	met    *Metrics
 	cache  *proofCache
+	store  store.Store
+	// durable caches store.Durable(); it gates every persistence call so
+	// the volatile default pays no marshalling or bookkeeping cost.
+	durable  bool
+	recovery RecoveryStats
 
 	regMu    sync.RWMutex
 	circuits map[[32]byte]*circuitEntry
@@ -315,20 +367,40 @@ type Service struct {
 	wg     sync.WaitGroup
 }
 
-// New assembles a service over the given backend shards and starts their
-// loops. The backend slice must be non-empty; its order fixes the
-// digest→shard routing, so keep it stable across restarts when cached
-// state outlives the process.
+// RecoveryStats describes what New replayed from a durable store.
+type RecoveryStats struct {
+	// Durable reports whether a restart-surviving store is attached.
+	Durable bool
+	// Circuits re-registered, pending jobs re-queued, completed results
+	// and terminal failures restored for polling.
+	Circuits int
+	Requeued int
+	Results  int
+	Failures int
+}
+
+// New assembles a service over the given backend shards, replays the
+// configured store (re-queueing any jobs a previous incarnation
+// acknowledged but never finished), and starts the shard loops. The
+// backend slice must be non-empty; its order fixes the digest→shard
+// routing, so keep it stable across restarts when cached state outlives
+// the process — with a durable store that also means keeping the same
+// entropy seed, so re-proved jobs yield byte-identical proofs.
 func New(cfg Config, backends []Backend) (*Service, error) {
 	if len(backends) == 0 {
 		return nil, errors.New("service: need at least one backend shard")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		cfg.Store = store.NewMem(cfg.JobRetention)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
 		met:      newMetrics(),
 		cache:    newProofCache(cfg.CacheSize),
+		store:    cfg.Store,
+		durable:  cfg.Store.Durable(),
 		circuits: make(map[[32]byte]*circuitEntry),
 		jobs:     make(map[string]*job),
 		ctx:      ctx,
@@ -341,12 +413,129 @@ func New(cfg Config, backends []Backend) (*Service, error) {
 	for i, b := range backends {
 		s.shards = append(s.shards, &shard{idx: i, queue: newJobQueue(cfg.QueueCapacity), backend: b})
 	}
+	if s.durable {
+		if err := s.replayStore(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.shardLoop(sh)
 	}
 	return s, nil
 }
+
+// replayStore rebuilds the registry, queues and pollable results from
+// the store's recovered state. It runs before the shard loops start, so
+// re-queued jobs keep their submit order ahead of any new arrivals.
+func (s *Service) replayStore() error {
+	st := s.store.State()
+	s.recovery.Durable = true
+	for _, blob := range st.Circuits {
+		var c hyperplonk.Circuit
+		if err := c.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("service: recovering circuit: %w", err)
+		}
+		if _, err := s.RegisterCircuit(&c); err != nil {
+			return fmt.Errorf("service: recovering circuit: %w", err)
+		}
+		s.recovery.Circuits++
+	}
+	// Terminal records become finished jobs so GET /v1/jobs serves the
+	// recorded result — byte-identical to what the dead daemon proved.
+	restore := func(id string, digest [32]byte, resp api.ProveResponse) {
+		j := &job{id: id, digest: digest, status: api.StatusQueued, done: make(chan struct{})}
+		j.finish(resp)
+		s.noteJobID(id)
+		s.trackJob(j)
+	}
+	for id, r := range st.Done {
+		restore(id, r.Circuit, api.ProveResponse{
+			Status:       api.StatusDone,
+			Proof:        r.Proof,
+			PublicInputs: r.PublicInputs,
+			ProverNS:     r.ProverNS,
+		})
+		s.recovery.Results++
+	}
+	for id, f := range st.Failed {
+		restore(id, [32]byte{}, api.ProveResponse{Status: api.StatusFailed, Error: f.Msg})
+		s.recovery.Failures++
+	}
+	for _, rec := range st.Pending {
+		entry, ok := s.Circuit(rec.Circuit)
+		if !ok {
+			s.store.Fail(rec.ID, "recovery: circuit not in store")
+			restore(rec.ID, rec.Circuit, api.ProveResponse{Status: api.StatusFailed, Error: "recovery: circuit not in store"})
+			s.recovery.Failures++
+			continue
+		}
+		assign := new(hyperplonk.Assignment)
+		if err := assign.UnmarshalBinary(rec.Witness); err != nil {
+			msg := fmt.Sprintf("recovery: decoding witness: %v", err)
+			s.store.Fail(rec.ID, msg)
+			restore(rec.ID, rec.Circuit, api.ProveResponse{Status: api.StatusFailed, Error: msg})
+			s.recovery.Failures++
+			continue
+		}
+		prio := rec.Priority
+		if prio < 0 || prio >= numPriorities {
+			prio = prioNormal
+		}
+		j := &job{
+			id:       rec.ID,
+			digest:   entry.digest,
+			entry:    entry,
+			assign:   assign,
+			witness:  cacheKey{circuit: entry.digest, witness: assign.Digest()},
+			priority: prio,
+			cost:     int64(entry.circuit.NumGates()),
+			// The admitting daemon's quota slot died with it; keep the
+			// attribution for fair-share and metrics but hold no new slot.
+			tenantID:  rec.Tenant,
+			persisted: true,
+			status:    api.StatusQueued,
+			done:      make(chan struct{}),
+		}
+		s.noteJobID(rec.ID)
+		// forcePush: capacity bounded the original admission; dropping a
+		// recovered job here would break the zero-loss guarantee.
+		if err := s.shards[entry.shard].queue.forcePush(j); err != nil {
+			return fmt.Errorf("service: re-queueing %s: %w", rec.ID, err)
+		}
+		s.trackJob(j)
+		s.recovery.Requeued++
+	}
+	return nil
+}
+
+// noteJobID advances the job-id sequence past a recovered id so new jobs
+// never collide with recovered ones.
+func (s *Service) noteJobID(id string) {
+	hexPart, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseInt(hexPart, 16, 64)
+	if err != nil {
+		return
+	}
+	s.jobsMu.Lock()
+	if n > s.seq {
+		s.seq = n
+	}
+	s.jobsMu.Unlock()
+}
+
+// Recovery reports what New replayed from the store.
+func (s *Service) Recovery() RecoveryStats { return s.recovery }
+
+// Tenants exposes the tenant registry (nil when unauthenticated).
+func (s *Service) Tenants() *tenant.Registry { return s.cfg.Tenants }
+
+// Store exposes the job store (tests and the daemon read its stats).
+func (s *Service) Store() store.Store { return s.store }
 
 // SetReady toggles the /readyz answer. reason explains a false state
 // ("preloading circuits", "draining"); ignored when ready.
@@ -373,18 +562,34 @@ func (s *Service) ReadyState() api.Ready {
 	return api.Ready{Ready: true}
 }
 
-// Close stops the shard loops, failing queued and in-flight jobs with a
-// shutdown error, and shuts down the cluster coordinator if one is
-// attached. Safe to call more than once.
+// Close stops the shard loops and shuts down the store and the cluster
+// coordinator if one is attached. Safe to call more than once.
+//
+// Queued-but-unstarted jobs are never abandoned silently: every one is
+// failed in-memory with a retryable shutdown error (waiters unblock,
+// pollers see a terminal status instead of a vanished id). With a
+// durable store that failure is deliberately NOT recorded — the jobs
+// stay pending in the log and the next incarnation re-queues them under
+// the same ids, which is the drain-to-store half of the contract. The
+// same applies to jobs cut mid-batch by the context cancellation:
+// transient failures leave no record, so they resume too.
 func (s *Service) Close() {
 	s.SetReady(false, "shutting down")
 	s.cancel()
 	for _, sh := range s.shards {
 		for _, j := range sh.queue.Close() {
+			if j.persisted && !s.durable {
+				// Volatile store: nothing survives the process, so the
+				// terminal record is the in-memory one (kept pollable
+				// until exit). Recorded for interface symmetry.
+				s.store.Fail(j.id, errShutdown.Error())
+			}
 			j.fail(errShutdown)
 		}
 	}
 	s.wg.Wait()
+	s.store.Sync()
+	s.store.Close()
 	if s.cfg.Cluster != nil {
 		s.cfg.Cluster.Close()
 	}
@@ -411,6 +616,16 @@ var ErrRegistryFull = errors.New("service: circuit registry full")
 // circuit must already be validated — both wire deserialization and the
 // builder guarantee that.
 func (s *Service) RegisterCircuit(c *hyperplonk.Circuit) (*circuitEntry, error) {
+	return s.registerCircuit(c, nil)
+}
+
+// RegisterCircuitBlob registers a circuit whose ZKSC encoding the caller
+// already holds, sparing the durable store a re-marshal.
+func (s *Service) RegisterCircuitBlob(c *hyperplonk.Circuit, blob []byte) (*circuitEntry, error) {
+	return s.registerCircuit(c, blob)
+}
+
+func (s *Service) registerCircuit(c *hyperplonk.Circuit, blob []byte) (*circuitEntry, error) {
 	digest := c.Digest()
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
@@ -419,6 +634,19 @@ func (s *Service) RegisterCircuit(c *hyperplonk.Circuit) (*circuitEntry, error) 
 	}
 	if len(s.circuits) >= s.cfg.MaxCircuits {
 		return nil, ErrRegistryFull
+	}
+	if s.durable {
+		// Persist before acknowledging: a registration the store cannot
+		// record would strand every job that references it after a crash.
+		if blob == nil {
+			var err error
+			if blob, err = c.MarshalBinary(); err != nil {
+				return nil, fmt.Errorf("service: encoding circuit for store: %w", err)
+			}
+		}
+		if err := s.store.PutCircuit(digest, blob); err != nil {
+			return nil, fmt.Errorf("service: persisting circuit: %w", err)
+		}
 	}
 	e := &circuitEntry{digest: digest, circuit: c, shard: s.shardFor(digest)}
 	s.circuits[digest] = e
@@ -491,38 +719,122 @@ func (s *Service) BackendStats() BackendStats {
 
 var errWitnessSize = errors.New("service: witness size does not match circuit")
 
-// Submit enqueues one proving job (or serves it from the proof cache).
-// The returned job's done channel closes when a terminal response is
-// available. An *OverloadedError means the shard queue was full.
-func (s *Service) Submit(entry *circuitEntry, assign *hyperplonk.Assignment, priority int) (*job, error) {
-	return s.submitTo(entry, assign, priority, entry.shard)
+// errBadWitness wraps stream-decode failures so the HTTP layer can
+// distinguish a malformed upload (400) from an internal store error (503).
+var errBadWitness = errors.New("service: invalid witness")
+
+// submitOpts carries the optional context of a submission.
+type submitOpts struct {
+	// tn is the submitting tenant; nil = anonymous (no quotas).
+	tn *tenant.Tenant
+	// rawWitness is the witness's ZKSW encoding when the caller already
+	// holds it (the HTTP path), sparing the durable store a re-marshal.
+	rawWitness []byte
+	// streamedID, when non-empty, is a pre-allocated job id whose witness
+	// bytes were already streamed into the store; the submit record
+	// adopts them instead of carrying the blob again.
+	streamedID string
 }
 
-// submitTo is Submit with an explicit target shard — SubmitBatch spreads
-// a rollup batch across all shards instead of serializing it on the
-// circuit's home shard.
-func (s *Service) submitTo(entry *circuitEntry, assign *hyperplonk.Assignment, priority, shardIdx int) (*job, error) {
+// Submit enqueues one anonymous proving job (or serves it from the proof
+// cache). The returned job's done channel closes when a terminal
+// response is available. An *OverloadedError means the shard queue was
+// full; a *tenant.QuotaError (via SubmitAs) a tenant quota refusal.
+func (s *Service) Submit(entry *circuitEntry, assign *hyperplonk.Assignment, priority int) (*job, error) {
+	return s.submitTo(entry, assign, priority, entry.shard, submitOpts{})
+}
+
+// SubmitAs is Submit on behalf of an authenticated tenant (nil tn is
+// anonymous), charging its in-flight quota for the job's lifetime.
+func (s *Service) SubmitAs(tn *tenant.Tenant, entry *circuitEntry, assign *hyperplonk.Assignment, priority int, rawWitness []byte) (*job, error) {
+	return s.submitTo(entry, assign, priority, entry.shard, submitOpts{tn: tn, rawWitness: rawWitness})
+}
+
+// SubmitStream decodes a ZKSW witness incrementally from r and submits
+// the job. On a durable store the raw bytes tee into the store as they
+// arrive — chunk records ahead of the submit record — so a large upload
+// is never buffered whole before its first byte is durable. Decode
+// failures are reported wrapped in errBadWitness.
+func (s *Service) SubmitStream(tn *tenant.Tenant, entry *circuitEntry, r io.Reader, priority int) (*job, error) {
+	assign := new(hyperplonk.Assignment)
+	if !s.durable {
+		if err := assign.UnmarshalFrom(r); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadWitness, err)
+		}
+		return s.submitTo(entry, assign, priority, entry.shard, submitOpts{tn: tn})
+	}
+	id := s.nextJobID()
+	ww, err := s.store.WitnessWriter(id)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening witness stream: %w", err)
+	}
+	if err := assign.UnmarshalFrom(io.TeeReader(r, ww)); err != nil {
+		ww.Close()
+		s.store.DiscardWitness(id)
+		return nil, fmt.Errorf("%w: %v", errBadWitness, err)
+	}
+	if err := ww.Close(); err != nil {
+		s.store.DiscardWitness(id)
+		return nil, fmt.Errorf("service: sealing witness stream: %w", err)
+	}
+	j, err := s.submitTo(entry, assign, priority, entry.shard, submitOpts{tn: tn, streamedID: id})
+	if err != nil {
+		s.store.DiscardWitness(id)
+		return nil, err
+	}
+	return j, nil
+}
+
+// submitTo is the submission core with an explicit target shard —
+// SubmitBatch spreads a rollup batch across all shards instead of
+// serializing it on the circuit's home shard.
+func (s *Service) submitTo(entry *circuitEntry, assign *hyperplonk.Assignment, priority, shardIdx int, o submitOpts) (*job, error) {
 	if assign.W1.Len() != entry.circuit.NumGates() ||
 		assign.W2.Len() != entry.circuit.NumGates() ||
 		assign.W3.Len() != entry.circuit.NumGates() {
 		return nil, errWitnessSize
 	}
+	tid := ""
+	if o.tn != nil {
+		tid = o.tn.ID()
+		if err := o.tn.AcquireJob(); err != nil {
+			s.met.observeTenant(tid, tenantRejected)
+			return nil, err
+		}
+	}
+	// The slot is held until the job's terminal transition (finish
+	// releases it); error paths below release explicitly.
+	release := func() {
+		if o.tn != nil {
+			o.tn.ReleaseJob()
+		}
+	}
+	id := o.streamedID
+	if id == "" {
+		id = s.nextJobID()
+	}
 	key := cacheKey{circuit: entry.digest, witness: assign.Digest()}
 	j := &job{
-		id:       s.nextJobID(),
-		digest:   entry.digest,
-		entry:    entry,
-		assign:   assign,
-		witness:  key,
-		priority: priority,
-		status:   api.StatusQueued,
-		done:     make(chan struct{}),
+		id:        id,
+		digest:    entry.digest,
+		entry:     entry,
+		assign:    assign,
+		witness:   key,
+		priority:  priority,
+		cost:      int64(entry.circuit.NumGates()),
+		tenantID:  tid,
+		tenantRef: o.tn,
+		status:    api.StatusQueued,
+		done:      make(chan struct{}),
 	}
 	if hit := s.cache.Get(key); hit != nil {
 		s.met.add(&s.met.cacheHits, 1)
 		entry.mu.Lock()
 		entry.proofs++
 		entry.mu.Unlock()
+		if o.streamedID != "" {
+			s.store.DiscardWitness(id) // answered from cache; drop the streamed copy
+		}
 		j.finish(api.ProveResponse{
 			Status:       api.StatusDone,
 			Proof:        hit.proof,
@@ -532,10 +844,41 @@ func (s *Service) submitTo(entry *circuitEntry, assign *hyperplonk.Assignment, p
 		s.trackJob(j)
 		return j, nil
 	}
+	if s.durable {
+		// Append the submit record before the queue push: once the push
+		// succeeds the job can reach a shard (and its Claim record) at
+		// any moment, and the log must never show a claim for an
+		// unsubmitted job.
+		rec := store.JobRecord{ID: id, Tenant: tid, Circuit: entry.digest, Priority: priority}
+		if o.streamedID == "" {
+			raw := o.rawWitness
+			if raw == nil {
+				var err error
+				if raw, err = assign.MarshalBinary(); err != nil {
+					release()
+					return nil, fmt.Errorf("service: encoding witness for store: %w", err)
+				}
+			}
+			rec.Witness = raw
+		}
+		if err := s.store.Submit(rec); err != nil {
+			release()
+			return nil, fmt.Errorf("service: persisting job: %w", err)
+		}
+		j.persisted = true
+	}
 	sh := s.shards[shardIdx]
 	if err := sh.queue.Push(j); err != nil {
+		if j.persisted {
+			// Neutralize the submit record — the client never saw the id,
+			// so replaying it after a restart would prove a job nobody
+			// can poll.
+			s.store.Fail(id, "rejected at admission: queue full")
+		}
+		release()
 		if errors.Is(err, errQueueFull) {
 			s.met.add(&s.met.jobsRejected, 1)
+			s.met.observeTenant(tid, tenantRejected)
 			return nil, &OverloadedError{RetryAfter: s.met.retryAfter(sh.queue.Depth())}
 		}
 		return nil, err
@@ -573,6 +916,16 @@ func (s *Service) SubmitWait(ctx context.Context, entry *circuitEntry, assign *h
 // which case already enqueued statements run to completion and the
 // error reports the rest.
 func (s *Service) SubmitBatch(entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int) ([]*job, error) {
+	return s.SubmitBatchAs(nil, entry, assigns, priority, nil)
+}
+
+// SubmitBatchAs is SubmitBatch on behalf of a tenant. raws, when
+// non-nil, carries each statement's ZKSW encoding (index-aligned with
+// assigns) so the durable store is spared a re-marshal per statement.
+// Each statement charges the tenant's in-flight quota independently; a
+// quota refusal mid-spread behaves like the racing-submitter case —
+// already enqueued statements run to completion.
+func (s *Service) SubmitBatchAs(tn *tenant.Tenant, entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int, raws [][]byte) ([]*job, error) {
 	if len(assigns) == 0 {
 		return nil, errors.New("service: empty batch")
 	}
@@ -595,7 +948,11 @@ func (s *Service) SubmitBatch(entry *circuitEntry, assigns []*hyperplonk.Assignm
 		if spread {
 			shard = (entry.shard + i) % len(s.shards)
 		}
-		j, err := s.submitTo(entry, a, priority, shard)
+		o := submitOpts{tn: tn}
+		if i < len(raws) {
+			o.rawWitness = raws[i]
+		}
+		j, err := s.submitTo(entry, a, priority, shard, o)
 		if err != nil {
 			return nil, fmt.Errorf("statement %d: %w", i, err)
 		}
@@ -609,7 +966,13 @@ func (s *Service) SubmitBatch(entry *circuitEntry, assigns []*hyperplonk.Assignm
 // blobs in statement order and is only computed when every statement
 // succeeded.
 func (s *Service) ProveBatchWait(ctx context.Context, entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int) (api.ProveBatchResponse, error) {
-	jobs, err := s.SubmitBatch(entry, assigns, priority)
+	return s.ProveBatchWaitAs(ctx, nil, entry, assigns, priority, nil)
+}
+
+// ProveBatchWaitAs is ProveBatchWait on behalf of a tenant (see
+// SubmitBatchAs for the tn/raws semantics).
+func (s *Service) ProveBatchWaitAs(ctx context.Context, tn *tenant.Tenant, entry *circuitEntry, assigns []*hyperplonk.Assignment, priority int, raws [][]byte) (api.ProveBatchResponse, error) {
+	jobs, err := s.SubmitBatchAs(tn, entry, assigns, priority, raws)
 	if err != nil {
 		return api.ProveBatchResponse{}, err
 	}
@@ -807,6 +1170,11 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 	var jobs []BackendJob
 	for _, j := range batch {
 		j.setRunning()
+		if j.persisted {
+			// Informational only: replay treats a claimed-but-unfinished
+			// job exactly like a queued one, so a lost append is harmless.
+			s.store.Claim(j.id)
+		}
 		if _, ok := uniqueOf[j.witness]; !ok {
 			uniqueOf[j.witness] = len(jobs)
 			jobs = append(jobs, BackendJob{Circuit: j.entry.circuit, Assignment: j.assign})
@@ -822,25 +1190,33 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 	// already be in place. The prove-latency histogram sees each unique
 	// proof once; per-job counters see every job.
 	observed := make(map[cacheKey]bool, len(jobs))
+	// failJob records a terminal failure in the store (transient cuts —
+	// shutdown, cancellation — leave no record so replay re-queues the
+	// job; see transientErr) before publishing it.
+	failJob := func(j *job, err error) {
+		s.met.add(&s.met.jobsFailed, 1)
+		s.met.observeTenant(j.tenantID, tenantFailed)
+		if j.persisted && !transientErr(err) {
+			s.store.Fail(j.id, err.Error())
+		}
+		j.fail(err)
+	}
 	for _, j := range batch {
 		i := uniqueOf[j.witness]
 		if i >= len(results) {
-			s.met.add(&s.met.jobsFailed, 1)
-			j.fail(errors.New("service: backend returned short results"))
+			failJob(j, errors.New("service: backend returned short results"))
 			continue
 		}
 		r := results[i]
 		if r.Err != nil {
-			s.met.add(&s.met.jobsFailed, 1)
-			j.fail(r.Err)
+			failJob(j, r.Err)
 			continue
 		}
 		blob := r.ProofBlob
 		if blob == nil {
 			var err error
 			if blob, err = r.Proof.MarshalBinary(); err != nil {
-				s.met.add(&s.met.jobsFailed, 1)
-				j.fail(fmt.Errorf("service: serializing proof: %w", err))
+				failJob(j, fmt.Errorf("service: serializing proof: %w", err))
 				continue
 			}
 		}
@@ -848,11 +1224,26 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 		for k, v := range r.Steps {
 			steps[k] = v.Nanoseconds()
 		}
+		pub := encodeFrs(r.PublicInputs)
+		if j.persisted {
+			// Record the result before publishing it: once the client can
+			// read "done", a crash must not regress the job to pending —
+			// replay would re-prove it (same bytes, but double work and a
+			// window where a recorded ack is missing).
+			s.store.Complete(store.Result{
+				ID:           j.id,
+				Circuit:      j.digest,
+				Proof:        blob,
+				PublicInputs: pub,
+				ProverNS:     r.ProverTime.Nanoseconds(),
+			})
+		}
 		s.cache.Put(j.witness, &cacheEntry{proof: blob, public: r.PublicInputs})
 		j.entry.mu.Lock()
 		j.entry.proofs++
 		j.entry.mu.Unlock()
 		s.met.add(&s.met.jobsDone, 1)
+		s.met.observeTenant(j.tenantID, tenantDone)
 		if !observed[j.witness] {
 			observed[j.witness] = true
 			s.met.observeProve(r.ProverTime, r.Steps)
@@ -860,7 +1251,7 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 		j.finish(api.ProveResponse{
 			Status:       api.StatusDone,
 			Proof:        blob,
-			PublicInputs: encodeFrs(r.PublicInputs),
+			PublicInputs: pub,
 			BatchSize:    len(batch),
 			ProverNS:     r.ProverTime.Nanoseconds(),
 			StepsNS:      steps,

@@ -1,0 +1,232 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source so bucket tests never sleep.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func mustRegistry(t *testing.T, cfgs []Config, opts ...Option) *Registry {
+	t.Helper()
+	r, err := NewRegistry(cfgs, opts...)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	return r
+}
+
+func TestAuthenticate(t *testing.T) {
+	r := mustRegistry(t, []Config{
+		{ID: "acme", Key: "k-acme"},
+		{ID: "dead", Key: "k-dead", Disabled: true},
+	})
+	if _, err := r.Authenticate(""); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if _, err := r.Authenticate("nope"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key: %v", err)
+	}
+	if _, err := r.Authenticate("k-dead"); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("disabled key: %v", err)
+	}
+	tn, err := r.Authenticate("k-acme")
+	if err != nil || tn.ID() != "acme" {
+		t.Fatalf("good key: %v %v", tn, err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	cases := [][]Config{
+		{{ID: "", Key: "k"}},
+		{{ID: "a", Key: ""}},
+		{{ID: "a", Key: "k1"}, {ID: "a", Key: "k2"}},
+		{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}},
+	}
+	for i, cfgs := range cases {
+		if _, err := NewRegistry(cfgs); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cfgs, err := Parse([]byte(`{"tenants":[{"id":"a","key":"k","max_inflight":4,"requests_per_sec":2.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 || cfgs[0].MaxInflight != 4 || cfgs[0].RequestsPerSec != 2.5 {
+		t.Fatalf("parsed %+v", cfgs)
+	}
+	if _, err := Parse([]byte(`{"tenants":[]}`)); err == nil {
+		t.Fatal("empty tenants accepted")
+	}
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestInflightQuota(t *testing.T) {
+	r := mustRegistry(t, []Config{{ID: "a", Key: "k", MaxInflight: 2}})
+	tn, _ := r.Authenticate("k")
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatal(err)
+	}
+	err := tn.AcquireJob()
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Kind != KindInflight {
+		t.Fatalf("third acquire: %v", err)
+	}
+	if !qe.Retryable() {
+		t.Fatal("inflight refusal should be retryable")
+	}
+	tn.ReleaseJob()
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	st := tn.Stats()
+	if st.Inflight != 2 || st.Rejected[KindInflight] != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRateQuota(t *testing.T) {
+	clk := newFakeClock()
+	r := mustRegistry(t, []Config{{ID: "a", Key: "k", RequestsPerSec: 10, Burst: 2}},
+		WithClock(clk.Now))
+	tn, _ := r.Authenticate("k")
+	if err := tn.AdmitRequest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.AdmitRequest(); err != nil {
+		t.Fatal(err)
+	}
+	err := tn.AdmitRequest()
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Kind != KindRate {
+		t.Fatalf("burst exceeded: %v", err)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > 100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~1/rate", qe.RetryAfter)
+	}
+	clk.Advance(100 * time.Millisecond) // one token refilled
+	if err := tn.AdmitRequest(); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := tn.AdmitRequest(); err == nil {
+		t.Fatal("bucket should be empty again")
+	}
+	clk.Advance(time.Hour) // refill clamps at burst
+	for i := 0; i < 2; i++ {
+		if err := tn.AdmitRequest(); err != nil {
+			t.Fatalf("after long idle, request %d: %v", i, err)
+		}
+	}
+	if err := tn.AdmitRequest(); err == nil {
+		t.Fatal("burst not clamped")
+	}
+}
+
+func TestWitnessQuota(t *testing.T) {
+	clk := newFakeClock()
+	r := mustRegistry(t, []Config{{
+		ID: "a", Key: "k",
+		WitnessBytesPerSec: 1000, BytesBurst: 2000, MaxWitnessBytes: 1500,
+	}}, WithClock(clk.Now))
+	tn, _ := r.Authenticate("k")
+
+	var qe *QuotaError
+	if err := tn.AdmitWitness(1501); !errors.As(err, &qe) || qe.Kind != KindWitnessSize {
+		t.Fatalf("oversize: %v", err)
+	}
+	if qe.Retryable() {
+		t.Fatal("size refusal must not be retryable")
+	}
+	if err := tn.AdmitWitness(1500); err != nil {
+		t.Fatal(err)
+	}
+	// 500 tokens left; a 1000-byte upload must wait.
+	if err := tn.AdmitWitness(1000); !errors.As(err, &qe) || qe.Kind != KindBytes {
+		t.Fatalf("bucket empty: %v", err)
+	}
+	if qe.RetryAfter < 400*time.Millisecond || qe.RetryAfter > 600*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~500ms", qe.RetryAfter)
+	}
+	clk.Advance(time.Second)
+	if err := tn.AdmitWitness(1000); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestWitnessLargerThanBurstIsTerminal(t *testing.T) {
+	r := mustRegistry(t, []Config{{ID: "a", Key: "k", WitnessBytesPerSec: 10, BytesBurst: 100}})
+	tn, _ := r.Authenticate("k")
+	var qe *QuotaError
+	if err := tn.AdmitWitness(101); !errors.As(err, &qe) || qe.Kind != KindWitnessSize {
+		t.Fatalf("upload larger than burst: %v", err)
+	}
+}
+
+func TestUnlimitedDefaults(t *testing.T) {
+	r := mustRegistry(t, []Config{{ID: "a", Key: "k"}})
+	tn, _ := r.Authenticate("k")
+	for i := 0; i < 1000; i++ {
+		if err := tn.AdmitRequest(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.AcquireJob(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tn.AdmitWitness(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentQuotaRace(t *testing.T) {
+	r := mustRegistry(t, []Config{{ID: "a", Key: "k", MaxInflight: 16, RequestsPerSec: 1e9}})
+	tn, _ := r.Authenticate("k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tn.AdmitRequest()
+				if tn.AcquireJob() == nil {
+					tn.ReleaseJob()
+				}
+				tn.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tn.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight leaked: %+v", st)
+	}
+}

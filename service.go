@@ -17,6 +17,8 @@ import (
 
 	"zkspeed/internal/cluster"
 	"zkspeed/internal/service"
+	"zkspeed/internal/store"
+	"zkspeed/internal/tenant"
 )
 
 // ProverService is a sharded proving service: a pool of Engine workers
@@ -35,6 +37,11 @@ type ServiceBackendStats = service.BackendStats
 // ServiceOverloadedError is returned (wrapped) by the submit paths when a
 // shard queue is full; the HTTP layer renders it as 429 + Retry-After.
 type ServiceOverloadedError = service.OverloadedError
+
+// ServiceRecoveryStats describes what a durable-store service replayed
+// at startup (ProverService.Recovery): re-registered circuits, re-queued
+// jobs, restored results and failures.
+type ServiceRecoveryStats = service.RecoveryStats
 
 // ServiceConfig tunes a ProverService. The zero value selects the
 // documented defaults.
@@ -65,6 +72,23 @@ type ServiceConfig struct {
 	// large, so registrations must reject rather than grow without
 	// limit). Default 4096.
 	MaxCircuits int
+	// StoreDir, when non-empty, makes the service durable: every job
+	// lifecycle transition (and every circuit blob) is recorded in an
+	// append-only, checksummed, segmented write-ahead log under this
+	// directory. On startup the log is replayed — circuits re-register,
+	// jobs a previous incarnation acknowledged but never finished re-queue
+	// under their original ids, completed results stay pollable — and on
+	// shutdown queued jobs drain to the store instead of failing. Empty
+	// keeps the volatile in-memory store.
+	StoreDir string
+	// StoreSync tunes the WAL fsync policy: 0 syncs every append
+	// (safest), >0 batches syncs at that interval, <0 leaves flushing to
+	// the OS. Ignored without StoreDir.
+	StoreSync time.Duration
+	// TenantsFile, when non-empty, is a JSON tenants file ({"tenants":
+	// [{"id", "key", quotas...}]}) enabling API-key authentication,
+	// per-tenant quotas, and fair-share scheduling on the /v1 endpoints.
+	TenantsFile string
 }
 
 // NewService builds a ProverService over cfg.Shards Engines constructed
@@ -102,12 +126,39 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 		MaxBodyBytes:  cfg.MaxBodyBytes,
 		MaxCircuits:   cfg.MaxCircuits,
 	}
+	if cfg.StoreDir != "" {
+		wal, err := store.OpenWAL(store.WALConfig{
+			Dir:          cfg.StoreDir,
+			SyncInterval: cfg.StoreSync,
+			Retention:    cfg.JobRetention,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("zkspeed: opening job store: %w", err)
+		}
+		svcCfg.Store = wal
+	}
+	// service.New takes ownership of the store only on success; every
+	// error return between here and there must close it (closeStore).
+	if cfg.TenantsFile != "" {
+		tcfgs, err := tenant.LoadFile(cfg.TenantsFile)
+		if err != nil {
+			closeStore(svcCfg.Store)
+			return nil, err
+		}
+		reg, err := tenant.NewRegistry(tcfgs)
+		if err != nil {
+			closeStore(svcCfg.Store)
+			return nil, err
+		}
+		svcCfg.Tenants = reg
+	}
 
 	var coord *cluster.Coordinator
 	var sharedSeed []byte
 	if probe.cluster != nil {
 		sharedSeed = make([]byte, 64)
 		if _, err := io.ReadFull(probe.entropy, sharedSeed); err != nil {
+			closeStore(svcCfg.Store)
 			return nil, fmt.Errorf("zkspeed: reading cluster setup entropy: %w", err)
 		}
 		var err error
@@ -119,10 +170,13 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 			Logf:              probe.cluster.Logf,
 		})
 		if err != nil {
+			closeStore(svcCfg.Store)
 			return nil, err
 		}
 		ln, err := net.Listen("tcp", probe.cluster.Listen)
 		if err != nil {
+			coordClose(coord)
+			closeStore(svcCfg.Store)
 			return nil, fmt.Errorf("zkspeed: cluster listen on %s: %w", probe.cluster.Listen, err)
 		}
 		coord.Serve(ln)
@@ -137,6 +191,7 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 			seed = make([]byte, 64)
 			if _, err := io.ReadFull(probe.entropy, seed); err != nil {
 				coordClose(coord)
+				closeStore(svcCfg.Store)
 				return nil, fmt.Errorf("zkspeed: reading shard %d setup entropy: %w", i, err)
 			}
 		}
@@ -150,6 +205,7 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 	svc, err := service.New(svcCfg, backends)
 	if err != nil {
 		coordClose(coord)
+		closeStore(svcCfg.Store)
 		return nil, err
 	}
 	return svc, nil
@@ -160,6 +216,14 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 func coordClose(c *cluster.Coordinator) {
 	if c != nil {
 		c.Close()
+	}
+}
+
+// closeStore releases a store that never reached a successfully built
+// service (which would otherwise own and close it).
+func closeStore(st store.Store) {
+	if st != nil {
+		st.Close()
 	}
 }
 
