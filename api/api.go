@@ -29,6 +29,12 @@ const (
 type RegisterCircuitRequest struct {
 	// Circuit is a ZKSC circuit blob (Circuit.MarshalBinary).
 	Circuit []byte `json:"circuit"`
+	// PCSScheme optionally names the polynomial commitment scheme the
+	// circuit must be served under ("pst", "zeromorph"). Empty accepts
+	// the daemon's configured scheme. A name the daemon does not serve is
+	// refused with 422 and ErrCodePCSScheme; the error body lists the
+	// scheme the daemon runs plus every name this build knows.
+	PCSScheme string `json:"pcs_scheme,omitempty"`
 }
 
 // CircuitInfo describes a registered circuit; returned by
@@ -42,6 +48,9 @@ type CircuitInfo struct {
 	NumPublic int    `json:"num_public"`
 	// Shard is the backend shard this circuit's jobs are routed to.
 	Shard int `json:"shard"`
+	// PCSScheme is the polynomial commitment scheme the circuit's proofs
+	// are produced under.
+	PCSScheme string `json:"pcs_scheme"`
 	// Proofs counts proofs served for this circuit (cache hits included).
 	Proofs int64 `json:"proofs"`
 }
@@ -80,6 +89,9 @@ type ProveResponse struct {
 	// BatchSize is the number of jobs coalesced into the ProveBatch call
 	// that produced this proof (1 = proved alone; 0 for cached results).
 	BatchSize int `json:"batch_size,omitempty"`
+	// PCSScheme names the commitment scheme the proof was produced under;
+	// set alongside Proof when Status is "done".
+	PCSScheme string `json:"pcs_scheme,omitempty"`
 	// ProverNS is the measured proving time in nanoseconds (0 when cached).
 	ProverNS int64 `json:"prover_ns,omitempty"`
 	// StepsNS decomposes the proof into per-protocol-step shares.
@@ -172,6 +184,10 @@ type ClusterWorkerInfo struct {
 	Addr string `json:"addr"`
 	// Cores is the worker's advertised proving parallelism.
 	Cores int `json:"cores"`
+	// PCSScheme is the commitment scheme the worker proves under, as
+	// advertised in its hello. The coordinator refuses workers whose
+	// scheme differs from its own.
+	PCSScheme string `json:"pcs_scheme,omitempty"`
 	// PreloadedMus are the problem sizes whose SRS the worker pre-derived.
 	PreloadedMus []int `json:"preloaded_mus,omitempty"`
 	// ResidentCircuits counts circuits the worker holds decoded in memory
@@ -190,8 +206,11 @@ type ClusterWorkerInfo struct {
 // ClusterStatus is the body of GET /v1/cluster on a coordinator.
 type ClusterStatus struct {
 	// Addr is the coordinator's cluster listen address workers join.
-	Addr    string              `json:"addr"`
-	Workers []ClusterWorkerInfo `json:"workers"`
+	Addr string `json:"addr"`
+	// PCSScheme is the commitment scheme this cluster proves under; every
+	// registered worker matches it.
+	PCSScheme string              `json:"pcs_scheme,omitempty"`
+	Workers   []ClusterWorkerInfo `json:"workers"`
 	// Dispatches counts batches sent to workers.
 	Dispatches int64 `json:"dispatches"`
 	// Requeues counts batches re-dispatched to another worker after the
@@ -215,6 +234,7 @@ type ClusterStatus struct {
 //	429 ErrCodeQuotaRate      tenant requests/sec bucket empty
 //	429 ErrCodeQuotaBytes     tenant witness-bytes budget exhausted
 //	429 ErrCodeQuotaInflight  tenant at max in-flight jobs
+//	422 ErrCodePCSScheme      unknown or unserved pcs_scheme in request
 const (
 	ErrCodeUnauthorized  = "unauthorized"
 	ErrCodeKeyDisabled   = "key_disabled"
@@ -223,6 +243,7 @@ const (
 	ErrCodeQuotaRate     = "quota_rate"
 	ErrCodeQuotaBytes    = "quota_bytes"
 	ErrCodeQuotaInflight = "quota_inflight"
+	ErrCodePCSScheme     = "pcs_scheme"
 )
 
 // Error is the JSON body of every non-2xx response. Overload and quota
@@ -234,4 +255,8 @@ type Error struct {
 	Error         string `json:"error"`
 	Code          string `json:"code,omitempty"`
 	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+	// Schemes accompanies ErrCodePCSScheme: the commitment scheme names
+	// this build registers, so clients can pick a supported one without
+	// a second round trip.
+	Schemes []string `json:"schemes,omitempty"`
 }

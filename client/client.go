@@ -33,10 +33,11 @@ import (
 
 // Client talks to one zkproverd instance.
 type Client struct {
-	base   string
-	hc     *http.Client
-	poll   time.Duration
-	apiKey string
+	base      string
+	hc        *http.Client
+	poll      time.Duration
+	apiKey    string
+	pcsScheme string
 
 	// auto-retry of overloaded (429) requests; retries == 0 disables it.
 	retries     int
@@ -62,6 +63,15 @@ func WithHTTPClient(hc *http.Client) Option {
 // tenants file; requests without a valid key answer 401/403.
 func WithAPIKey(key string) Option {
 	return func(c *Client) { c.apiKey = key }
+}
+
+// WithPCSScheme pins the polynomial commitment scheme circuit
+// registrations request ("pst", "zeromorph"). A daemon serving a
+// different (or unknown) scheme refuses the registration with 422; the
+// *APIError's Schemes field then lists the names that build supports.
+// Empty (the default) accepts whatever the daemon runs.
+func WithPCSScheme(name string) Option {
+	return func(c *Client) { c.pcsScheme = name }
 }
 
 // WithPollInterval sets how often WaitJob polls an async job. Default
@@ -174,6 +184,9 @@ type APIError struct {
 	// Code machine-classifies the refusal when the server set one (see
 	// the api.ErrCode* constants).
 	Code string
+	// Schemes lists the commitment schemes the server's build registers;
+	// set on api.ErrCodePCSScheme refusals.
+	Schemes []string
 }
 
 func (e *APIError) Error() string {
@@ -326,7 +339,7 @@ func (c *Client) roundTripBody(ctx context.Context, method, path string, blob []
 		if quotaCode(apiErr.Code) {
 			return &QuotaError{Code: apiErr.Code, Message: msg}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: apiErr.Code}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, Code: apiErr.Code, Schemes: apiErr.Schemes}
 	}
 	if out == nil {
 		return nil
@@ -343,7 +356,8 @@ func (c *Client) RegisterCircuit(ctx context.Context, circuit *zkspeed.Circuit) 
 		return "", err
 	}
 	var info api.CircuitInfo
-	if err := c.do(ctx, http.MethodPost, "/v1/circuits", api.RegisterCircuitRequest{Circuit: blob}, &info); err != nil {
+	req := api.RegisterCircuitRequest{Circuit: blob, PCSScheme: c.pcsScheme}
+	if err := c.do(ctx, http.MethodPost, "/v1/circuits", req, &info); err != nil {
 		return "", err
 	}
 	return info.Digest, nil

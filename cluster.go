@@ -74,6 +74,7 @@ func JoinCluster(ctx context.Context, addr string, cfg ClusterWorkerConfig, opts
 	wcfg := cluster.WorkerConfig{
 		Name:              cfg.Name,
 		Cores:             cfg.Cores,
+		Scheme:            resolveSchemeName(opts),
 		PreloadMus:        cfg.PreloadMus,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		Logf:              cfg.Logf,
@@ -86,9 +87,10 @@ func JoinCluster(ctx context.Context, addr string, cfg ClusterWorkerConfig, opts
 	return cluster.Join(ctx, addr, wcfg)
 }
 
-// WarmSRS pre-derives the shard engine's SRS for one problem size — the
-// preload hook cluster workers run right after joining.
+// WarmSRS pre-derives the shard engine's universal setup for one problem
+// size — the preload hook cluster workers run right after joining. It is
+// scheme-agnostic: a Zeromorph shard warms its powers-of-τ setup the same
+// way a PST shard warms its Lagrange-basis SRS.
 func (sh *engineShard) WarmSRS(ctx context.Context, mu int) error {
-	_, err := sh.eng.SRSFor(ctx, mu)
-	return err
+	return sh.eng.WarmSRS(ctx, mu)
 }

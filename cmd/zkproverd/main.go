@@ -13,6 +13,7 @@
 //	zkproverd -table-cache /var/lib/zkproverd   # fixed-base commit tables, persisted
 //	zkproverd -store-dir /var/lib/zkproverd/wal # durable job store: jobs survive restarts
 //	zkproverd -tenants-file tenants.json        # API-key auth + per-tenant quotas
+//	zkproverd -pcs zeromorph                    # serve the Zeromorph PCS backend
 //	zkproverd -worker -join host:9444 -name w1  # proving worker for zkclusterd
 //
 // In -worker mode the daemon serves no HTTP: it dials the coordinator,
@@ -62,6 +63,7 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for the durable job store (WAL); empty = in-memory only")
 	storeSync := flag.Duration("store-sync", 0, "WAL fsync batching interval (0 = sync every append, negative = leave to the OS; with -store-dir)")
 	tenantsFile := flag.String("tenants-file", "", "JSON tenants file enabling API-key auth and per-tenant quotas")
+	pcsScheme := flag.String("pcs", "", "polynomial commitment scheme: pst (default) or zeromorph")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -76,14 +78,23 @@ func main() {
 		}
 	}
 
+	if *pcsScheme != "" && fixedBase != nil && *pcsScheme != "pst" {
+		// Fixed-base tables only accelerate PST commits; surface the
+		// misconfiguration instead of silently running without them.
+		log.Printf("warning: -table-cache/-table-window have no effect under -pcs %s", *pcsScheme)
+	}
+
 	if *workerMode {
-		runWorker(*join, *name, *preload, *workers, *verbose, fixedBase)
+		runWorker(*join, *name, *preload, *workers, *verbose, fixedBase, *pcsScheme)
 		return
 	}
 
 	opts := []zkspeed.Option{}
 	if *seed != 0 {
 		opts = append(opts, zkspeed.WithEntropy(zkspeed.SeededEntropy(*seed)))
+	}
+	if *pcsScheme != "" {
+		opts = append(opts, zkspeed.WithPCSScheme(*pcsScheme))
 	}
 	if fixedBase != nil {
 		opts = append(opts, zkspeed.WithFixedBaseTables(*fixedBase))
@@ -180,7 +191,7 @@ func main() {
 // runWorker joins a zkclusterd coordinator and proves dispatched batches
 // until stopped. The setup seed comes from the coordinator's handshake, so
 // -seed is ignored here.
-func runWorker(join, name, preload string, workers int, verbose bool, fixedBase *zkspeed.FixedBaseConfig) {
+func runWorker(join, name, preload string, workers int, verbose bool, fixedBase *zkspeed.FixedBaseConfig, pcsScheme string) {
 	if join == "" {
 		log.Fatal("-worker requires -join <coordinator cluster address>")
 	}
@@ -194,6 +205,9 @@ func runWorker(join, name, preload string, workers int, verbose bool, fixedBase 
 	opts := []zkspeed.Option{}
 	if workers > 0 {
 		opts = append(opts, zkspeed.WithParallelism(workers))
+	}
+	if pcsScheme != "" {
+		opts = append(opts, zkspeed.WithPCSScheme(pcsScheme))
 	}
 	if fixedBase != nil {
 		// Workers derive their SRS from the coordinator's shared seed, so

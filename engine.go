@@ -35,13 +35,30 @@ type Engine struct {
 	arena *poly.Scratch
 
 	mu      sync.Mutex
-	seed    []byte                 // master ceremony seed, read lazily from cfg.entropy
-	seedErr error                  // sticky entropy-read failure
-	srs     map[int]*srsEntry      // universal SRS per problem size
-	keys    map[[32]byte]*keyEntry // preprocessed keys per circuit digest
-	digests map[*Circuit][32]byte  // memoized circuit digests (O(2^mu) to hash)
+	seed    []byte                // master ceremony seed, read lazily from cfg.entropy
+	seedErr error                 // sticky entropy-read failure
+	srs     map[srsKey]*srsEntry  // universal setup per (problem size, scheme)
+	keys    map[keysKey]*keyEntry // preprocessed keys per (circuit digest, scheme)
+	digests map[*Circuit][32]byte // memoized circuit digests (O(2^mu) to hash)
 	tables  map[tableKey]*tableEntry
 	st      EngineStats
+}
+
+// srsKey identifies one universal setup: circuits of one size under one
+// commitment scheme. Distinct schemes derive independent ceremonies from
+// the same master seed (scheme-specific transcript labels), so the cache
+// must never alias them.
+type srsKey struct {
+	mu     int
+	scheme pcs.Scheme
+}
+
+// keysKey identifies one preprocessing: a circuit digest under one
+// commitment scheme. The same circuit preprocessed under two schemes
+// yields different selector commitments, hence two cache slots.
+type keysKey struct {
+	digest [32]byte
+	scheme pcs.Scheme
 }
 
 // srsEntry is a singleflight slot for one problem size's ceremony, so the
@@ -49,24 +66,7 @@ type Engine struct {
 // lock and concurrent same-size callers wait for a single derivation.
 type srsEntry struct {
 	done chan struct{}
-	s    *SRS
-	err  error
-}
-
-// tableKey identifies one fixed-base commitment table: the ceremony
-// digest plus the resolved digit width. Keyed on the digest (not the
-// SRS pointer) so that uncached mode — which re-derives the SRS per
-// proof — still builds the table exactly once.
-type tableKey struct {
-	digest [32]byte
-	window int
-}
-
-// tableEntry is the singleflight slot for one table's build-or-load,
-// mirroring srsEntry: the creator closes done, waiters attach the result.
-type tableEntry struct {
-	done chan struct{}
-	t    *pcs.CommitTables
+	s    pcs.PCS
 	err  error
 }
 
@@ -113,8 +113,8 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		cfg:     defaultEngineConfig(),
 		arena:   poly.NewScratch(),
-		srs:     make(map[int]*srsEntry),
-		keys:    make(map[[32]byte]*keyEntry),
+		srs:     make(map[srsKey]*srsEntry),
+		keys:    make(map[keysKey]*keyEntry),
 		digests: make(map[*Circuit][32]byte),
 		tables:  make(map[tableKey]*tableEntry),
 	}
@@ -131,15 +131,31 @@ func (e *Engine) Stats() EngineStats {
 	return e.st
 }
 
-// SRSFor returns the Engine's universal SRS for 2^mu-gate circuits,
-// running the simulated ceremony on first use. The returned SRS may be
-// preloaded into another Engine via WithSRS — the reuse hook for sharing
-// one ceremony across processes.
-func (e *Engine) SRSFor(ctx context.Context, mu int) (*SRS, error) {
+// WarmSRS pre-derives the Engine's universal setup for one problem size
+// under the Engine's configured scheme — the scheme-agnostic preload
+// hook (cluster workers run it right after joining).
+func (e *Engine) WarmSRS(ctx context.Context, mu int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return e.srsFor(ctx, mu)
+	_, err := e.srsFor(ctx, mu)
+	return err
+}
+
+// pcsScheme resolves the Engine's configured commitment scheme
+// (WithPCSScheme); the zero config selects PST.
+func (e *Engine) pcsScheme() (pcs.Scheme, error) {
+	return pcs.ParseScheme(e.cfg.scheme)
+}
+
+// PCSScheme reports the scheme name the Engine commits under — what the
+// service advertises in circuit registrations and /v1/cluster.
+func (e *Engine) PCSScheme() string {
+	s, err := e.pcsScheme()
+	if err != nil {
+		return e.cfg.scheme
+	}
+	return s.String()
 }
 
 // masterSeed lazily reads the 64-byte ceremony seed from the entropy
@@ -165,7 +181,7 @@ func (e *Engine) masterSeed() ([]byte, error) {
 // ceremony on demand and earlier proofs stay verifiable. In caching mode
 // concurrent same-size callers singleflight on one derivation, which runs
 // outside the Engine lock so other operations never stall behind it.
-func (e *Engine) srsFor(ctx context.Context, mu int) (*SRS, error) {
+func (e *Engine) srsFor(ctx context.Context, mu int) (pcs.PCS, error) {
 	s, err := e.deriveSRS(ctx, mu)
 	if err != nil {
 		return nil, err
@@ -177,8 +193,14 @@ func (e *Engine) srsFor(ctx context.Context, mu int) (*SRS, error) {
 }
 
 // deriveSRS is srsFor without the fixed-base table step.
-func (e *Engine) deriveSRS(ctx context.Context, mu int) (*SRS, error) {
-	if p := e.cfg.preloadSRS; p != nil && p.Mu == mu {
+func (e *Engine) deriveSRS(ctx context.Context, mu int) (pcs.PCS, error) {
+	scheme, err := e.pcsScheme()
+	if err != nil {
+		return nil, err
+	}
+	// A preloaded SRS (WithSRS) is a concrete PST ceremony; it only
+	// short-circuits when the Engine actually commits under PST.
+	if p := e.cfg.preloadSRS; p != nil && scheme == pcs.SchemePST && p.Mu == mu {
 		return p, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -189,15 +211,19 @@ func (e *Engine) deriveSRS(ctx context.Context, mu int) (*SRS, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := pcs.SetupFromSeed(seed, mu)
+		s, err := pcs.NewBackend(scheme, seed, mu)
+		if err != nil {
+			return nil, err
+		}
 		e.mu.Lock()
 		e.st.SRSSetups++
 		e.mu.Unlock()
 		return s, nil
 	}
+	key := srsKey{mu: mu, scheme: scheme}
 	for {
 		e.mu.Lock()
-		if entry, ok := e.srs[mu]; ok {
+		if entry, ok := e.srs[key]; ok {
 			e.mu.Unlock()
 			select {
 			case <-entry.done:
@@ -210,8 +236,8 @@ func (e *Engine) deriveSRS(ctx context.Context, mu int) (*SRS, error) {
 			// Creator failed (possibly its own cancelled context): evict
 			// the dead entry and retry under our context.
 			e.mu.Lock()
-			if cur, ok := e.srs[mu]; ok && cur == entry {
-				delete(e.srs, mu)
+			if cur, ok := e.srs[key]; ok && cur == entry {
+				delete(e.srs, key)
 			}
 			e.mu.Unlock()
 			if err := ctx.Err(); err != nil {
@@ -220,22 +246,22 @@ func (e *Engine) deriveSRS(ctx context.Context, mu int) (*SRS, error) {
 			continue
 		}
 		entry := &srsEntry{done: make(chan struct{})}
-		e.srs[mu] = entry
+		e.srs[key] = entry
 		e.mu.Unlock()
 		seed, err := e.masterSeed()
 		if err == nil {
 			if cerr := ctx.Err(); cerr != nil {
 				err = cerr
 			} else {
-				entry.s = pcs.SetupFromSeed(seed, mu)
+				entry.s, err = pcs.NewBackend(scheme, seed, mu)
 			}
 		}
 		entry.err = err
 		close(entry.done)
 		e.mu.Lock()
 		if err != nil {
-			if cur, ok := e.srs[mu]; ok && cur == entry {
-				delete(e.srs, mu)
+			if cur, ok := e.srs[key]; ok && cur == entry {
+				delete(e.srs, key)
 			}
 			e.mu.Unlock()
 			return nil, err
@@ -243,73 +269,6 @@ func (e *Engine) deriveSRS(ctx context.Context, mu int) (*SRS, error) {
 		e.st.SRSSetups++
 		e.mu.Unlock()
 		return entry.s, nil
-	}
-}
-
-// ensureTables builds or cache-loads the fixed-base commitment tables
-// for the SRS and attaches them, once per (ceremony, window) — a no-op
-// unless the Engine was built WithFixedBaseTables. The map is keyed by
-// ceremony digest rather than SRS identity, so uncached mode (which
-// re-derives the SRS per proof) and a preloaded SRS both reuse one
-// build; concurrent callers singleflight exactly like srsEntry, with the
-// expensive precompute outside the Engine lock.
-func (e *Engine) ensureTables(ctx context.Context, s *SRS) error {
-	fb := e.cfg.fixedBase
-	if fb == nil || s.Tables() != nil {
-		return nil
-	}
-	key := tableKey{digest: s.Digest(), window: pcs.ResolveTableWindow(s, fb.Window)}
-	for {
-		e.mu.Lock()
-		if entry, ok := e.tables[key]; ok {
-			e.mu.Unlock()
-			select {
-			case <-entry.done:
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-			if entry.err == nil {
-				return s.AttachTables(entry.t)
-			}
-			e.mu.Lock()
-			if cur, ok := e.tables[key]; ok && cur == entry {
-				delete(e.tables, key)
-			}
-			e.mu.Unlock()
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			continue
-		}
-		entry := &tableEntry{done: make(chan struct{})}
-		e.tables[key] = entry
-		e.mu.Unlock()
-		if err := ctx.Err(); err != nil {
-			entry.err = err
-		} else {
-			entry.t, entry.err = pcs.PrecomputeTables(s, pcs.TableOptions{
-				Window:           fb.Window,
-				Procs:            e.cfg.parallelism,
-				CacheDir:         fb.CacheDir,
-				MaxResidentBytes: fb.MaxResidentBytes,
-			})
-		}
-		close(entry.done)
-		e.mu.Lock()
-		if entry.err != nil {
-			if cur, ok := e.tables[key]; ok && cur == entry {
-				delete(e.tables, key)
-			}
-			e.mu.Unlock()
-			return entry.err
-		}
-		if entry.t.FromCache {
-			e.st.TableLoads++
-		} else {
-			e.st.TableBuilds++
-		}
-		e.mu.Unlock()
-		return s.AttachTables(entry.t)
 	}
 }
 
@@ -336,7 +295,7 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
-		pk, vk, err := hyperplonk.SetupWithSRS(circuit, srs)
+		pk, vk, err := hyperplonk.SetupWithPCS(circuit, srs)
 		if err != nil {
 			return nil, false, err
 		}
@@ -346,10 +305,14 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 		return &circuitKeys{pk: pk, vk: vk}, false, nil
 	}
 
-	digest := e.CircuitDigest(circuit)
+	scheme, err := e.pcsScheme()
+	if err != nil {
+		return nil, false, err
+	}
+	key := keysKey{digest: e.CircuitDigest(circuit), scheme: scheme}
 	e.mu.Lock()
 	for {
-		if entry, ok := e.keys[digest]; ok {
+		if entry, ok := e.keys[key]; ok {
 			e.mu.Unlock()
 			select {
 			case <-entry.done:
@@ -365,8 +328,8 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 			// The creator failed — possibly on its own cancelled context.
 			// Evict the dead entry and retry under our context.
 			e.mu.Lock()
-			if cur, ok := e.keys[digest]; ok && cur == entry {
-				delete(e.keys, digest)
+			if cur, ok := e.keys[key]; ok && cur == entry {
+				delete(e.keys, key)
 			}
 			if err := ctx.Err(); err != nil {
 				e.mu.Unlock()
@@ -378,7 +341,7 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 		// We are the creator: publish the in-flight entry, then derive the
 		// SRS and preprocess outside the lock.
 		entry := &keyEntry{done: make(chan struct{})}
-		e.keys[digest] = entry
+		e.keys[key] = entry
 		e.mu.Unlock()
 		srs, err := e.srsFor(ctx, circuit.Mu)
 		if err == nil {
@@ -387,7 +350,7 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 			} else {
 				var pk *ProvingKey
 				var vk *VerifyingKey
-				pk, vk, err = hyperplonk.SetupWithSRS(circuit, srs)
+				pk, vk, err = hyperplonk.SetupWithPCS(circuit, srs)
 				if err == nil {
 					entry.k = &circuitKeys{pk: pk, vk: vk}
 				}
@@ -397,8 +360,8 @@ func (e *Engine) keysFor(ctx context.Context, circuit *Circuit) (*circuitKeys, b
 		close(entry.done)
 		e.mu.Lock()
 		if err != nil {
-			if cur, ok := e.keys[digest]; ok && cur == entry {
-				delete(e.keys, digest)
+			if cur, ok := e.keys[key]; ok && cur == entry {
+				delete(e.keys, key)
 			}
 			e.mu.Unlock()
 			return nil, false, err

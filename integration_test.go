@@ -61,7 +61,7 @@ func TestUniversalSetupReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pk2, vk2, err := zkspeed.SetupWithSRS(c2, pk1.SRS)
+	pk2, vk2, err := zkspeed.SetupWithPCS(c2, pk1.PCS)
 	if err != nil {
 		t.Fatal(err)
 	}

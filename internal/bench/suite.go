@@ -661,6 +661,125 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 		})
 	}
 
+	// Scheme-parameterized PCS records at each PCSMus size, exercising
+	// every registered backend through the pcs.PCS interface — the same
+	// call path the prover takes. Zeromorph additionally benches its
+	// native shifted opening against the naive emulation (commit the
+	// rotated polynomial, then run a full opening on it): the CI gate
+	// asserts the native path wins at the largest size, which is the
+	// whole justification for carrying a second scheme.
+	for _, scheme := range pcs.Schemes() {
+		scheme := scheme
+		sc, err := pcs.ParseScheme(scheme)
+		if err != nil {
+			continue
+		}
+		backendCache := map[int]pcs.PCS{}
+		backendFor := func(mu int) (pcs.PCS, error) {
+			if b, ok := backendCache[mu]; ok {
+				return b, nil
+			}
+			b, err := pcs.NewBackend(sc, seedBytes(cfg.Seed), mu)
+			if err != nil {
+				return nil, err
+			}
+			backendCache[mu] = b
+			return b, nil
+		}
+		for _, mu := range cfg.PCSMus {
+			mu := mu
+			var m *poly.MLE
+			var point []ff.Fr
+			setup := func() error {
+				if _, err := backendFor(mu); err != nil {
+					return err
+				}
+				if m == nil {
+					m = poly.NewMLE(challengeFrs(cfg.Seed, fmt.Sprintf("pcs.%s.mle.mu%d", scheme, mu), 1<<mu))
+					point = challengeFrs(cfg.Seed, fmt.Sprintf("pcs.%s.point.mu%d", scheme, mu), mu)
+				}
+				return nil
+			}
+			params := map[string]string{"mu": strconv.Itoa(mu), "scheme": scheme}
+			opt := msm.Options{Parallel: true, Aggregation: msm.AggregateGrouped, Kernel: msm.KernelFast}
+			out = append(out,
+				Benchmark{
+					Name:   fmt.Sprintf("pcs/%s/commit/mu%d", scheme, mu),
+					Kind:   KindKernel,
+					Params: params,
+					Setup:  setup,
+					Iterate: func() error {
+						b, err := backendFor(mu)
+						if err != nil {
+							return err
+						}
+						_, err = b.CommitWith(m, opt)
+						return err
+					},
+				},
+				Benchmark{
+					Name:   fmt.Sprintf("pcs/%s/open/mu%d", scheme, mu),
+					Kind:   KindKernel,
+					Params: params,
+					Setup:  setup,
+					Iterate: func() error {
+						b, err := backendFor(mu)
+						if err != nil {
+							return err
+						}
+						_, _, err = b.OpenWith(m, point, opt)
+						return err
+					},
+				},
+			)
+			if sc != pcs.SchemeZeromorph {
+				continue
+			}
+			out = append(out,
+				Benchmark{
+					Name:   fmt.Sprintf("pcs/%s/open-shift/mu%d", scheme, mu),
+					Kind:   KindKernel,
+					Params: params,
+					Setup:  setup,
+					Iterate: func() error {
+						b, err := backendFor(mu)
+						if err != nil {
+							return err
+						}
+						_, _, err = b.OpenShiftWith(m, point, opt)
+						return err
+					},
+				},
+				Benchmark{
+					// What proving a shifted evaluation costs without
+					// native support: materialize rotate(f), commit it,
+					// and run a full opening on the fresh commitment.
+					Name:   fmt.Sprintf("pcs/%s/open-shift-naive/mu%d", scheme, mu),
+					Kind:   KindKernel,
+					Params: params,
+					Setup:  setup,
+					Iterate: func() error {
+						b, err := backendFor(mu)
+						if err != nil {
+							return err
+						}
+						n := 1 << mu
+						rot := make([]ff.Fr, n)
+						for i := 0; i < n; i++ {
+							rot[i] = m.Evals[(i+1)%n]
+						}
+						rm := poly.NewMLE(rot)
+						if _, err := b.CommitWith(rm, opt); err != nil {
+							return err
+						}
+						_, _, err = b.OpenWith(rm, point, opt)
+						return err
+					},
+				},
+			)
+		}
+	}
+
 	// MLE fold: the full Eq. 2 update chain (bind all mu variables),
 	// zkSpeed's MLE Update kernel. FixVariable folds in place, so Before
 	// re-clones the table.

@@ -135,6 +135,13 @@ func (b *Backend) Setup(ctx context.Context, c *hyperplonk.Circuit) error {
 	return b.local.Setup(ctx, c)
 }
 
+// Scheme reports the local engine's commitment scheme; the coordinator
+// refuses workers advertising a different one, so local and remote
+// proofs are interchangeable.
+func (b *Backend) Scheme() string {
+	return b.local.Scheme()
+}
+
 // Stats reports the local engine's counters (remote work shows up in the
 // coordinator's ClusterStatus instead).
 func (b *Backend) Stats() service.BackendStats {

@@ -35,6 +35,11 @@ type Config struct {
 	// in the cluster derive identical SRSs and proofs transfer across
 	// nodes. Nil generates a random seed.
 	SetupSeed []byte
+	// Scheme is the commitment scheme every engine in the cluster proves
+	// under; empty means "pst". Workers advertising a different scheme
+	// are refused at the handshake — their proofs would not verify
+	// against the coordinator's keys.
+	Scheme string
 	// HeartbeatInterval is the expected worker heartbeat cadence; default
 	// 1s.
 	HeartbeatInterval time.Duration
@@ -49,6 +54,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Scheme == "" {
+		c.Scheme = "pst"
+	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = time.Second
 	}
@@ -66,13 +74,14 @@ func (c Config) withDefaults() Config {
 
 // workerConn is the coordinator's handle on one registered worker.
 type workerConn struct {
-	id    uint64
-	conn  net.Conn
-	fw    *frameWriter
-	name  string
-	addr  string
-	cores int
-	mus   []int
+	id     uint64
+	conn   net.Conn
+	fw     *frameWriter
+	name   string
+	addr   string
+	cores  int
+	scheme string
+	mus    []int
 
 	mu       sync.Mutex
 	digests  map[[32]byte]bool // circuits the worker holds decoded
@@ -113,6 +122,7 @@ func (w *workerConn) info(now time.Time) api.ClusterWorkerInfo {
 		Name:             w.name,
 		Addr:             w.addr,
 		Cores:            w.cores,
+		PCSScheme:        w.scheme,
 		PreloadedMus:     w.mus,
 		ResidentCircuits: len(w.digests),
 		Inflight:         w.inflight,
@@ -244,12 +254,22 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 		c.cfg.Logf("cluster: rejecting %s: %v", conn.RemoteAddr(), err)
 		return
 	}
+	scheme := hello.Scheme
+	if scheme == "" {
+		scheme = "pst"
+	}
+	if scheme != c.cfg.Scheme {
+		c.cfg.Logf("cluster: rejecting %s (%s): proves under scheme %q, cluster runs %q",
+			conn.RemoteAddr(), hello.Name, scheme, c.cfg.Scheme)
+		return
+	}
 	w := &workerConn{
 		conn:    conn,
 		fw:      &frameWriter{w: newWriter(conn)},
 		name:    hello.Name,
 		addr:    conn.RemoteAddr().String(),
 		cores:   hello.Cores,
+		scheme:  scheme,
 		mus:     hello.PreloadedMus,
 		digests: make(map[[32]byte]bool, len(hello.Digests)),
 		pending: make(map[uint64]chan *resultMsg),
@@ -379,6 +399,7 @@ func (c *Coordinator) noteLocalFallback() {
 func (c *Coordinator) ClusterStatus() api.ClusterStatus {
 	c.mu.Lock()
 	st := api.ClusterStatus{
+		PCSScheme:      c.cfg.Scheme,
 		Dispatches:     c.dispatches,
 		Requeues:       c.requeues,
 		WorkerDeaths:   c.workerDeaths,

@@ -34,7 +34,7 @@ import (
 // without constraining real traffic (the service caps bodies well below).
 const (
 	protoMagic   = 0x5a4b4357 // "ZKCW"
-	protoVersion = 1
+	protoVersion = 2          // v2 added the pcs scheme to helloMsg
 	maxFrame     = 1 << 30
 	seedLen      = 64
 )
@@ -179,8 +179,12 @@ func (d *dec) done() error {
 // helloMsg is the worker's capability advertisement, sent once after
 // dialing.
 type helloMsg struct {
-	Name         string
-	Cores        int
+	Name  string
+	Cores int
+	// Scheme is the commitment scheme the worker's engines prove under;
+	// the coordinator refuses a worker whose scheme differs from its own
+	// (mixed-scheme clusters would emit unverifiable batches).
+	Scheme       string
 	PreloadedMus []int
 	// Digests are circuits the worker already holds decoded (e.g. from a
 	// previous session); the coordinator skips the circuit blob for them.
@@ -193,6 +197,7 @@ func (m *helloMsg) marshal() []byte {
 	e.u8(protoVersion)
 	e.str(m.Name)
 	e.u16(uint16(m.Cores))
+	e.str(m.Scheme)
 	e.u8(byte(len(m.PreloadedMus)))
 	for _, mu := range m.PreloadedMus {
 		e.u8(byte(mu))
@@ -214,6 +219,7 @@ func (m *helloMsg) unmarshal(b []byte) error {
 	}
 	m.Name = d.str()
 	m.Cores = int(d.u16())
+	m.Scheme = d.str()
 	nmu := int(d.u8())
 	m.PreloadedMus = make([]int, 0, nmu)
 	for i := 0; i < nmu; i++ {

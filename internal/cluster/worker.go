@@ -31,6 +31,10 @@ type WorkerConfig struct {
 	// PreloadMus are problem sizes whose SRS to pre-derive right after the
 	// handshake, so the first dispatch pays no ceremony.
 	PreloadMus []int
+	// Scheme is the commitment scheme NewBackend's engines prove under,
+	// advertised in the hello; empty means "pst". The coordinator refuses
+	// workers whose scheme differs from its own.
+	Scheme string
 	// NewBackend builds the worker's prover once the handshake delivers
 	// the cluster's shared setup seed — required so the worker's SRS
 	// matches the coordinator's.
@@ -47,6 +51,9 @@ type WorkerConfig struct {
 func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.Cores == 0 {
 		c.Cores = 1
+	}
+	if c.Scheme == "" {
+		c.Scheme = "pst"
 	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = time.Second
@@ -124,7 +131,7 @@ func Join(ctx context.Context, addr string, cfg WorkerConfig) (*Worker, error) {
 		}
 	}()
 
-	hello := helloMsg{Name: cfg.Name, Cores: cfg.Cores, PreloadedMus: cfg.PreloadMus}
+	hello := helloMsg{Name: cfg.Name, Cores: cfg.Cores, Scheme: cfg.Scheme, PreloadedMus: cfg.PreloadMus}
 	if err := w.fw.send(msgHello, hello.marshal()); err != nil {
 		close(hsDone)
 		conn.Close()

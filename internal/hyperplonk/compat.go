@@ -1,0 +1,33 @@
+package hyperplonk
+
+// Pre-interface compatibility surface. Before the PCS interface, keys
+// were built directly from a concrete *pcs.SRS; these wrappers keep that
+// call shape working while routing through the scheme-agnostic path.
+// They are the ONLY place in this package allowed to name the concrete
+// PST type (layering_test.go enforces it).
+
+import (
+	"math/rand"
+
+	"zkspeed/internal/pcs"
+)
+
+// SetupWithSRS preprocesses a circuit under an existing universal PST
+// SRS.
+//
+// Deprecated: use SetupWithPCS, which accepts any registered commitment
+// backend through the pcs.PCS interface; this wrapper exists for callers
+// predating the interface and pins the PST scheme.
+func SetupWithSRS(circuit *Circuit, srs *pcs.SRS) (*ProvingKey, *VerifyingKey, error) {
+	return SetupWithPCS(circuit, srs)
+}
+
+// Setup preprocesses a circuit: commits to selectors and permutation
+// tables under a fresh (simulated-ceremony) PST SRS.
+func Setup(circuit *Circuit, rng *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
+	if err := circuit.Validate(); err != nil {
+		return nil, nil, err
+	}
+	srs := pcs.Setup(circuit.Mu, rng)
+	return SetupWithPCS(circuit, srs)
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"zkspeed/internal/pcs"
 )
 
 // fuzzSeedProof lazily builds one small valid proof blob shared by the
@@ -17,6 +19,28 @@ var fuzzSeedProof = sync.OnceValues(func() ([]byte, error) {
 		return nil, err
 	}
 	pk, _, err := Setup(circuit, rand.New(rand.NewSource(301)))
+	if err != nil {
+		return nil, err
+	}
+	proof, _, err := Prove(pk, assignment)
+	if err != nil {
+		return nil, err
+	}
+	return proof.MarshalBinary()
+})
+
+// fuzzSeedProofZeromorph is the version-2 (scheme-tagged) counterpart, so
+// the corpus also reaches the tagged-header and mu+2-quotient paths.
+var fuzzSeedProofZeromorph = sync.OnceValues(func() ([]byte, error) {
+	circuit, assignment, _, err := buildQuadratic(5)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := pcs.NewBackend(pcs.SchemeZeromorph, []byte{0xfa, 0x11}, circuit.Mu)
+	if err != nil {
+		return nil, err
+	}
+	pk, _, err := SetupWithPCS(circuit, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -43,8 +67,19 @@ func FuzzProofUnmarshalBinary(f *testing.F) {
 		}
 		f.Add(zero)
 	}
+	if blob, err := fuzzSeedProofZeromorph(); err == nil {
+		f.Add(blob)
+		// Scheme-tag mutants: PST under version 2 (non-canonical) and an
+		// unregistered tag, both of which must be rejected cleanly.
+		for _, tag := range []byte{0, 7, 255} {
+			m := append([]byte{}, blob...)
+			m[6] = tag
+			f.Add(m)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0x5a, 0x4b, 0x53, 0x50, 1, 4})
+	f.Add([]byte{0x5a, 0x4b, 0x53, 0x50, 2, 4, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var p Proof
 		if err := p.UnmarshalBinary(data); err != nil {

@@ -272,8 +272,8 @@ func TestSetupRejectsWrongSRS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := SetupWithSRS(circuit, pk.SRS); err == nil {
-			t.Fatal("SetupWithSRS accepted mismatched SRS")
+		if _, _, err := SetupWithPCS(circuit, pk.PCS); err == nil {
+			t.Fatal("SetupWithPCS accepted mismatched backend")
 		}
 	}
 }

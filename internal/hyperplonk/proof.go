@@ -2,7 +2,6 @@ package hyperplonk
 
 import (
 	"fmt"
-	"math/rand"
 
 	"zkspeed/internal/ff"
 	"zkspeed/internal/pcs"
@@ -69,6 +68,10 @@ const NumEvaluations = 22
 // Proof is a complete HyperPlonk proof. All components are succinct:
 // O(1) commitments, O(μ) sumcheck rounds and O(μ) opening quotients.
 type Proof struct {
+	// Scheme tags the commitment backend the proof was produced under;
+	// the zero value is PST, matching every pre-interface proof. The
+	// verifier rejects proofs whose scheme does not match its key.
+	Scheme pcs.Scheme
 	// Step 1: witness commitments.
 	WitnessComms [3]pcs.Commitment
 	// Step 2: gate identity ZeroCheck.
@@ -94,10 +97,12 @@ func (p *Proof) evalOf(point, poly int) (ff.Fr, bool) {
 	return ff.Fr{}, false
 }
 
-// ProvingKey holds everything the prover needs.
+// ProvingKey holds everything the prover needs. The commitment backend
+// is reached only through the pcs.PCS interface, so a key preprocessed
+// under any registered scheme drives the same prover.
 type ProvingKey struct {
 	Circuit *Circuit
-	SRS     *pcs.SRS
+	PCS     pcs.PCS
 	VK      *VerifyingKey
 }
 
@@ -107,7 +112,7 @@ type VerifyingKey struct {
 	NumPublic     int
 	SelectorComms [5]pcs.Commitment // qL qR qM qO qC
 	SigmaComms    [3]pcs.Commitment
-	SRS           *pcs.SRS
+	PCS           pcs.PCS
 	digest        [32]byte
 }
 
@@ -115,49 +120,41 @@ type VerifyingKey struct {
 // transcript so proofs are circuit-specific.
 func (vk *VerifyingKey) Digest() []byte { return vk.digest[:] }
 
-// Setup preprocesses a circuit: commits to selectors and permutation
-// tables under a fresh (simulated-ceremony) SRS.
-func Setup(circuit *Circuit, rng *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
+// SetupWithPCS preprocesses a circuit under an existing universal
+// commitment backend — this is HyperPlonk's headline property (§1): the
+// reference string is generated once and reused across circuits, and
+// since the backend is reached through the interface, any registered
+// scheme slots in.
+func SetupWithPCS(circuit *Circuit, backend pcs.PCS) (*ProvingKey, *VerifyingKey, error) {
 	if err := circuit.Validate(); err != nil {
 		return nil, nil, err
 	}
-	srs := pcs.Setup(circuit.Mu, rng)
-	return SetupWithSRS(circuit, srs)
-}
-
-// SetupWithSRS preprocesses a circuit under an existing universal SRS —
-// this is HyperPlonk's headline property (§1): the SRS is generated once
-// and reused across circuits.
-func SetupWithSRS(circuit *Circuit, srs *pcs.SRS) (*ProvingKey, *VerifyingKey, error) {
-	if err := circuit.Validate(); err != nil {
-		return nil, nil, err
-	}
-	if srs.Mu != circuit.Mu {
-		return nil, nil, errSRSSize{srs.Mu, circuit.Mu}
+	if backend.MaxVars() != circuit.Mu {
+		return nil, nil, errSRSSize{backend.MaxVars(), circuit.Mu}
 	}
 	vk := &VerifyingKey{
 		Mu:        circuit.Mu,
 		NumPublic: circuit.NumPublic,
-		SRS:       srs,
+		PCS:       backend,
 	}
 	var err error
-	if vk.SelectorComms[0], err = srs.Commit(circuit.QL); err != nil {
+	if vk.SelectorComms[0], err = backend.Commit(circuit.QL); err != nil {
 		return nil, nil, err
 	}
-	if vk.SelectorComms[1], err = srs.Commit(circuit.QR); err != nil {
+	if vk.SelectorComms[1], err = backend.Commit(circuit.QR); err != nil {
 		return nil, nil, err
 	}
-	if vk.SelectorComms[2], err = srs.Commit(circuit.QM); err != nil {
+	if vk.SelectorComms[2], err = backend.Commit(circuit.QM); err != nil {
 		return nil, nil, err
 	}
-	if vk.SelectorComms[3], err = srs.Commit(circuit.QO); err != nil {
+	if vk.SelectorComms[3], err = backend.Commit(circuit.QO); err != nil {
 		return nil, nil, err
 	}
-	if vk.SelectorComms[4], err = srs.Commit(circuit.QC); err != nil {
+	if vk.SelectorComms[4], err = backend.Commit(circuit.QC); err != nil {
 		return nil, nil, err
 	}
 	for j := 0; j < 3; j++ {
-		if vk.SigmaComms[j], err = srs.Commit(circuit.Sigma[j]); err != nil {
+		if vk.SigmaComms[j], err = backend.Commit(circuit.Sigma[j]); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -176,7 +173,7 @@ func SetupWithSRS(circuit *Circuit, srs *pcs.SRS) (*ProvingKey, *VerifyingKey, e
 	d := tr.ChallengeFr("digest")
 	vk.digest = d.Bytes()
 
-	pk := &ProvingKey{Circuit: circuit, SRS: srs, VK: vk}
+	pk := &ProvingKey{Circuit: circuit, PCS: backend, VK: vk}
 	return pk, vk, nil
 }
 

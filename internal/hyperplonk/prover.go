@@ -3,10 +3,12 @@ package hyperplonk
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"zkspeed/internal/ff"
 	"zkspeed/internal/msm"
+	"zkspeed/internal/pcs"
 	"zkspeed/internal/poly"
 	"zkspeed/internal/sumcheck"
 	"zkspeed/internal/transcript"
@@ -61,6 +63,11 @@ type ProveOptions struct {
 	// pre-refactor prover (benchmark reference and digest-compare
 	// tests); proofs are byte-identical either way.
 	SumcheckKernel sumcheck.Kernel
+	// Scheme, when non-empty, pins the commitment scheme this proof must
+	// be produced under ("pst", "zeromorph"); proving fails rather than
+	// silently using a key preprocessed under a different backend. Empty
+	// accepts whatever scheme the proving key carries.
+	Scheme string
 }
 
 // msmOptions resolves the MSM configuration every commitment and opening
@@ -108,7 +115,16 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	if a.W1.Len() != n || a.W2.Len() != n || a.W3.Len() != n {
 		return nil, nil, errors.New("hyperplonk: assignment size mismatch")
 	}
-	proof := &Proof{}
+	if opts.Scheme != "" {
+		want, err := pcs.ParseScheme(opts.Scheme)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got := pk.PCS.Scheme(); got != want {
+			return nil, nil, fmt.Errorf("hyperplonk: options pin scheme %v but key was preprocessed under %v", want, got)
+		}
+	}
+	proof := &Proof{Scheme: pk.PCS.Scheme()}
 	tm := &StepTimings{}
 	mopt := opts.msmOptions()
 	popt := opts.polyOptions()
@@ -127,7 +143,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	t0 := time.Now()
 	var err error
 	for j, w := range []*poly.MLE{a.W1, a.W2, a.W3} {
-		if proof.WitnessComms[j], err = pk.SRS.CommitSparseWith(w, mopt); err != nil {
+		if proof.WitnessComms[j], err = pk.PCS.CommitSparseWith(w, mopt); err != nil {
 			return nil, nil, err
 		}
 		tr.AppendG1("witness", &proof.WitnessComms[j].P)
@@ -159,10 +175,10 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 	nd := constructNAndD(c, a, &beta, &gamma, popt)
 	phi := poly.FractionMLEWith(nd.N, nd.D, popt) // FracMLE unit (batched inversion)
 	pi := poly.ProductMLEWith(phi, popt)          // Multifunction Tree Unit
-	if proof.PhiComm, err = pk.SRS.CommitWith(phi, mopt); err != nil {
+	if proof.PhiComm, err = pk.PCS.CommitWith(phi, mopt); err != nil {
 		return nil, nil, err
 	}
-	if proof.PiComm, err = pk.SRS.CommitWith(pi, mopt); err != nil {
+	if proof.PiComm, err = pk.PCS.CommitWith(pi, mopt); err != nil {
 		return nil, nil, err
 	}
 	tr.AppendG1("phi", &proof.PhiComm.P)
@@ -245,7 +261,7 @@ func ProveWithContext(ctx context.Context, pk *ProvingKey, a *Assignment, opts *
 		kAtR[j] = poly.EvalEq(ksEval[j], rOpen)
 	}
 	gPrime := poly.LinearCombineWith(ys, kAtR, popt)
-	opening, gVal, err := pk.SRS.OpenWith(gPrime, rOpen, mopt)
+	opening, gVal, err := pk.PCS.OpenWith(gPrime, rOpen, mopt)
 	if err != nil {
 		return nil, nil, err
 	}

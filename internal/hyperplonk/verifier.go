@@ -26,6 +26,18 @@ type VerifyOptions struct {
 	// use — the public-input table evaluation today, batched pairing
 	// schedules as they arrive. 0 = one per CPU.
 	Parallelism int
+	// Scheme, when non-empty, pins the commitment scheme the proof must
+	// have been produced under ("pst", "zeromorph"); verification fails
+	// up front on a mismatch. Empty accepts the verifying key's scheme.
+	Scheme string
+}
+
+// scheme resolves the pinned scheme name; a nil receiver pins nothing.
+func (o *VerifyOptions) scheme() string {
+	if o == nil {
+		return ""
+	}
+	return o.Scheme
 }
 
 // polyOptions resolves the verifier-side MTU kernel configuration.
@@ -56,6 +68,22 @@ func VerifyWithContext(ctx context.Context, vk *VerifyingKey, pub []ff.Fr, proof
 	mu := vk.Mu
 	if len(pub) != vk.NumPublic {
 		return fmt.Errorf("hyperplonk: got %d public inputs, circuit has %d", len(pub), vk.NumPublic)
+	}
+	// Cross-scheme rejection: a proof produced under one backend must
+	// fail cleanly against a key preprocessed under another — the
+	// opening-proof shapes differ, so this is checked before any
+	// commitment arithmetic.
+	if got, want := proof.Scheme, vk.PCS.Scheme(); got != want {
+		return fmt.Errorf("hyperplonk: proof carries scheme %v, verifying key uses %v", got, want)
+	}
+	if pinned := opts.scheme(); pinned != "" {
+		want, err := pcs.ParseScheme(pinned)
+		if err != nil {
+			return err
+		}
+		if proof.Scheme != want {
+			return fmt.Errorf("hyperplonk: options pin scheme %v but proof carries %v", want, proof.Scheme)
+		}
 	}
 	tr := transcript.New("zkspeed.hyperplonk.v1")
 	tr.AppendBytes("vk", vk.Digest())
@@ -235,8 +263,8 @@ func VerifyWithContext(ctx context.Context, vk *VerifyingKey, pub []ff.Fr, proof
 		t.Mul(&weights[k], &kAtR[e.point])
 		coeffs[e.poly].Add(&coeffs[e.poly], &t)
 	}
-	cG := pcs.CombineCommitments(comms[:], coeffs)
-	ok, err := vk.SRS.Verify(cG, rOpen, ocRes.FinalClaim, proof.Opening)
+	cG := vk.PCS.Combine(comms[:], coeffs)
+	ok, err := vk.PCS.Verify(cG, rOpen, ocRes.FinalClaim, proof.Opening)
 	if err != nil {
 		return fmt.Errorf("hyperplonk: opening: %w", err)
 	}

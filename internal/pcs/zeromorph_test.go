@@ -1,0 +1,63 @@
+package pcs
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkspeed/internal/curve"
+	"zkspeed/internal/ff"
+)
+
+// TestZeromorphCommitMatchesTrapdoor exploits knowledge of τ: the
+// univariate map means Commit(f) must equal [Σ f_i·τ^i]·G.
+func TestZeromorphCommitMatchesTrapdoor(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	mu := 5
+	tau := randFr(rng)
+	srs := ZeromorphSetupWithTau(tau, mu)
+	m := randMLE(rng, mu)
+	c, err := srs.Commit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horner: U(f)(τ).
+	var u ff.Fr
+	for i := m.Len() - 1; i >= 0; i-- {
+		u.Mul(&u, &tau)
+		u.Add(&u, &m.Evals[i])
+	}
+	var g, want curve.G1Jac
+	ga := curve.G1Generator()
+	g.FromAffine(&ga)
+	want.ScalarMul(&g, &u)
+	var wantAff curve.G1Affine
+	wantAff.FromJacobian(&want)
+	if !c.P.Equal(&wantAff) {
+		t.Fatal("commitment != [U(f)(tau)]G")
+	}
+}
+
+// TestZeromorphShiftRejectsForeignCommitment pins the shift proof to the
+// commitment it was opened from: verifying it against a different
+// polynomial's commitment must fail.
+func TestZeromorphShiftRejectsForeignCommitment(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	mu := 4
+	srs := ZeromorphSetupFromSeed([]byte{0x5f}, mu)
+	m, other := randMLE(rng, mu), randMLE(rng, mu)
+	point := make([]ff.Fr, mu)
+	for i := range point {
+		point[i] = randFr(rng)
+	}
+	sp, v, err := srs.OpenShift(m, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cOther, err := srs.Commit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := srs.VerifyShifted(cOther, point, v, sp); err != nil || ok {
+		t.Fatalf("shift proof verified against a foreign commitment (%v, %v)", ok, err)
+	}
+}

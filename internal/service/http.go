@@ -14,6 +14,7 @@ import (
 	"zkspeed/api"
 	"zkspeed/internal/ff"
 	"zkspeed/internal/hyperplonk"
+	"zkspeed/internal/pcs"
 	"zkspeed/internal/store"
 	"zkspeed/internal/tenant"
 )
@@ -197,9 +198,33 @@ func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool
 	return true
 }
 
+// checkPCSScheme enforces a request's pcs_scheme against the scheme this
+// service's shards prove under. Both unknown names and known-but-unserved
+// ones are 422 — the statement cannot be served as phrased — and the body
+// lists every scheme this build registers so the client can repair the
+// request without a discovery round trip.
+func (s *Service) checkPCSScheme(w http.ResponseWriter, requested string) bool {
+	if requested == "" || requested == s.scheme {
+		return true
+	}
+	msg := fmt.Sprintf("this daemon proves under pcs_scheme %q, not %q", s.scheme, requested)
+	if _, err := pcs.ParseScheme(requested); err != nil {
+		msg = fmt.Sprintf("unknown pcs_scheme %q", requested)
+	}
+	writeJSON(w, http.StatusUnprocessableEntity, api.Error{
+		Error:   msg,
+		Code:    api.ErrCodePCSScheme,
+		Schemes: pcs.Schemes(),
+	})
+	return false
+}
+
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req api.RegisterCircuitRequest
 	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !s.checkPCSScheme(w, req.PCSScheme) {
 		return
 	}
 	var c hyperplonk.Circuit

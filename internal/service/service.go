@@ -103,6 +103,9 @@ type Backend interface {
 	// Setup warms the backend's SRS and key caches for the circuit
 	// without proving anything.
 	Setup(ctx context.Context, c *hyperplonk.Circuit) error
+	// Scheme names the polynomial commitment scheme the backend proves
+	// under ("pst", "zeromorph"); every shard of a service must agree.
+	Scheme() string
 	// Stats reports the backend's cumulative work counters.
 	Stats() BackendStats
 }
@@ -310,6 +313,7 @@ type circuitEntry struct {
 	digest  [32]byte
 	circuit *hyperplonk.Circuit
 	shard   int
+	scheme  string
 
 	mu     sync.Mutex
 	proofs int64
@@ -325,6 +329,7 @@ func (e *circuitEntry) info() api.CircuitInfo {
 		NumGates:  e.circuit.NumGates(),
 		NumPublic: e.circuit.NumPublic,
 		Shard:     e.shard,
+		PCSScheme: e.scheme,
 		Proofs:    proofs,
 	}
 }
@@ -340,6 +345,7 @@ type shard struct {
 // Close on shutdown.
 type Service struct {
 	cfg    Config
+	scheme string // commitment scheme shared by every shard backend
 	shards []*shard
 	met    *Metrics
 	cache  *proofCache
@@ -410,7 +416,12 @@ func New(cfg Config, backends []Backend) (*Service, error) {
 	// Populate the full shard slice before starting any loop: a stealing
 	// shard iterates its siblings, so the slice must be complete (and never
 	// mutated again) by the time the first loop goroutine runs.
+	s.scheme = backends[0].Scheme()
 	for i, b := range backends {
+		if got := b.Scheme(); got != s.scheme {
+			cancel()
+			return nil, fmt.Errorf("service: shard %d proves under scheme %q, shard 0 under %q", i, got, s.scheme)
+		}
 		s.shards = append(s.shards, &shard{idx: i, queue: newJobQueue(cfg.QueueCapacity), backend: b})
 	}
 	if s.durable {
@@ -425,6 +436,10 @@ func New(cfg Config, backends []Backend) (*Service, error) {
 	}
 	return s, nil
 }
+
+// PCSScheme reports the commitment scheme this service's shards prove
+// under — what registrations and proof responses advertise.
+func (s *Service) PCSScheme() string { return s.scheme }
 
 // replayStore rebuilds the registry, queues and pollable results from
 // the store's recovered state. It runs before the shard loops start, so
@@ -455,6 +470,7 @@ func (s *Service) replayStore() error {
 			Status:       api.StatusDone,
 			Proof:        r.Proof,
 			PublicInputs: r.PublicInputs,
+			PCSScheme:    s.scheme,
 			ProverNS:     r.ProverNS,
 		})
 		s.recovery.Results++
@@ -648,7 +664,7 @@ func (s *Service) registerCircuit(c *hyperplonk.Circuit, blob []byte) (*circuitE
 			return nil, fmt.Errorf("service: persisting circuit: %w", err)
 		}
 	}
-	e := &circuitEntry{digest: digest, circuit: c, shard: s.shardFor(digest)}
+	e := &circuitEntry{digest: digest, circuit: c, shard: s.shardFor(digest), scheme: s.scheme}
 	s.circuits[digest] = e
 	return e, nil
 }
@@ -839,6 +855,7 @@ func (s *Service) submitTo(entry *circuitEntry, assign *hyperplonk.Assignment, p
 			Status:       api.StatusDone,
 			Proof:        hit.proof,
 			PublicInputs: encodeFrs(hit.public),
+			PCSScheme:    s.scheme,
 			Cached:       true,
 		})
 		s.trackJob(j)
@@ -1252,6 +1269,7 @@ func (s *Service) runBatch(sh *shard, batch []*job) {
 			Status:       api.StatusDone,
 			Proof:        blob,
 			PublicInputs: pub,
+			PCSScheme:    s.scheme,
 			BatchSize:    len(batch),
 			ProverNS:     r.ProverTime.Nanoseconds(),
 			StepsNS:      steps,

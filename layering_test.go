@@ -53,3 +53,50 @@ func TestInternalImportBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPCSInterfaceBoundary enforces the commitment-scheme layering rule:
+// the hyperplonk protocol layer and the root engine reach the PCS only
+// through the pcs.PCS interface. Naming the concrete PST type or its
+// free setup functions is confined to three files — the deprecated
+// compatibility wrappers, the root's type alias + deprecated free
+// functions, and the PST-only fixed-base table machinery — so a new
+// backend never requires touching prover, verifier or engine code.
+func TestPCSInterfaceBoundary(t *testing.T) {
+	// Selector expressions on the pcs package that bind callers to the
+	// concrete PST scheme.
+	forbidden := []string{
+		"pcs.SRS", "pcs.Setup(", "pcs.SetupFromSeed", "pcs.SetupWithTaus",
+		"pcs.CombineCommitments", "pcs.PrecomputeTables", "pcs.ResolveTableWindow",
+	}
+	allowed := map[string]bool{
+		"internal/hyperplonk/compat.go": true, // deprecated SetupWithSRS / rng Setup
+		"zkspeed.go":                    true, // SRS type alias + deprecated free funcs
+		"pst.go":                        true, // SRSFor + fixed-base tables (PST-only)
+	}
+	check := func(path string) {
+		if allowed[path] || strings.HasSuffix(path, "_test.go") || !strings.HasSuffix(path, ".go") {
+			return
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, tok := range forbidden {
+			if strings.Contains(string(src), tok) {
+				t.Errorf("%s references %s: reach the commitment scheme through the pcs.PCS interface", path, strings.TrimSuffix(tok, "("))
+			}
+		}
+	}
+	for _, dir := range []string{".", "internal/hyperplonk"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			check(filepath.Join(dir, e.Name()))
+		}
+	}
+}

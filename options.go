@@ -16,6 +16,10 @@ type engineConfig struct {
 	preloadSRS  *SRS
 	proveHook   func(ProofStats)
 	fixedBase   *FixedBaseConfig
+	// scheme names the polynomial commitment backend ("pst", "zeromorph");
+	// empty selects PST. Parsed lazily so an unknown name surfaces as an
+	// error from the first operation, not a constructor panic.
+	scheme string
 	// cluster is read only by NewService (WithCluster); a plain New engine
 	// ignores it.
 	cluster *ClusterConfig
@@ -91,6 +95,31 @@ func WithTimings() Option {
 // from the Engine's entropy as usual.
 func WithSRS(srs *SRS) Option {
 	return func(c *engineConfig) { c.preloadSRS = srs }
+}
+
+// WithPCSScheme selects the polynomial commitment backend by name —
+// "pst" (default; PST multilinear KZG) or "zeromorph" (univariate-map
+// KZG with cheap shifted openings). The name is validated lazily: an
+// unknown scheme surfaces from the first Setup/Prove call as the same
+// error PCSSchemes-listing callers see, so services can report it as a
+// client error instead of panicking at construction.
+func WithPCSScheme(name string) Option {
+	return func(c *engineConfig) { c.scheme = name }
+}
+
+// resolveSchemeName applies the options to a scratch config and returns
+// the canonical scheme name they select — what cluster handshakes and
+// coordinator configs advertise before any Engine exists. An unknown
+// name passes through verbatim; the first engine operation rejects it.
+func resolveSchemeName(opts []Option) string {
+	var c engineConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.scheme == "" {
+		return "pst"
+	}
+	return c.scheme
 }
 
 // FixedBaseConfig configures the Engine's fixed-base commitment tables

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"zkspeed/internal/cluster"
+	"zkspeed/internal/pcs"
 	"zkspeed/internal/service"
 	"zkspeed/internal/store"
 	"zkspeed/internal/tenant"
@@ -117,6 +118,12 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 	for _, o := range opts {
 		o(&probe)
 	}
+	// Reject an unknown WithPCSScheme name up front: a daemon that only
+	// fails on its first prove is much harder to operate than one that
+	// refuses to start.
+	if _, err := pcs.ParseScheme(probe.scheme); err != nil {
+		return nil, fmt.Errorf("zkspeed: %w (known schemes: %v)", err, PCSSchemes())
+	}
 	svcCfg := service.Config{
 		QueueCapacity: cfg.QueueCapacity,
 		BatchWindow:   cfg.BatchWindow,
@@ -164,6 +171,7 @@ func NewService(cfg ServiceConfig, opts ...Option) (*ProverService, error) {
 		var err error
 		coord, err = cluster.NewCoordinator(cluster.Config{
 			SetupSeed:         sharedSeed,
+			Scheme:            resolveSchemeName(opts),
 			HeartbeatInterval: probe.cluster.HeartbeatInterval,
 			HeartbeatMisses:   probe.cluster.HeartbeatMisses,
 			MaxRetries:        probe.cluster.MaxRetries,
@@ -263,6 +271,12 @@ func (sh *engineShard) Verify(ctx context.Context, c *Circuit, pub []Scalar, pro
 func (sh *engineShard) Setup(ctx context.Context, c *Circuit) error {
 	_, _, err := sh.eng.Setup(ctx, c)
 	return err
+}
+
+// Scheme reports the engine's commitment scheme — the service refuses
+// mixed-scheme shard sets and advertises this name in the API.
+func (sh *engineShard) Scheme() string {
+	return sh.eng.PCSScheme()
 }
 
 func (sh *engineShard) Stats() service.BackendStats {

@@ -96,6 +96,26 @@ func SetupWithSRS(c *Circuit, srs *SRS) (*ProvingKey, *VerifyingKey, error) {
 	return hyperplonk.SetupWithSRS(c, srs)
 }
 
+// SetupWithPCS preprocesses a circuit under an existing commitment
+// backend reached through the pcs.PCS interface — the scheme-agnostic
+// form of SetupWithSRS. The backend of an existing key is available as
+// pk.PCS, so a second circuit of the same size reuses the ceremony:
+//
+//	pk2, vk2, err := zkspeed.SetupWithPCS(c2, pk1.PCS)
+func SetupWithPCS(c *Circuit, backend PCS) (*ProvingKey, *VerifyingKey, error) {
+	return hyperplonk.SetupWithPCS(c, backend)
+}
+
+// PCS is the polynomial commitment backend interface; every registered
+// scheme (PCSSchemes) implements it.
+type PCS = pcs.PCS
+
+// PCSSchemes lists the registered polynomial commitment scheme names
+// accepted by WithPCSScheme, sorted.
+func PCSSchemes() []string {
+	return pcs.Schemes()
+}
+
 // Prove generates a proof for the assignment.
 //
 // Deprecated: use Engine.Prove, which adds context cancellation, key
