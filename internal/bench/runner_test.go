@@ -89,14 +89,15 @@ func TestKernelSuiteRuns(t *testing.T) {
 		Seed:             7,
 	}
 	bms := KernelSuite(cfg)
-	// 1 window × 2 schedules × {pippenger, sparse} + 1 window ×
-	// {signed, glv, batchaffine} + {fast, sparse-fast} + 2 fixed-base
-	// windows + legacy sumcheck + 1 serial/parallel sumcheck pair +
-	// {commit, commit-fixed, precompute} + open + per-scheme records
-	// (pst: commit+open; zeromorph: commit+open+open-shift+naive) + 5
-	// serial/parallel MTU kernel pairs + fold.
-	if len(bms) != 35 {
-		t.Fatalf("want 35 kernel benchmarks, got %d", len(bms))
+	// 8 ff field-arithmetic records + 1 window × 2 schedules ×
+	// {pippenger, sparse} + 1 window × {signed, glv, batchaffine} +
+	// {fast, sparse-fast} + 2 fixed-base windows + legacy sumcheck +
+	// 1 serial/parallel sumcheck pair + {commit, commit-fixed,
+	// precompute} + open + per-scheme records (pst: commit+open;
+	// zeromorph: commit+open+open-shift+naive) + 5 serial/parallel MTU
+	// kernel pairs + fold.
+	if len(bms) != 43 {
+		t.Fatalf("want 43 kernel benchmarks, got %d", len(bms))
 	}
 	report := NewReport("test", RunConfig{Reps: 1}, time.Unix(0, 0))
 	r := Runner{Warmup: cfg.Warmup, Reps: cfg.Reps}

@@ -121,6 +121,13 @@ func DefaultConfig(quick bool) SuiteConfig {
 	}
 }
 
+// frSink / fpSink keep the dependent ff op chains observable so the
+// compiler cannot dead-code them out of the timed loops.
+var (
+	frSink ff.Fr
+	fpSink ff.Fp
+)
+
 // seedBytes encodes the suite seed for transcript derivation.
 func seedBytes(seed int64) []byte {
 	var b [8]byte
@@ -179,6 +186,120 @@ func KernelSuite(cfg SuiteConfig) []Benchmark {
 	}
 
 	var out []Benchmark
+
+	// Field-arithmetic kernels: the limb primitives every record below
+	// bottoms out in. Each Iterate runs a fixed chain of dependent
+	// operations (each output feeds the next input, so superscalar
+	// overlap across iterations doesn't flatter the number); the
+	// mul-baseline records pin the retained looped CIOS from baseline.go,
+	// giving the CI gate a within-run reference to assert the unrolled
+	// path's speedup against, hardware-independently.
+	{
+		const ffOps = 1 << 14
+		var frX, frZ ff.Fr
+		var fpX, fpZ ff.Fp
+		var invXs []ff.Fr
+		ffSetup := func() error {
+			if invXs == nil {
+				s := challengeFrs(cfg.Seed, "ff.operands", 1024)
+				frX, frZ = s[0], s[1]
+				fpX.SetBigInt(s[2].BigInt())
+				fpZ.SetBigInt(s[3].BigInt())
+				invXs = s
+			}
+			return nil
+		}
+		ffParams := map[string]string{"ops": strconv.Itoa(ffOps)}
+		out = append(out,
+			Benchmark{
+				Name: "ff/fr/mul", Kind: KindKernel, Params: ffParams, Setup: ffSetup,
+				Iterate: func() error {
+					z := frZ
+					for i := 0; i < ffOps; i++ {
+						z.Mul(&z, &frX)
+					}
+					frSink = z
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fr/mul-baseline", Kind: KindKernel, Params: ffParams, Setup: ffSetup,
+				Iterate: func() error {
+					z := frZ
+					for i := 0; i < ffOps; i++ {
+						ff.FrMulBaseline(&z, &z, &frX)
+					}
+					frSink = z
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fr/square", Kind: KindKernel, Params: ffParams, Setup: ffSetup,
+				Iterate: func() error {
+					z := frZ
+					for i := 0; i < ffOps; i++ {
+						z.Square(&z)
+					}
+					frSink = z
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fr/inverse", Kind: KindKernel,
+				Params: map[string]string{"ops": "256"}, Setup: ffSetup,
+				Iterate: func() error {
+					z := frZ
+					for i := 0; i < 256; i++ {
+						z.Inverse(&z)
+					}
+					frSink = z
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fr/batchinverse-n1024", Kind: KindKernel,
+				Params: map[string]string{"n": "1024"}, Setup: ffSetup,
+				Iterate: func() error {
+					out := poly.BatchInverse(invXs)
+					frSink = out[0]
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fp/mul", Kind: KindKernel, Params: ffParams, Setup: ffSetup,
+				Iterate: func() error {
+					z := fpZ
+					for i := 0; i < ffOps; i++ {
+						z.Mul(&z, &fpX)
+					}
+					fpSink = z
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fp/mul-baseline", Kind: KindKernel, Params: ffParams, Setup: ffSetup,
+				Iterate: func() error {
+					z := fpZ
+					for i := 0; i < ffOps; i++ {
+						ff.FpMulBaseline(&z, &z, &fpX)
+					}
+					fpSink = z
+					return nil
+				},
+			},
+			Benchmark{
+				Name: "ff/fp/square", Kind: KindKernel, Params: ffParams, Setup: ffSetup,
+				Iterate: func() error {
+					z := fpZ
+					for i := 0; i < ffOps; i++ {
+						z.Square(&z)
+					}
+					fpSink = z
+					return nil
+				},
+			},
+		)
+	}
 
 	// MSM sweeps: real SRS points (the Lagrange basis commitments run
 	// against in production) with uniform scalars for the dense Pippenger

@@ -1,0 +1,76 @@
+//go:build amd64 && !purego
+
+package ff
+
+// amd64 kernel selection. The assembly in fr_mul_amd64.s / fp_mul_amd64.s
+// needs MULX (BMI2) plus ADCX/ADOX (ADX) — available on every Intel part
+// since Broadwell and every AMD part since Zen. supportAdx is probed once
+// at init via CPUID; older CPUs take the same unrolled pure-Go path the
+// purego build uses. The branch below is on a package-level bool, so it
+// predicts perfectly and costs nothing against the call it guards.
+//
+// Squaring routes through the assembly multiplier with both operands
+// equal: the MULX/ADX mul is faster than the symmetric pure-Go SOS square,
+// so the cross-product trick only pays on the fallback path.
+
+// supportAdx reports whether the CPU implements both BMI2 (MULX) and ADX
+// (ADCX/ADOX).
+var supportAdx = hasAdx()
+
+func hasAdx() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	const bmi2 = 1 << 8
+	const adx = 1 << 19
+	return ebx&bmi2 != 0 && ebx&adx != 0
+}
+
+// cpuid executes the CPUID instruction (cpuid_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// frMulAsm sets z = x*y in Montgomery form (fr_mul_amd64.s). Requires
+// supportAdx; z may alias x or y.
+//
+//go:noescape
+func frMulAsm(z, x, y *Fr)
+
+// fpMulAsm sets z = x*y in Montgomery form (fp_mul_amd64.s). Requires
+// supportAdx; z may alias x or y.
+//
+//go:noescape
+func fpMulAsm(z, x, y *Fp)
+
+func frMul(z, x, y *Fr) {
+	if supportAdx {
+		frMulAsm(z, x, y)
+		return
+	}
+	frMulGeneric(z, x, y)
+}
+
+func frSquare(z, x *Fr) {
+	if supportAdx {
+		frMulAsm(z, x, x)
+		return
+	}
+	frSquareGeneric(z, x)
+}
+
+func fpMul(z, x, y *Fp) {
+	if supportAdx {
+		fpMulAsm(z, x, y)
+		return
+	}
+	fpMulGeneric(z, x, y)
+}
+
+func fpSquare(z, x *Fp) {
+	if supportAdx {
+		fpMulAsm(z, x, x)
+		return
+	}
+	fpSquareGeneric(z, x)
+}

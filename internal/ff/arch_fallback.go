@@ -1,0 +1,17 @@
+//go:build !amd64 || purego
+
+package ff
+
+// Kernel selection for platforms without the MULX/ADX assembly in
+// *_amd64.s — every non-amd64 architecture, plus any build carrying the
+// purego tag (the CI leg that keeps this path green on amd64 too). The
+// unrolled implementations in fr_arith.go / fp_arith.go are the universal
+// fallback; these wrappers are trivially inlined into Fr.Mul etc.
+
+func frMul(z, x, y *Fr) { frMulGeneric(z, x, y) }
+
+func frSquare(z, x *Fr) { frSquareGeneric(z, x) }
+
+func fpMul(z, x, y *Fp) { fpMulGeneric(z, x, y) }
+
+func fpSquare(z, x *Fp) { fpSquareGeneric(z, x) }

@@ -1,0 +1,54 @@
+package ff
+
+import "math/bits"
+
+// Multiply-accumulate primitives shared by the unrolled no-carry CIOS
+// multipliers and the SOS squarers in fr_arith.go / fp_arith.go. Each is a
+// thin wrapper over the bits.Mul64/Add64 intrinsics, small enough that the
+// compiler inlines them into the fully unrolled callers; they exist so the
+// round bodies read as arithmetic rather than carry bookkeeping.
+
+// maddHi returns the high word of a*b + c, discarding the low word. It is
+// the first reduction column of a Montgomery round: m is chosen so that
+// lo(m*q[0] + t[0]) == 0, and only the carry survives.
+func maddHi(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi
+}
+
+// madd returns a*b + c as (hi, lo).
+func madd(a, b, c uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	lo, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd2 returns a*b + c + d as (hi, lo). The sum of two 64-bit addends on
+// top of a full product cannot overflow 128 bits: a*b ≤ (2^64-1)^2 leaves
+// headroom of exactly 2·(2^64-1).
+func madd2(a, b, c, d uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// maddTop returns a*b + c + d as (hi, lo) with e folded into hi — the final
+// column of a no-carry round. Folding with a plain add is what the spare
+// top bit of the modulus buys: q[last] < 2^63 bounds every carry so that
+// hi + e provably cannot wrap, and the round needs no (n+1)-th limb.
+func maddTop(a, b, c, d, e uint64) (uint64, uint64) {
+	hi, lo := madd2(a, b, c, d)
+	return hi + e, lo
+}
+
+// isNonZeroMask returns all-ones if v != 0 and zero otherwise, without
+// branching: for any nonzero v, v | -v has its top bit set.
+func isNonZeroMask(v uint64) uint64 {
+	return -((v | -v) >> 63)
+}

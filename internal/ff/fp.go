@@ -20,6 +20,7 @@ var (
 	fpQInvNeg uint64
 	fpRSquare Fp
 	fpOne     Fp
+	fpQMinus2 Fp // p-2, the Fermat inversion exponent (not Montgomery)
 	fpModulus *big.Int
 )
 
@@ -34,6 +35,11 @@ func init() {
 	r := new(big.Int).Lsh(big.NewInt(1), 384)
 	bigToLimbs6(new(big.Int).Mod(r, q), &fpOne)
 	bigToLimbs6(new(big.Int).Mod(new(big.Int).Mul(r, r), q), &fpRSquare)
+	var b uint64
+	fpQMinus2[0], b = bits.Sub64(fpQ[0], 2, 0)
+	for i := 1; i < 6; i++ {
+		fpQMinus2[i], b = bits.Sub64(fpQ[i], 0, b)
+	}
 }
 
 func bigToLimbs6(v *big.Int, out *Fp) {
@@ -170,8 +176,18 @@ func (z *Fp) Add(x, y *Fp) *Fp {
 	return z
 }
 
-// Double sets z = 2x mod p and returns z.
-func (z *Fp) Double(x *Fp) *Fp { return z.Add(x, x) }
+// Double sets z = 2x mod p and returns z. A 1-bit left shift (p < 2^381,
+// so nothing escapes the top limb) plus one branchless reduction.
+func (z *Fp) Double(x *Fp) *Fp {
+	z[5] = x[5]<<1 | x[4]>>63
+	z[4] = x[4]<<1 | x[3]>>63
+	z[3] = x[3]<<1 | x[2]>>63
+	z[2] = x[2]<<1 | x[1]>>63
+	z[1] = x[1]<<1 | x[0]>>63
+	z[0] = x[0] << 1
+	z.reduce()
+	return z
+}
 
 // Sub sets z = x - y mod p and returns z.
 func (z *Fp) Sub(x, y *Fp) *Fp {
@@ -194,11 +210,10 @@ func (z *Fp) Sub(x, y *Fp) *Fp {
 	return z
 }
 
-// Neg sets z = -x mod p and returns z.
+// Neg sets z = -x mod p and returns z. Branchless: p - x is computed
+// unconditionally and masked to zero when x == 0.
 func (z *Fp) Neg(x *Fp) *Fp {
-	if x.IsZero() {
-		return z.SetZero()
-	}
+	mask := isNonZeroMask(x[0] | x[1] | x[2] | x[3] | x[4] | x[5])
 	var b uint64
 	z[0], b = bits.Sub64(fpQ[0], x[0], 0)
 	z[1], b = bits.Sub64(fpQ[1], x[1], b)
@@ -206,70 +221,51 @@ func (z *Fp) Neg(x *Fp) *Fp {
 	z[3], b = bits.Sub64(fpQ[3], x[3], b)
 	z[4], b = bits.Sub64(fpQ[4], x[4], b)
 	z[5], _ = bits.Sub64(fpQ[5], x[5], b)
+	z[0] &= mask
+	z[1] &= mask
+	z[2] &= mask
+	z[3] &= mask
+	z[4] &= mask
+	z[5] &= mask
 	return z
 }
 
+// reduce subtracts p once if z >= p, branchlessly: the borrow bit of z-p
+// expands to a full-width mask selecting between difference and original.
 func (z *Fp) reduce() {
-	if !z.smallerThanQ() {
-		var b uint64
-		z[0], b = bits.Sub64(z[0], fpQ[0], 0)
-		z[1], b = bits.Sub64(z[1], fpQ[1], b)
-		z[2], b = bits.Sub64(z[2], fpQ[2], b)
-		z[3], b = bits.Sub64(z[3], fpQ[3], b)
-		z[4], b = bits.Sub64(z[4], fpQ[4], b)
-		z[5], _ = bits.Sub64(z[5], fpQ[5], b)
-	}
+	var r Fp
+	var b uint64
+	r[0], b = bits.Sub64(z[0], fpQ[0], 0)
+	r[1], b = bits.Sub64(z[1], fpQ[1], b)
+	r[2], b = bits.Sub64(z[2], fpQ[2], b)
+	r[3], b = bits.Sub64(z[3], fpQ[3], b)
+	r[4], b = bits.Sub64(z[4], fpQ[4], b)
+	r[5], b = bits.Sub64(z[5], fpQ[5], b)
+	keep := -b // all-ones when the subtraction borrowed, i.e. z < p
+	z[0] = z[0]&keep | r[0]&^keep
+	z[1] = z[1]&keep | r[1]&^keep
+	z[2] = z[2]&keep | r[2]&^keep
+	z[3] = z[3]&keep | r[3]&^keep
+	z[4] = z[4]&keep | r[4]&^keep
+	z[5] = z[5]&keep | r[5]&^keep
 }
 
-func (z *Fp) smallerThanQ() bool {
-	for i := 5; i >= 0; i-- {
-		if z[i] < fpQ[i] {
-			return true
-		}
-		if z[i] > fpQ[i] {
-			return false
-		}
-	}
-	return false
-}
-
-// Mul sets z = x*y mod p (Montgomery CIOS) and returns z.
+// Mul sets z = x*y mod p and returns z. Dispatches to the MULX/ADX
+// assembly on capable amd64 hardware and to the unrolled no-carry CIOS in
+// fp_arith.go everywhere else; FpMulBaseline in baseline.go keeps the old
+// looped implementation for benchmarks and cross-checks.
 func (z *Fp) Mul(x, y *Fp) *Fp {
-	var t [7]uint64
-	for i := 0; i < 6; i++ {
-		d := y[i]
-		var c, cc, carry, hi, lo uint64
-		hi, lo = bits.Mul64(x[0], d)
-		t[0], c = bits.Add64(t[0], lo, 0)
-		carry = hi
-		for j := 1; j < 6; j++ {
-			hi, lo = bits.Mul64(x[j], d)
-			lo, cc = bits.Add64(lo, carry, 0)
-			carry = hi + cc
-			t[j], c = bits.Add64(t[j], lo, c)
-		}
-		t[6], _ = bits.Add64(t[6], carry, c)
-
-		m := t[0] * fpQInvNeg
-		hi, lo = bits.Mul64(m, fpQ[0])
-		_, c = bits.Add64(t[0], lo, 0)
-		carry = hi
-		for j := 1; j < 6; j++ {
-			hi, lo = bits.Mul64(m, fpQ[j])
-			lo, cc = bits.Add64(lo, carry, 0)
-			carry = hi + cc
-			t[j-1], c = bits.Add64(t[j], lo, c)
-		}
-		t[5], _ = bits.Add64(t[6], carry, c)
-		t[6] = 0
-	}
-	copy(z[:], t[:6])
-	z.reduce()
+	fpMul(z, x, y)
 	return z
 }
 
-// Square sets z = x^2 mod p and returns z.
-func (z *Fp) Square(x *Fp) *Fp { return z.Mul(x, x) }
+// Square sets z = x^2 mod p and returns z. On the pure-Go path this is a
+// dedicated SOS squaring that computes each cross product once and
+// doubles by shift — not Mul(x, x).
+func (z *Fp) Square(x *Fp) *Fp {
+	fpSquare(z, x)
+	return z
+}
 
 func (z *Fp) toMont()   { z.Mul(z, &fpRSquare) }
 func (z *Fp) fromMont() { one := Fp{1}; z.Mul(z, &one) }
@@ -291,14 +287,34 @@ func (z *Fp) Exp(x *Fp, e *big.Int) *Fp {
 	return z
 }
 
-// Inverse sets z = x^{-1} mod p via Fermat's little theorem; zero maps to
-// zero.
+// Inverse sets z = x^{-1} mod p via Fermat's little theorem, computed as
+// a fixed 4-bit windowed ladder over the hardwired p-2 limbs — no big.Int
+// and no per-call heap allocation (the Exp path allocated the exponent on
+// every call). Zero maps to zero.
 func (z *Fp) Inverse(x *Fp) *Fp {
 	if x.IsZero() {
 		return z.SetZero()
 	}
-	e := new(big.Int).Sub(fpModulus, big.NewInt(2))
-	return z.Exp(x, e)
+	var tbl [16]Fp
+	tbl[0] = fpOne
+	tbl[1] = *x
+	for i := 2; i < 16; i++ {
+		tbl[i].Mul(&tbl[i-1], &tbl[1])
+	}
+	// p-2 has 381 bits = 96 nibbles; the top nibble (index 95) is 0x1,
+	// so the ladder seeds from it directly.
+	res := tbl[fpQMinus2[5]>>60]
+	for w := 94; w >= 0; w-- {
+		res.Square(&res)
+		res.Square(&res)
+		res.Square(&res)
+		res.Square(&res)
+		if d := (fpQMinus2[w/16] >> (uint(w%16) * 4)) & 0xf; d != 0 {
+			res.Mul(&res, &tbl[d])
+		}
+	}
+	*z = res
+	return z
 }
 
 // InverseBEEA sets z = x^{-1} mod p using the binary extended Euclidean

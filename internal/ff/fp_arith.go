@@ -1,0 +1,296 @@
+package ff
+
+import "math/bits"
+
+// Unrolled Fp arithmetic — the 6-limb analogue of fr_arith.go. The
+// BLS12-381 base modulus is 381 bits, so the 6th limb has its top bit
+// spare (fpQ[5] < 2^63) and the same no-carry CIOS round structure
+// applies; see fr_arith.go for the derivation.
+
+// fpMulGeneric sets z = x*y in Montgomery form via six unrolled no-carry
+// CIOS rounds. z, x and y may alias.
+func fpMulGeneric(z, x, y *Fp) {
+	var t0, t1, t2, t3, t4, t5 uint64
+	var c0, c1, c2 uint64
+
+	// Round 0: t = x[0]·y, fused with the first reduction step.
+	v := x[0]
+	c1, c0 = bits.Mul64(v, y[0])
+	m := c0 * fpQInvNeg
+	c2 = maddHi(m, fpQ[0], c0)
+	c1, c0 = madd(v, y[1], c1)
+	c2, t0 = madd2(m, fpQ[1], c2, c0)
+	c1, c0 = madd(v, y[2], c1)
+	c2, t1 = madd2(m, fpQ[2], c2, c0)
+	c1, c0 = madd(v, y[3], c1)
+	c2, t2 = madd2(m, fpQ[3], c2, c0)
+	c1, c0 = madd(v, y[4], c1)
+	c2, t3 = madd2(m, fpQ[4], c2, c0)
+	c1, c0 = madd(v, y[5], c1)
+	t5, t4 = maddTop(m, fpQ[5], c0, c2, c1)
+
+	v = x[1]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * fpQInvNeg
+	c2 = maddHi(m, fpQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, fpQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, fpQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	c2, t2 = madd2(m, fpQ[3], c2, c0)
+	c1, c0 = madd2(v, y[4], c1, t4)
+	c2, t3 = madd2(m, fpQ[4], c2, c0)
+	c1, c0 = madd2(v, y[5], c1, t5)
+	t5, t4 = maddTop(m, fpQ[5], c0, c2, c1)
+
+	v = x[2]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * fpQInvNeg
+	c2 = maddHi(m, fpQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, fpQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, fpQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	c2, t2 = madd2(m, fpQ[3], c2, c0)
+	c1, c0 = madd2(v, y[4], c1, t4)
+	c2, t3 = madd2(m, fpQ[4], c2, c0)
+	c1, c0 = madd2(v, y[5], c1, t5)
+	t5, t4 = maddTop(m, fpQ[5], c0, c2, c1)
+
+	v = x[3]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * fpQInvNeg
+	c2 = maddHi(m, fpQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, fpQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, fpQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	c2, t2 = madd2(m, fpQ[3], c2, c0)
+	c1, c0 = madd2(v, y[4], c1, t4)
+	c2, t3 = madd2(m, fpQ[4], c2, c0)
+	c1, c0 = madd2(v, y[5], c1, t5)
+	t5, t4 = maddTop(m, fpQ[5], c0, c2, c1)
+
+	v = x[4]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * fpQInvNeg
+	c2 = maddHi(m, fpQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, fpQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, fpQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	c2, t2 = madd2(m, fpQ[3], c2, c0)
+	c1, c0 = madd2(v, y[4], c1, t4)
+	c2, t3 = madd2(m, fpQ[4], c2, c0)
+	c1, c0 = madd2(v, y[5], c1, t5)
+	t5, t4 = maddTop(m, fpQ[5], c0, c2, c1)
+
+	v = x[5]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * fpQInvNeg
+	c2 = maddHi(m, fpQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, fpQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, fpQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	c2, t2 = madd2(m, fpQ[3], c2, c0)
+	c1, c0 = madd2(v, y[4], c1, t4)
+	c2, t3 = madd2(m, fpQ[4], c2, c0)
+	c1, c0 = madd2(v, y[5], c1, t5)
+	t5, t4 = maddTop(m, fpQ[5], c0, c2, c1)
+
+	z[0], z[1], z[2], z[3], z[4], z[5] = t0, t1, t2, t3, t4, t5
+	z.reduce()
+}
+
+// fpSquareGeneric sets z = x² via SOS squaring: 15 off-diagonal products
+// (instead of the 36 a full 6×6 multiply pays) doubled by a one-bit shift,
+// 6 diagonal squares, then a 6-round Montgomery reduction of the 768-bit
+// square. Each row's top-word carry is rippled to the top of the
+// accumulator, so no transient overflow can escape unrecorded.
+func fpSquareGeneric(z, x *Fp) {
+	var p [12]uint64
+	var c, k uint64
+
+	// Row 0: x0·x[1..5] → words 1..6.
+	hi, lo := bits.Mul64(x[0], x[1])
+	p[1] = lo
+	carry := hi
+	hi, lo = bits.Mul64(x[0], x[2])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[2] = lo
+	hi, lo = bits.Mul64(x[0], x[3])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[3] = lo
+	hi, lo = bits.Mul64(x[0], x[4])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[4] = lo
+	hi, lo = bits.Mul64(x[0], x[5])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[5] = lo
+	p[6] = carry
+	// Row 1: x1·x[2..5] → words 3..7.
+	hi, lo = bits.Mul64(x[1], x[2])
+	p[3], k = bits.Add64(p[3], lo, 0)
+	carry = hi
+	hi, lo = bits.Mul64(x[1], x[3])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[4], k = bits.Add64(p[4], lo, k)
+	hi, lo = bits.Mul64(x[1], x[4])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[5], k = bits.Add64(p[5], lo, k)
+	hi, lo = bits.Mul64(x[1], x[5])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[6], k = bits.Add64(p[6], lo, k)
+	p[7], k = bits.Add64(p[7], carry, k)
+	p[8], k = bits.Add64(p[8], 0, k)
+	p[9], k = bits.Add64(p[9], 0, k)
+	p[10], _ = bits.Add64(p[10], 0, k)
+	// Row 2: x2·x[3..5] → words 5..8.
+	hi, lo = bits.Mul64(x[2], x[3])
+	p[5], k = bits.Add64(p[5], lo, 0)
+	carry = hi
+	hi, lo = bits.Mul64(x[2], x[4])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[6], k = bits.Add64(p[6], lo, k)
+	hi, lo = bits.Mul64(x[2], x[5])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[7], k = bits.Add64(p[7], lo, k)
+	p[8], k = bits.Add64(p[8], carry, k)
+	p[9], k = bits.Add64(p[9], 0, k)
+	p[10], _ = bits.Add64(p[10], 0, k)
+	// Row 3: x3·x[4..5] → words 7..9.
+	hi, lo = bits.Mul64(x[3], x[4])
+	p[7], k = bits.Add64(p[7], lo, 0)
+	carry = hi
+	hi, lo = bits.Mul64(x[3], x[5])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[8], k = bits.Add64(p[8], lo, k)
+	p[9], k = bits.Add64(p[9], carry, k)
+	p[10], _ = bits.Add64(p[10], 0, k)
+	// Row 4: x4·x5 → words 9..10. The full off-diagonal sum is provably
+	// under 2^704, so nothing escapes word 10.
+	hi, lo = bits.Mul64(x[4], x[5])
+	p[9], k = bits.Add64(p[9], lo, 0)
+	p[10], _ = bits.Add64(p[10], hi, k)
+
+	// Double the off-diagonal sum, then add the diagonals x[i]² at word 2i.
+	p[11] = p[10] >> 63
+	p[10] = p[10]<<1 | p[9]>>63
+	p[9] = p[9]<<1 | p[8]>>63
+	p[8] = p[8]<<1 | p[7]>>63
+	p[7] = p[7]<<1 | p[6]>>63
+	p[6] = p[6]<<1 | p[5]>>63
+	p[5] = p[5]<<1 | p[4]>>63
+	p[4] = p[4]<<1 | p[3]>>63
+	p[3] = p[3]<<1 | p[2]>>63
+	p[2] = p[2]<<1 | p[1]>>63
+	p[1] = p[1] << 1
+
+	hi, lo = bits.Mul64(x[0], x[0])
+	p[0] = lo
+	p[1], k = bits.Add64(p[1], hi, 0)
+	hi, lo = bits.Mul64(x[1], x[1])
+	p[2], k = bits.Add64(p[2], lo, k)
+	p[3], k = bits.Add64(p[3], hi, k)
+	hi, lo = bits.Mul64(x[2], x[2])
+	p[4], k = bits.Add64(p[4], lo, k)
+	p[5], k = bits.Add64(p[5], hi, k)
+	hi, lo = bits.Mul64(x[3], x[3])
+	p[6], k = bits.Add64(p[6], lo, k)
+	p[7], k = bits.Add64(p[7], hi, k)
+	hi, lo = bits.Mul64(x[4], x[4])
+	p[8], k = bits.Add64(p[8], lo, k)
+	p[9], k = bits.Add64(p[9], hi, k)
+	hi, lo = bits.Mul64(x[5], x[5])
+	p[10], k = bits.Add64(p[10], lo, k)
+	p[11], _ = bits.Add64(p[11], hi, k)
+
+	// Montgomery reduction of the 12-word square, one low word per round.
+	m := p[0] * fpQInvNeg
+	c = maddHi(m, fpQ[0], p[0])
+	c, p[1] = madd2(m, fpQ[1], c, p[1])
+	c, p[2] = madd2(m, fpQ[2], c, p[2])
+	c, p[3] = madd2(m, fpQ[3], c, p[3])
+	c, p[4] = madd2(m, fpQ[4], c, p[4])
+	c, p[5] = madd2(m, fpQ[5], c, p[5])
+	p[6], k = bits.Add64(p[6], c, 0)
+	p[7], k = bits.Add64(p[7], 0, k)
+	p[8], k = bits.Add64(p[8], 0, k)
+	p[9], k = bits.Add64(p[9], 0, k)
+	p[10], k = bits.Add64(p[10], 0, k)
+	p[11], _ = bits.Add64(p[11], 0, k)
+
+	m = p[1] * fpQInvNeg
+	c = maddHi(m, fpQ[0], p[1])
+	c, p[2] = madd2(m, fpQ[1], c, p[2])
+	c, p[3] = madd2(m, fpQ[2], c, p[3])
+	c, p[4] = madd2(m, fpQ[3], c, p[4])
+	c, p[5] = madd2(m, fpQ[4], c, p[5])
+	c, p[6] = madd2(m, fpQ[5], c, p[6])
+	p[7], k = bits.Add64(p[7], c, 0)
+	p[8], k = bits.Add64(p[8], 0, k)
+	p[9], k = bits.Add64(p[9], 0, k)
+	p[10], k = bits.Add64(p[10], 0, k)
+	p[11], _ = bits.Add64(p[11], 0, k)
+
+	m = p[2] * fpQInvNeg
+	c = maddHi(m, fpQ[0], p[2])
+	c, p[3] = madd2(m, fpQ[1], c, p[3])
+	c, p[4] = madd2(m, fpQ[2], c, p[4])
+	c, p[5] = madd2(m, fpQ[3], c, p[5])
+	c, p[6] = madd2(m, fpQ[4], c, p[6])
+	c, p[7] = madd2(m, fpQ[5], c, p[7])
+	p[8], k = bits.Add64(p[8], c, 0)
+	p[9], k = bits.Add64(p[9], 0, k)
+	p[10], k = bits.Add64(p[10], 0, k)
+	p[11], _ = bits.Add64(p[11], 0, k)
+
+	m = p[3] * fpQInvNeg
+	c = maddHi(m, fpQ[0], p[3])
+	c, p[4] = madd2(m, fpQ[1], c, p[4])
+	c, p[5] = madd2(m, fpQ[2], c, p[5])
+	c, p[6] = madd2(m, fpQ[3], c, p[6])
+	c, p[7] = madd2(m, fpQ[4], c, p[7])
+	c, p[8] = madd2(m, fpQ[5], c, p[8])
+	p[9], k = bits.Add64(p[9], c, 0)
+	p[10], k = bits.Add64(p[10], 0, k)
+	p[11], _ = bits.Add64(p[11], 0, k)
+
+	m = p[4] * fpQInvNeg
+	c = maddHi(m, fpQ[0], p[4])
+	c, p[5] = madd2(m, fpQ[1], c, p[5])
+	c, p[6] = madd2(m, fpQ[2], c, p[6])
+	c, p[7] = madd2(m, fpQ[3], c, p[7])
+	c, p[8] = madd2(m, fpQ[4], c, p[8])
+	c, p[9] = madd2(m, fpQ[5], c, p[9])
+	p[10], k = bits.Add64(p[10], c, 0)
+	p[11], _ = bits.Add64(p[11], 0, k)
+
+	m = p[5] * fpQInvNeg
+	c = maddHi(m, fpQ[0], p[5])
+	c, p[6] = madd2(m, fpQ[1], c, p[6])
+	c, p[7] = madd2(m, fpQ[2], c, p[7])
+	c, p[8] = madd2(m, fpQ[3], c, p[8])
+	c, p[9] = madd2(m, fpQ[4], c, p[9])
+	c, p[10] = madd2(m, fpQ[5], c, p[10])
+	p[11], _ = bits.Add64(p[11], c, 0)
+
+	z[0], z[1], z[2], z[3], z[4], z[5] = p[6], p[7], p[8], p[9], p[10], p[11]
+	z.reduce()
+}

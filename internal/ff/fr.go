@@ -2,7 +2,12 @@
 // scalar field Fr (all MLE/SumCheck arithmetic in HyperPlonk), the 381-bit
 // base field Fp (elliptic-curve coordinates), and the extension tower
 // Fp2/Fp6/Fp12 used by the pairing. Elements are kept in Montgomery form;
-// multiplication uses the CIOS algorithm over 64-bit limbs.
+// multiplication uses the fully-unrolled "no-carry" variant of CIOS over
+// 64-bit limbs (both moduli have a spare bit in the top limb), with a
+// MULX/ADCX/ADOX assembly path on capable amd64 hardware and the unrolled
+// pure-Go code as the universal fallback (see arch_amd64.go /
+// arch_fallback.go for the dispatch, baseline.go for the retained looped
+// reference).
 package ff
 
 import (
@@ -29,11 +34,17 @@ var (
 	frQInvNeg uint64 // -q^{-1} mod 2^64
 	frRSquare Fr     // R^2 mod q, R = 2^256
 	frOne     Fr     // R mod q (Montgomery form of 1)
+	frQMinus2 Fr     // q-2, the Fermat inversion exponent (not Montgomery)
 	frModulus *big.Int
 )
 
 func init() {
 	frModulus, frQ, frQInvNeg, frRSquare, frOne = setupField4(FrModulus)
+	var b uint64
+	frQMinus2[0], b = bits.Sub64(frQ[0], 2, 0)
+	frQMinus2[1], b = bits.Sub64(frQ[1], 0, b)
+	frQMinus2[2], b = bits.Sub64(frQ[2], 0, b)
+	frQMinus2[3], _ = bits.Sub64(frQ[3], 0, b)
 }
 
 // setupField4 derives all Montgomery constants for a 4-limb field from its
@@ -175,13 +186,8 @@ func (z *Fr) Set256BE(b *[32]byte) *Fr {
 		}
 		z[i] = w
 	}
-	for !z.smallerThanQ() {
-		var bo uint64
-		z[0], bo = bits.Sub64(z[0], frQ[0], 0)
-		z[1], bo = bits.Sub64(z[1], frQ[1], bo)
-		z[2], bo = bits.Sub64(z[2], frQ[2], bo)
-		z[3], _ = bits.Sub64(z[3], frQ[3], bo)
-	}
+	z.reduce()
+	z.reduce()
 	z.toMont()
 	return z
 }
@@ -209,8 +215,17 @@ func (z *Fr) Add(x, y *Fr) *Fr {
 	return z
 }
 
-// Double sets z = 2x mod q and returns z.
-func (z *Fr) Double(x *Fr) *Fr { return z.Add(x, x) }
+// Double sets z = 2x mod q and returns z. A 1-bit left shift (q < 2^255,
+// so nothing escapes the top limb) plus one branchless reduction — cheaper
+// than the general Add carry chain.
+func (z *Fr) Double(x *Fr) *Fr {
+	z[3] = x[3]<<1 | x[2]>>63
+	z[2] = x[2]<<1 | x[1]>>63
+	z[1] = x[1]<<1 | x[0]>>63
+	z[0] = x[0] << 1
+	z.reduce()
+	return z
+}
 
 // Sub sets z = x - y mod q and returns z.
 func (z *Fr) Sub(x, y *Fr) *Fr {
@@ -229,94 +244,57 @@ func (z *Fr) Sub(x, y *Fr) *Fr {
 	return z
 }
 
-// Neg sets z = -x mod q and returns z.
+// Neg sets z = -x mod q and returns z. Branchless: q - x is computed
+// unconditionally and masked to zero when x == 0, instead of the early
+// return the method used to take (a data-dependent branch that
+// mispredicts on mixed workloads).
 func (z *Fr) Neg(x *Fr) *Fr {
-	if x.IsZero() {
-		return z.SetZero()
-	}
+	mask := isNonZeroMask(x[0] | x[1] | x[2] | x[3])
 	var b uint64
 	z[0], b = bits.Sub64(frQ[0], x[0], 0)
 	z[1], b = bits.Sub64(frQ[1], x[1], b)
 	z[2], b = bits.Sub64(frQ[2], x[2], b)
 	z[3], _ = bits.Sub64(frQ[3], x[3], b)
+	z[0] &= mask
+	z[1] &= mask
+	z[2] &= mask
+	z[3] &= mask
 	return z
 }
 
-// reduce subtracts q once if z >= q.
+// reduce subtracts q once if z >= q, branchlessly: the borrow bit of z-q
+// expands to a full-width mask that selects between the difference and the
+// original limbs, replacing the limb-by-limb compare loop.
 func (z *Fr) reduce() {
-	if !z.smallerThanQ() {
-		var b uint64
-		z[0], b = bits.Sub64(z[0], frQ[0], 0)
-		z[1], b = bits.Sub64(z[1], frQ[1], b)
-		z[2], b = bits.Sub64(z[2], frQ[2], b)
-		z[3], _ = bits.Sub64(z[3], frQ[3], b)
-	}
+	var r Fr
+	var b uint64
+	r[0], b = bits.Sub64(z[0], frQ[0], 0)
+	r[1], b = bits.Sub64(z[1], frQ[1], b)
+	r[2], b = bits.Sub64(z[2], frQ[2], b)
+	r[3], b = bits.Sub64(z[3], frQ[3], b)
+	keep := -b // all-ones when the subtraction borrowed, i.e. z < q
+	z[0] = z[0]&keep | r[0]&^keep
+	z[1] = z[1]&keep | r[1]&^keep
+	z[2] = z[2]&keep | r[2]&^keep
+	z[3] = z[3]&keep | r[3]&^keep
 }
 
-func (z *Fr) smallerThanQ() bool {
-	for i := 3; i >= 0; i-- {
-		if z[i] < frQ[i] {
-			return true
-		}
-		if z[i] > frQ[i] {
-			return false
-		}
-	}
-	return false // equal
-}
-
-// Mul sets z = x*y mod q (Montgomery CIOS) and returns z.
+// Mul sets z = x*y mod q and returns z. Dispatches to the MULX/ADX
+// assembly on capable amd64 hardware and to the unrolled no-carry CIOS in
+// fr_arith.go everywhere else; FrMulBaseline in baseline.go keeps the old
+// looped implementation for benchmarks and cross-checks.
 func (z *Fr) Mul(x, y *Fr) *Fr {
-	var t [5]uint64
-	for i := 0; i < 4; i++ {
-		// t = t + x * y[i]
-		var c uint64
-		var hi, lo uint64
-		d := y[i]
-		hi, lo = bits.Mul64(x[0], d)
-		t[0], c = bits.Add64(t[0], lo, 0)
-		carry := hi
-		hi, lo = bits.Mul64(x[1], d)
-		lo, cc := bits.Add64(lo, carry, 0)
-		carry = hi + cc
-		t[1], c = bits.Add64(t[1], lo, c)
-		hi, lo = bits.Mul64(x[2], d)
-		lo, cc = bits.Add64(lo, carry, 0)
-		carry = hi + cc
-		t[2], c = bits.Add64(t[2], lo, c)
-		hi, lo = bits.Mul64(x[3], d)
-		lo, cc = bits.Add64(lo, carry, 0)
-		carry = hi + cc
-		t[3], c = bits.Add64(t[3], lo, c)
-		t[4], _ = bits.Add64(t[4], carry, c)
-
-		// Montgomery reduction step: m = t[0] * qInvNeg; t += m*q; t >>= 64
-		m := t[0] * frQInvNeg
-		hi, lo = bits.Mul64(m, frQ[0])
-		_, c = bits.Add64(t[0], lo, 0)
-		carry = hi
-		hi, lo = bits.Mul64(m, frQ[1])
-		lo, cc = bits.Add64(lo, carry, 0)
-		carry = hi + cc
-		t[0], c = bits.Add64(t[1], lo, c)
-		hi, lo = bits.Mul64(m, frQ[2])
-		lo, cc = bits.Add64(lo, carry, 0)
-		carry = hi + cc
-		t[1], c = bits.Add64(t[2], lo, c)
-		hi, lo = bits.Mul64(m, frQ[3])
-		lo, cc = bits.Add64(lo, carry, 0)
-		carry = hi + cc
-		t[2], c = bits.Add64(t[3], lo, c)
-		t[3], _ = bits.Add64(t[4], carry, c)
-		t[4] = 0
-	}
-	z[0], z[1], z[2], z[3] = t[0], t[1], t[2], t[3]
-	z.reduce()
+	frMul(z, x, y)
 	return z
 }
 
-// Square sets z = x^2 mod q and returns z.
-func (z *Fr) Square(x *Fr) *Fr { return z.Mul(x, x) }
+// Square sets z = x^2 mod q and returns z. On the pure-Go path this is a
+// dedicated SOS squaring that computes each cross product once and
+// doubles by shift — not Mul(x, x).
+func (z *Fr) Square(x *Fr) *Fr {
+	frSquare(z, x)
+	return z
+}
 
 func (z *Fr) toMont()   { z.Mul(z, &frRSquare) }
 func (z *Fr) fromMont() { one := Fr{1}; z.Mul(z, &one) }
@@ -338,14 +316,36 @@ func (z *Fr) Exp(x *Fr, e *big.Int) *Fr {
 	return z
 }
 
-// Inverse sets z = x^{-1} mod q (via Fermat's little theorem) and returns z.
-// Inverting zero yields zero.
+// Inverse sets z = x^{-1} mod q via Fermat's little theorem, computed as
+// a fixed 4-bit windowed ladder over the hardwired q-2 limbs: 15 table
+// mults, then 63 windows of 4 squarings plus at most one table mult each.
+// No big.Int, no per-call heap allocation — this is what keeps
+// BatchInverse's single shared inversion cheap. Inverting zero yields
+// zero.
 func (z *Fr) Inverse(x *Fr) *Fr {
 	if x.IsZero() {
 		return z.SetZero()
 	}
-	e := new(big.Int).Sub(frModulus, big.NewInt(2))
-	return z.Exp(x, e)
+	var tbl [16]Fr
+	tbl[0] = frOne
+	tbl[1] = *x
+	for i := 2; i < 16; i++ {
+		tbl[i].Mul(&tbl[i-1], &tbl[1])
+	}
+	// q-2 has 255 bits = 64 nibbles; the top nibble (index 63) is 0x7,
+	// so the ladder seeds from it directly.
+	res := tbl[frQMinus2[3]>>60]
+	for w := 62; w >= 0; w-- {
+		res.Square(&res)
+		res.Square(&res)
+		res.Square(&res)
+		res.Square(&res)
+		if d := (frQMinus2[w/16] >> (uint(w%16) * 4)) & 0xf; d != 0 {
+			res.Mul(&res, &tbl[d])
+		}
+	}
+	*z = res
+	return z
 }
 
 // InverseBEEA sets z = x^{-1} mod q using the binary extended Euclidean

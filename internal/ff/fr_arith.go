@@ -1,0 +1,180 @@
+package ff
+
+import "math/bits"
+
+// Unrolled Fr arithmetic. This file is the universal implementation: it
+// backs Fr.Mul/Fr.Square directly on every platform without the amd64
+// MULX/ADX path (see arch_fallback.go), and is the fallback the asm path
+// itself takes on pre-Broadwell amd64 hardware.
+//
+// The multiplier is the "no-carry" variant of CIOS Montgomery
+// multiplication. Plain CIOS interleaves one multiply-accumulate pass
+// t += x·y[i] with one reduction pass t = (t + m·q)/2^64 per word, carrying
+// an (n+1)-th accumulator limb through both. When the modulus leaves its
+// top bit spare (q[3] < 2^63 — the BLS12-381 scalar modulus is 255 bits),
+// every intermediate fits n limbs plus three running carries, so the
+// accumulator never materializes: each round is a straight line of
+// madd/madd2 column updates with no inner carry propagation and no
+// branches. That removes the array indexing, the loop control, and the
+// extra-limb traffic of the looped implementation retained in baseline.go.
+
+// frMulGeneric sets z = x*y in Montgomery form via four unrolled no-carry
+// CIOS rounds. z, x and y may alias.
+func frMulGeneric(z, x, y *Fr) {
+	var t0, t1, t2, t3 uint64
+	var c0, c1, c2 uint64
+
+	// Round 0: t = x[0]·y, fused with the first reduction step.
+	v := x[0]
+	c1, c0 = bits.Mul64(v, y[0])
+	m := c0 * frQInvNeg
+	c2 = maddHi(m, frQ[0], c0)
+	c1, c0 = madd(v, y[1], c1)
+	c2, t0 = madd2(m, frQ[1], c2, c0)
+	c1, c0 = madd(v, y[2], c1)
+	c2, t1 = madd2(m, frQ[2], c2, c0)
+	c1, c0 = madd(v, y[3], c1)
+	t3, t2 = maddTop(m, frQ[3], c0, c2, c1)
+
+	// Rounds 1–3: t += x[i]·y, same fused reduction.
+	v = x[1]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * frQInvNeg
+	c2 = maddHi(m, frQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, frQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, frQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	t3, t2 = maddTop(m, frQ[3], c0, c2, c1)
+
+	v = x[2]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * frQInvNeg
+	c2 = maddHi(m, frQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, frQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, frQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	t3, t2 = maddTop(m, frQ[3], c0, c2, c1)
+
+	v = x[3]
+	c1, c0 = madd(v, y[0], t0)
+	m = c0 * frQInvNeg
+	c2 = maddHi(m, frQ[0], c0)
+	c1, c0 = madd2(v, y[1], c1, t1)
+	c2, t0 = madd2(m, frQ[1], c2, c0)
+	c1, c0 = madd2(v, y[2], c1, t2)
+	c2, t1 = madd2(m, frQ[2], c2, c0)
+	c1, c0 = madd2(v, y[3], c1, t3)
+	t3, t2 = maddTop(m, frQ[3], c0, c2, c1)
+
+	z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	z.reduce()
+}
+
+// frSquareGeneric sets z = x² via SOS squaring: the 15 cross products of a
+// full 4×4 schoolbook multiply collapse to 6 (computed once, then doubled
+// by a one-bit shift) plus 4 diagonal squares, followed by a separate
+// 4-round Montgomery reduction of the 512-bit square. The Fp2/Fp6/Fp12
+// pairing tower, Exp and the inversion ladder are square-dominated, which
+// is why this is not Mul(x, x).
+func frSquareGeneric(z, x *Fr) {
+	var p [8]uint64
+	var c, k uint64
+
+	// Off-diagonal products x[i]·x[j] (i<j), accumulated at word i+j.
+	// Row 0: x0·x1, x0·x2, x0·x3 → words 1..4.
+	hi, lo := bits.Mul64(x[0], x[1])
+	p[1] = lo
+	carry := hi
+	hi, lo = bits.Mul64(x[0], x[2])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[2] = lo
+	hi, lo = bits.Mul64(x[0], x[3])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[3] = lo
+	p[4] = carry
+	// Row 1: x1·x2, x1·x3 → words 3..5 (the running sum can spill into
+	// word 6, so the top-word carry is kept).
+	hi, lo = bits.Mul64(x[1], x[2])
+	p[3], k = bits.Add64(p[3], lo, 0)
+	carry = hi
+	hi, lo = bits.Mul64(x[1], x[3])
+	lo, c = bits.Add64(lo, carry, 0)
+	carry = hi + c
+	p[4], k = bits.Add64(p[4], lo, k)
+	p[5], k = bits.Add64(0, carry, k)
+	p[6] = k
+	// Row 2: x2·x3 → words 5..6. The full off-diagonal sum is provably
+	// under 2^448, so nothing escapes word 6.
+	hi, lo = bits.Mul64(x[2], x[3])
+	p[5], k = bits.Add64(p[5], lo, 0)
+	p[6], _ = bits.Add64(p[6], hi, k)
+
+	// Double the off-diagonal sum (top word first — each word is read
+	// before it is overwritten), then add the diagonals x[i]² at word 2i.
+	p[7] = p[6] >> 63
+	p[6] = p[6]<<1 | p[5]>>63
+	p[5] = p[5]<<1 | p[4]>>63
+	p[4] = p[4]<<1 | p[3]>>63
+	p[3] = p[3]<<1 | p[2]>>63
+	p[2] = p[2]<<1 | p[1]>>63
+	p[1] = p[1] << 1
+
+	hi, lo = bits.Mul64(x[0], x[0])
+	p[0] = lo
+	p[1], k = bits.Add64(p[1], hi, 0)
+	hi, lo = bits.Mul64(x[1], x[1])
+	p[2], k = bits.Add64(p[2], lo, k)
+	p[3], k = bits.Add64(p[3], hi, k)
+	hi, lo = bits.Mul64(x[2], x[2])
+	p[4], k = bits.Add64(p[4], lo, k)
+	p[5], k = bits.Add64(p[5], hi, k)
+	hi, lo = bits.Mul64(x[3], x[3])
+	p[6], k = bits.Add64(p[6], lo, k)
+	p[7], _ = bits.Add64(p[7], hi, k)
+
+	// Montgomery reduction of the 8-word square: each round zeroes one low
+	// word with m·q and ripples the carry through the tail. x² + m·q stays
+	// under 2^512 (x < q < 2^255), so the top word cannot overflow.
+	m := p[0] * frQInvNeg
+	c = maddHi(m, frQ[0], p[0])
+	c, p[1] = madd2(m, frQ[1], c, p[1])
+	c, p[2] = madd2(m, frQ[2], c, p[2])
+	c, p[3] = madd2(m, frQ[3], c, p[3])
+	p[4], k = bits.Add64(p[4], c, 0)
+	p[5], k = bits.Add64(p[5], 0, k)
+	p[6], k = bits.Add64(p[6], 0, k)
+	p[7], _ = bits.Add64(p[7], 0, k)
+
+	m = p[1] * frQInvNeg
+	c = maddHi(m, frQ[0], p[1])
+	c, p[2] = madd2(m, frQ[1], c, p[2])
+	c, p[3] = madd2(m, frQ[2], c, p[3])
+	c, p[4] = madd2(m, frQ[3], c, p[4])
+	p[5], k = bits.Add64(p[5], c, 0)
+	p[6], k = bits.Add64(p[6], 0, k)
+	p[7], _ = bits.Add64(p[7], 0, k)
+
+	m = p[2] * frQInvNeg
+	c = maddHi(m, frQ[0], p[2])
+	c, p[3] = madd2(m, frQ[1], c, p[3])
+	c, p[4] = madd2(m, frQ[2], c, p[4])
+	c, p[5] = madd2(m, frQ[3], c, p[5])
+	p[6], k = bits.Add64(p[6], c, 0)
+	p[7], _ = bits.Add64(p[7], 0, k)
+
+	m = p[3] * frQInvNeg
+	c = maddHi(m, frQ[0], p[3])
+	c, p[4] = madd2(m, frQ[1], c, p[4])
+	c, p[5] = madd2(m, frQ[2], c, p[5])
+	c, p[6] = madd2(m, frQ[3], c, p[6])
+	p[7], _ = bits.Add64(p[7], c, 0)
+
+	z[0], z[1], z[2], z[3] = p[4], p[5], p[6], p[7]
+	z.reduce()
+}

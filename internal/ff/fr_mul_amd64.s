@@ -1,0 +1,193 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func frMulAsm(z, x, y *Fr)
+//
+// 4-limb Montgomery multiplication, unrolled no-carry CIOS on the MULX +
+// ADCX/ADOX dual carry chains (caller guarantees ADX/BMI2 via supportAdx).
+// Each round interleaves the t += x*y[i] accumulation on one carry chain
+// with the hi-word ripple on the other, then folds in m*q the same way;
+// q's top limb < 2^63 keeps every round inside 5 words, so the only
+// reduction needed at the end is one branchless CMOV subtraction.
+//
+// Register plan: x limbs live in R8-R11 for the whole call, running
+// result t0-t3 in R12-R15, overflow word A in DI (x pointer is dead after
+// the prologue), y pointer in SI, multiplier in DX (implicit MULX input),
+// AX/BX scratch. Modulus limbs and qInvNeg are read straight from the
+// package globals ·frQ / ·frQInvNeg, which init() fills before any call.
+TEXT ·frMulAsm(SB), NOSPLIT, $0-24
+	MOVQ x+8(FP), DI
+	MOVQ y+16(FP), SI
+	MOVQ 0(DI), R8
+	MOVQ 8(DI), R9
+	MOVQ 16(DI), R10
+	MOVQ 24(DI), R11
+
+	// round 0: t = x * y[0]
+	MOVQ  0(SI), DX
+	XORQ  AX, AX          // clear CF and OF
+	MULXQ R8, R12, R13
+	MULXQ R9, AX, R14
+	ADOXQ AX, R13
+	MULXQ R10, AX, R15
+	ADOXQ AX, R14
+	MULXQ R11, AX, DI
+	ADOXQ AX, R15
+	MOVQ  $0, AX
+	ADOXQ AX, DI
+
+	// reduce: m = t0*qInvNeg; t = (t + m*q) >> 64
+	MOVQ  R12, DX
+	MULXQ ·frQInvNeg(SB), DX, AX
+	XORQ  AX, AX
+	MULXQ ·frQ+0(SB), AX, BX
+	ADCXQ R12, AX         // t0 + m*q0 ≡ 0; only the carry survives
+	MOVQ  BX, R12
+	ADCXQ R13, R12
+	MULXQ ·frQ+8(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ ·frQ+16(SB), AX, R14
+	ADOXQ AX, R13
+	ADCXQ R15, R14
+	MULXQ ·frQ+24(SB), AX, R15
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, R15
+	ADOXQ DI, R15
+
+	// round 1: t += x * y[1]
+	MOVQ  8(SI), DX
+	XORQ  AX, AX
+	MULXQ R8, AX, BX
+	ADOXQ AX, R12
+	ADCXQ BX, R13
+	MULXQ R9, AX, BX
+	ADOXQ AX, R13
+	ADCXQ BX, R14
+	MULXQ R10, AX, BX
+	ADOXQ AX, R14
+	ADCXQ BX, R15
+	MULXQ R11, AX, BX
+	ADOXQ AX, R15
+	MOVQ  $0, DI
+	ADCXQ BX, DI
+	MOVQ  $0, AX
+	ADOXQ AX, DI
+
+	MOVQ  R12, DX
+	MULXQ ·frQInvNeg(SB), DX, AX
+	XORQ  AX, AX
+	MULXQ ·frQ+0(SB), AX, BX
+	ADCXQ R12, AX
+	MOVQ  BX, R12
+	ADCXQ R13, R12
+	MULXQ ·frQ+8(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ ·frQ+16(SB), AX, R14
+	ADOXQ AX, R13
+	ADCXQ R15, R14
+	MULXQ ·frQ+24(SB), AX, R15
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, R15
+	ADOXQ DI, R15
+
+	// round 2: t += x * y[2]
+	MOVQ  16(SI), DX
+	XORQ  AX, AX
+	MULXQ R8, AX, BX
+	ADOXQ AX, R12
+	ADCXQ BX, R13
+	MULXQ R9, AX, BX
+	ADOXQ AX, R13
+	ADCXQ BX, R14
+	MULXQ R10, AX, BX
+	ADOXQ AX, R14
+	ADCXQ BX, R15
+	MULXQ R11, AX, BX
+	ADOXQ AX, R15
+	MOVQ  $0, DI
+	ADCXQ BX, DI
+	MOVQ  $0, AX
+	ADOXQ AX, DI
+
+	MOVQ  R12, DX
+	MULXQ ·frQInvNeg(SB), DX, AX
+	XORQ  AX, AX
+	MULXQ ·frQ+0(SB), AX, BX
+	ADCXQ R12, AX
+	MOVQ  BX, R12
+	ADCXQ R13, R12
+	MULXQ ·frQ+8(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ ·frQ+16(SB), AX, R14
+	ADOXQ AX, R13
+	ADCXQ R15, R14
+	MULXQ ·frQ+24(SB), AX, R15
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, R15
+	ADOXQ DI, R15
+
+	// round 3: t += x * y[3]
+	MOVQ  24(SI), DX
+	XORQ  AX, AX
+	MULXQ R8, AX, BX
+	ADOXQ AX, R12
+	ADCXQ BX, R13
+	MULXQ R9, AX, BX
+	ADOXQ AX, R13
+	ADCXQ BX, R14
+	MULXQ R10, AX, BX
+	ADOXQ AX, R14
+	ADCXQ BX, R15
+	MULXQ R11, AX, BX
+	ADOXQ AX, R15
+	MOVQ  $0, DI
+	ADCXQ BX, DI
+	MOVQ  $0, AX
+	ADOXQ AX, DI
+
+	MOVQ  R12, DX
+	MULXQ ·frQInvNeg(SB), DX, AX
+	XORQ  AX, AX
+	MULXQ ·frQ+0(SB), AX, BX
+	ADCXQ R12, AX
+	MOVQ  BX, R12
+	ADCXQ R13, R12
+	MULXQ ·frQ+8(SB), AX, R13
+	ADOXQ AX, R12
+	ADCXQ R14, R13
+	MULXQ ·frQ+16(SB), AX, R14
+	ADOXQ AX, R13
+	ADCXQ R15, R14
+	MULXQ ·frQ+24(SB), AX, R15
+	ADOXQ AX, R14
+	MOVQ  $0, AX
+	ADCXQ AX, R15
+	ADOXQ DI, R15
+
+	// t < 2q: subtract q once, keep the difference unless it borrowed.
+	MOVQ    R12, AX
+	MOVQ    R13, BX
+	MOVQ    R14, CX
+	MOVQ    R15, DX
+	SUBQ    ·frQ+0(SB), AX
+	SBBQ    ·frQ+8(SB), BX
+	SBBQ    ·frQ+16(SB), CX
+	SBBQ    ·frQ+24(SB), DX
+	CMOVQCC AX, R12
+	CMOVQCC BX, R13
+	CMOVQCC CX, R14
+	CMOVQCC DX, R15
+
+	MOVQ z+0(FP), SI
+	MOVQ R12, 0(SI)
+	MOVQ R13, 8(SI)
+	MOVQ R14, 16(SI)
+	MOVQ R15, 24(SI)
+	RET
